@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one table/figure of the paper.  By default the
+figure harnesses run on a representative six-application subset so the
+whole suite finishes in minutes; set ``REPRO_BENCH_FULL=1`` to run all
+twelve applications (the EXPERIMENTS.md numbers were produced that way).
+"""
+
+import os
+
+import pytest
+
+#: Representative subset: two mirror-type, one band, one stencil, one
+#: transpose, one window kernel.
+QUICK_APPS = ("galgel", "equake", "facesim", "namd", "h264", "applu")
+
+
+def bench_apps():
+    if os.environ.get("REPRO_BENCH_FULL") == "1":
+        return None  # harnesses interpret None as "all twelve"
+    return QUICK_APPS
+
+
+@pytest.fixture(scope="session")
+def apps():
+    return bench_apps()

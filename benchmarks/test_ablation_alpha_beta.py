@@ -1,0 +1,14 @@
+"""Ablation: the α/β scheduling weights (Section 4.2 text)."""
+
+from repro.experiments import ablation_alpha_beta
+
+
+def test_ablation_alpha_beta(benchmark):
+    result = benchmark.pedantic(ablation_alpha_beta.run, rounds=1, iterations=1)
+    print("\n" + result.table())
+    values = dict(result.rows)
+    equal = values["a=0.5, b=0.5"]
+    # Paper: equal weights are (near-)best; an extreme weighting must not
+    # beat them materially.
+    assert equal <= min(values.values()) + 0.02
+    assert equal < 1.0

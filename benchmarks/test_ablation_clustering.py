@@ -1,0 +1,14 @@
+"""Ablation: greedy merge vs KL-refined cuts."""
+
+from repro.experiments import ablation_clustering
+
+
+def test_ablation_clustering(benchmark):
+    result = benchmark.pedantic(ablation_clustering.run, rounds=1, iterations=1)
+    print("\n" + result.table())
+    mean = result.rows[-1]
+    greedy, kl = mean[1], mean[2]
+    # Both strategies must beat Base on average, and KL must stay within
+    # a few percent of greedy (it refines the same objective).
+    assert greedy < 1.0 and kl < 1.0
+    assert abs(greedy - kl) < 0.08

@@ -1,0 +1,14 @@
+"""Ablation: compile-time overhead of the pass (Section 4.1 text)."""
+
+from repro.experiments import ablation_compile_time
+
+
+def test_ablation_compile_time(benchmark, apps):
+    result = benchmark.pedantic(
+        ablation_compile_time.run, args=(apps,), rounds=1, iterations=1
+    )
+    print("\n" + result.table())
+    totals = [float(v.rstrip("ms")) for v in result.column("map total")]
+    # The pass costs real compile time on every application (the paper
+    # reports 65-94% over a parallelizing compilation).
+    assert all(t > 0 for t in totals)

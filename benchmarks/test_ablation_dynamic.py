@@ -1,0 +1,15 @@
+"""Ablation: dynamic self-scheduling comparison (Section 5 text)."""
+
+from repro.experiments import ablation_dynamic
+
+
+def test_ablation_dynamic(benchmark):
+    result = benchmark.pedantic(ablation_dynamic.run, rounds=1, iterations=1)
+    print("\n" + result.table())
+    values = dict(result.rows)
+    ta = values["TopologyAware (static)"]
+    # The paper's observation: static topology-aware mapping beats every
+    # dynamic configuration (dispatch cost + sharing-oblivious placement).
+    for scheme, ratio in values.items():
+        if scheme != "TopologyAware (static)":
+            assert ta < ratio

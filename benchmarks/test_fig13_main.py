@@ -1,0 +1,31 @@
+"""Figure 13: Base / Base+ / TopologyAware across the three machines."""
+
+from repro.experiments import fig13_main
+
+
+def test_fig13_main(benchmark, apps):
+    result = benchmark.pedantic(
+        fig13_main.run, args=(apps,), rounds=1, iterations=1
+    )
+    print("\n" + result.table())
+    mean = result.rows[-1]
+    assert mean[0] == "MEAN"
+    # Shape: on every machine TopologyAware beats Base on average, and
+    # beats Base+ on average (paper: 28-30% / 16-21%).
+    for machine_index in range(3):
+        base_plus = mean[1 + 2 * machine_index]
+        ta = mean[2 + 2 * machine_index]
+        assert ta < 1.0, "TopologyAware must beat Base on average"
+        assert ta < base_plus, "TopologyAware must beat Base+ on average"
+
+
+def test_fig13_miss_reductions(benchmark, apps):
+    result = benchmark.pedantic(
+        fig13_main.miss_reductions, args=(apps,), rounds=1, iterations=1
+    )
+    print("\n" + result.table())
+    # Paper: TopologyAware reduces misses at every level on Dunnington,
+    # most strongly at the deeper (shared) levels.
+    reductions = [float(v.rstrip("%")) for v in result.column("vs Base")]
+    assert all(r >= 0 for r in reductions[1:]), "L2/L3 misses must drop"
+    assert max(reductions[1:]) > 10.0

@@ -1,0 +1,22 @@
+"""Figure 14: foreign versions cost more than native ones."""
+
+from repro.experiments import fig14_cross_machine
+
+
+def test_fig14_cross_machine(benchmark, apps):
+    result = benchmark.pedantic(
+        fig14_cross_machine.run, args=(apps,), rounds=1, iterations=1
+    )
+    print("\n" + result.table())
+    degradations = []
+    for row in result.rows:
+        for cell in row[1:]:
+            degradations.append(float(cell.split(": ")[1]))
+    # No foreign version may beat the native one beyond noise (Harpertown
+    # and Nehalem versions at equal thread counts are near-identical in
+    # our reproduction — see EXPERIMENTS.md), and the thread-count-
+    # mismatched ports must pay a substantial penalty (paper: 17-31%).
+    assert all(d >= 0.97 for d in degradations)
+    assert max(degradations) >= 1.15
+    mean = sum(degradations) / len(degradations)
+    assert mean > 1.05

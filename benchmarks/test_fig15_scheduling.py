@@ -1,0 +1,16 @@
+"""Figure 15: distribution vs local scheduling vs combined."""
+
+from repro.experiments import fig15_scheduling
+
+
+def test_fig15_scheduling(benchmark, apps):
+    result = benchmark.pedantic(
+        fig15_scheduling.run, args=(apps,), rounds=1, iterations=1
+    )
+    print("\n" + result.table())
+    mean = result.rows[-1]
+    ta, local, combined = mean[1], mean[2], mean[3]
+    # Paper trends: combined is the best configuration on average, and
+    # both components improve on Base.
+    assert combined <= ta
+    assert combined < 1.0 and local <= 1.02

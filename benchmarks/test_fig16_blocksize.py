@@ -1,0 +1,18 @@
+"""Figure 16: data block size sensitivity."""
+
+from repro.experiments import fig16_blocksize
+
+
+def test_fig16_blocksize(benchmark, apps):
+    # The half-size point is expensive (group counts grow); the quick
+    # subset keeps this bench to a couple of minutes.
+    result = benchmark.pedantic(
+        fig16_blocksize.run, args=(apps,), rounds=1, iterations=1
+    )
+    print("\n" + result.table())
+    cycles = result.column("normalized cycles")
+    times = result.column("mapping time (s)")
+    # Paper: smaller blocks perform better...
+    assert cycles[-1] <= cycles[0]
+    # ...but compile slower (ours grows like theirs: >80% from 2KB to 256B).
+    assert times[-1] > times[0] * 1.8

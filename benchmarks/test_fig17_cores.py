@@ -1,0 +1,18 @@
+"""Figure 17: core-count scaling (12 -> 18 -> 24)."""
+
+from repro.experiments import fig17_cores
+
+
+def test_fig17_cores(benchmark, apps):
+    result = benchmark.pedantic(
+        fig17_cores.run, args=(apps,), rounds=1, iterations=1
+    )
+    print("\n" + result.table())
+    ta = result.column("TopologyAware")
+    bp = result.column("Base+")
+    # TopologyAware beats Base and Base+ at every core count, and its
+    # advantage at 24 cores is at least as large as at 12 (the paper sees
+    # it grow 29% -> 46%).
+    assert all(t < b for t, b in zip(ta, bp))
+    assert all(t < 1.0 for t in ta)
+    assert ta[-1] <= ta[0] + 0.01

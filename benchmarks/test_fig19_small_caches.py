@@ -1,0 +1,16 @@
+"""Figure 19: halved cache capacities."""
+
+from repro.experiments import fig19_small_caches
+
+
+def test_fig19_small_caches(benchmark, apps):
+    result = benchmark.pedantic(
+        fig19_small_caches.run, args=(apps,), rounds=1, iterations=1
+    )
+    print("\n" + result.table())
+    full, halved = result.rows
+    # Paper: every optimizing scheme's improvement grows when capacities
+    # are halved, and the combined scheme stays best.
+    for column in (1, 2, 3):
+        assert halved[column] < full[column]
+    assert halved[3] <= halved[2] <= halved[1]

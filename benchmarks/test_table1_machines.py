@@ -1,0 +1,15 @@
+"""Table 1: machine parameters."""
+
+from repro.experiments.tables import table1
+
+
+def test_table1_machines(benchmark):
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    print("\n" + result.table())
+    machines = result.column("machine")
+    assert machines == ["harpertown", "nehalem", "dunnington"]
+    # Table 1 checks: core counts and cache structure.
+    assert result.rows[0][1].startswith("8 cores")
+    assert result.rows[2][1].startswith("12 cores")
+    assert result.rows[0][5] == "-"          # Harpertown has no L3
+    assert "12MB" in result.rows[2][5]       # Dunnington L3

@@ -1,0 +1,13 @@
+"""Table 2: the twelve applications."""
+
+from repro.experiments.tables import table2
+
+
+def test_table2_applications(benchmark):
+    result = benchmark.pedantic(table2, rounds=1, iterations=1)
+    print("\n" + result.table())
+    assert len(result.rows) == 12
+    suites = set(result.column("suite"))
+    assert suites == {"SpecOMP", "NAS", "Parsec", "Spec2006", "local"}
+    # Four applications arrive sequential, as in the paper.
+    assert result.column("origin").count("sequential") == 4

@@ -1,0 +1,77 @@
+"""Mapping for a custom future machine, and tuning the knobs.
+
+Builds a hypothetical 16-core, 4-level machine through the public
+topology API, maps the facesim workload onto it, and sweeps the paper's
+tunable parameters (balance threshold, α/β scheduling weights) to show
+their effect — the paper's Section 4.2 sensitivity discussion in
+miniature.
+
+Run:  python examples/custom_topology.py
+"""
+
+from repro.experiments.harness import sim_machine
+from repro.mapping import TopologyAwareMapper, base_plan
+from repro.runtime import execute_plan
+from repro.topology.cache import CacheSpec
+from repro.topology.machines import KB, MB, _uniform_tree
+from repro.topology.tree import Machine
+from repro.util.tables import format_table
+from repro.workloads import workload
+
+
+def future_machine() -> Machine:
+    """16 cores, four on-chip levels with binary fan-out."""
+    l1 = CacheSpec("L1", 32 * KB, 8, 64, 4)
+    l2 = CacheSpec("L2", 256 * KB, 8, 64, 9)
+    l3 = CacheSpec("L3", 2 * MB, 16, 64, 22)
+    l4 = CacheSpec("L4", 12 * MB, 16, 64, 40)
+    root = _uniform_tree(16, [(l1, 1), (l2, 2), (l3, 4), (l4, 8)])
+    return Machine("future16", 2.0, 140, root, sockets=2)
+
+
+def main() -> None:
+    machine = sim_machine(future_machine())
+    app = workload("facesim")
+    program, nest = app.program(), app.nest()
+
+    print(machine.describe(), "\n")
+    base = execute_plan(base_plan(nest, machine))
+    print(f"Base: {base.cycles} cycles\n")
+
+    rows = []
+    for threshold in (0.20, 0.10, 0.02):
+        mapper = TopologyAwareMapper(
+            machine, block_size=app.block_size(), balance_threshold=threshold
+        )
+        plan = mapper.map_nest(program, nest).plan()
+        cycles = execute_plan(plan).cycles
+        rows.append((f"{threshold:.2f}", round(cycles / base.cycles, 3)))
+    print(format_table(
+        ["balance threshold", "TopologyAware vs Base"],
+        rows,
+        title="Sensitivity: load-balance threshold",
+    ))
+    print()
+
+    rows = []
+    for alpha, beta in ((1.0, 0.0), (0.5, 0.5), (0.0, 1.0)):
+        mapper = TopologyAwareMapper(
+            machine,
+            block_size=app.block_size(),
+            balance_threshold=0.02,
+            alpha=alpha,
+            beta=beta,
+            local_scheduling=True,
+        )
+        plan = mapper.map_nest(program, nest).plan()
+        cycles = execute_plan(plan).cycles
+        rows.append((f"a={alpha:g} b={beta:g}", round(cycles / base.cycles, 3)))
+    print(format_table(
+        ["weights", "Combined vs Base"],
+        rows,
+        title="Sensitivity: alpha (shared cache) / beta (L1) weights",
+    ))
+
+
+if __name__ == "__main__":
+    main()

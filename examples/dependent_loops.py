@@ -1,0 +1,80 @@
+"""Handling loop-carried dependencies (Section 3.5.2).
+
+Builds a banded update with genuine flow dependencies, shows the two
+policies the paper describes — barrier-based scheduling and co-clustering
+(infinite edge weights) — and simulates both.
+
+Run:  python examples/dependent_loops.py
+"""
+
+from repro.ir.dependences import iteration_dependences
+from repro.lang import compile_source
+from repro.mapping import TopologyAwareMapper
+from repro.runtime import execute_plan
+from repro.topology.cache import CacheSpec
+from repro.topology.tree import Machine, TopologyNode
+
+M = 4096
+K = 256
+
+SOURCE = f"""
+array B[{M}];
+for (j = {K}; j < {M}; j++)
+  B[j] = B[j] + B[j - {K}];
+"""
+
+
+def four_core_machine() -> Machine:
+    l1 = CacheSpec("L1", 1024, 2, 32, 2)
+    l2 = CacheSpec("L2", 8192, 4, 32, 8)
+    cores = [TopologyNode.core(i) for i in range(4)]
+    l1s = [TopologyNode.cache(l1, [c]) for c in cores]
+    l2s = [TopologyNode.cache(l2, l1s[0:2]), TopologyNode.cache(l2, l1s[2:4])]
+    return Machine("dep4", 2.0, 90, TopologyNode.memory(l2s), sockets=1)
+
+
+def main() -> None:
+    program = compile_source(SOURCE, name="banded")
+    nest = program.nests[0]
+    machine = four_core_machine()
+
+    print("== Dependence analysis ==")
+    sample = list(iteration_dependences(nest, limit=3))
+    for pair in sample:
+        print(f"  {pair.kind} dependence: {pair.source} -> {pair.sink} "
+              f"(distance {pair.distance})")
+    print(f"  ... every iteration depends on the one {K} earlier.\n")
+
+    print("== Policy 1: barrier-based scheduling ==")
+    mapper = TopologyAwareMapper(machine, block_size=512, local_scheduling=True,
+                                 dependence_policy="barrier")
+    barrier_result = mapper.map_nest(program, nest)
+    plan = barrier_result.plan()
+    plan.verify_complete()
+    print(f"  group dependence edges: {barrier_result.graph.num_edges}")
+    print(f"  schedule rounds: {plan.num_rounds} "
+          f"(a barrier separates consecutive rounds)")
+    sim = execute_plan(plan, verify=True)
+    print(f"  simulated: {sim.cycles} cycles, {sim.barriers} barriers\n")
+
+    print("== Policy 2: co-clustering (infinite edge weights) ==")
+    mapper = TopologyAwareMapper(machine, block_size=512,
+                                 dependence_policy="co-cluster")
+    co_result = mapper.map_nest(program, nest)
+    co_plan = co_result.plan()
+    co_plan.verify_complete()
+    sizes = co_result.assignment_sizes()
+    print(f"  per-core iterations: {sizes}")
+    print("  (dependent groups merged; no synchronization needed, but the "
+          "dependence chain concentrates work)")
+    sim2 = execute_plan(co_plan, verify=True)
+    print(f"  simulated: {sim2.cycles} cycles, {sim2.barriers} barriers\n")
+
+    better = "barrier scheduling" if sim.cycles < sim2.cycles else "co-clustering"
+    print(f"On this kernel, {better} wins — the paper notes co-clustering "
+          "\"may not be very effective when we have a large number of "
+          "dependencies\".")
+
+
+if __name__ == "__main__":
+    main()

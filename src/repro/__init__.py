@@ -1,0 +1,45 @@
+"""Cache topology aware computation mapping for multicores.
+
+A from-scratch reproduction of Kandemir et al., PLDI 2010: a compiler
+pass that distributes the iterations of a parallel loop across cores —
+and schedules each core's share — driven by the target machine's on-chip
+cache topology.
+
+Typical use::
+
+    from repro import compile_source, TopologyAwareMapper, execute_plan
+    from repro.topology import dunnington
+
+    program = compile_source(source_text)
+    machine = dunnington().with_scaled_caches(1/32)
+    mapper = TopologyAwareMapper(machine, local_scheduling=True)
+    plan = mapper.map_nest(program, program.nests[0]).plan()
+    result = execute_plan(plan)
+
+Subpackages: :mod:`repro.poly` (polyhedral substrate), :mod:`repro.lang`
+(frontend), :mod:`repro.ir` (loop-nest IR + dependence analysis),
+:mod:`repro.topology` (cache trees and machines), :mod:`repro.blocks`
+(data blocks / tags / groups), :mod:`repro.mapping` (the contribution +
+baselines), :mod:`repro.transforms` (Base+ loop transforms),
+:mod:`repro.sim` (multicore cache simulator), :mod:`repro.runtime`
+(execution + codegen glue), :mod:`repro.workloads` (the twelve
+applications), :mod:`repro.experiments` (tables and figures).
+"""
+
+from repro.errors import ReproError
+from repro.lang import compile_source
+from repro.mapping import TopologyAwareMapper, base_plan, base_plus_plan, local_plan
+from repro.runtime import execute_plan
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ReproError",
+    "compile_source",
+    "TopologyAwareMapper",
+    "base_plan",
+    "base_plus_plan",
+    "local_plan",
+    "execute_plan",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Static analysis of mappings and plans.
+
+Tools to *explain* the simulator's verdicts without running it: per-core
+working sets, block replication factors across the cache tree, sharing
+matrices, and reuse-distance profiles.  These are the quantities the
+paper's Figure 3 reasons about ("destructive interactions", "data
+replication across multiple on-chip caches", "access that data at
+similar times").
+"""
+
+from repro.analysis.workingset import (
+    PlanAnalysis,
+    analyze_plan,
+    replication_factor,
+    sharing_matrix,
+)
+from repro.analysis.reuse import reuse_distance_profile
+
+__all__ = [
+    "PlanAnalysis",
+    "analyze_plan",
+    "replication_factor",
+    "sharing_matrix",
+    "reuse_distance_profile",
+]

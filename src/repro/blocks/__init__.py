@@ -1,0 +1,29 @@
+"""Data blocks, iteration tags, and iteration groups (Section 3.3).
+
+The paper logically partitions all data into equal-sized blocks
+β0..β(n-1) that never cross array boundaries, tags every iteration with
+the bit vector of blocks it accesses, and collects iterations with equal
+tags into iteration groups Φ_τ.  This package implements that machinery:
+
+* :class:`~repro.blocks.datablocks.DataBlockPartition` — the logical block
+  partition over a program's arrays;
+* :mod:`repro.blocks.tags` — tag operations (dot product, bitwise sum,
+  Hamming distance) on integer bitsets;
+* :class:`~repro.blocks.groups.IterationGroup` /
+  :class:`~repro.blocks.groups.GroupSet` — iteration groups and the
+  partition invariants (disjoint, covering);
+* :mod:`~repro.blocks.tagger` — tagging driver plus the paper's
+  L1-capacity-based block-size selection heuristic (Section 4.1).
+"""
+
+from repro.blocks.datablocks import DataBlockPartition
+from repro.blocks.groups import GroupSet, IterationGroup
+from repro.blocks.tagger import choose_block_size, tag_iterations
+
+__all__ = [
+    "DataBlockPartition",
+    "GroupSet",
+    "IterationGroup",
+    "choose_block_size",
+    "tag_iterations",
+]

@@ -1,0 +1,94 @@
+"""Logical data-block partition (the β blocks of Section 3.3).
+
+Blocks are equal-sized (``block_size`` bytes), never cross array
+boundaries (each array starts a new block; its last block may be
+partially filled), and are numbered sequentially array by array in
+declaration order — consecutive blocks of an array get consecutive
+numbers and the first block of the next array continues the numbering,
+mirroring the paper's conventions (i)-(iv).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import BlockingError
+from repro.ir.arrays import Array
+from repro.util.mathutil import ceil_div
+
+
+class DataBlockPartition:
+    """Partition of a set of arrays into equal-sized logical blocks."""
+
+    __slots__ = ("arrays", "block_size", "_first_block", "_elems_per_block", "num_blocks")
+
+    def __init__(self, arrays: Sequence[Array], block_size: int):
+        if block_size <= 0:
+            raise BlockingError(f"block size must be positive, got {block_size}")
+        arrays = tuple(arrays)
+        if not arrays:
+            raise BlockingError("partition needs at least one array")
+        names = [a.name for a in arrays]
+        if len(set(names)) != len(names):
+            raise BlockingError(f"duplicate array names in {names}")
+        first_block: dict[str, int] = {}
+        elems_per_block: dict[str, int] = {}
+        next_block = 0
+        for array in arrays:
+            if block_size % array.element_size:
+                raise BlockingError(
+                    f"block size {block_size} not a multiple of element size "
+                    f"{array.element_size} (array {array.name!r})"
+                )
+            per_block = block_size // array.element_size
+            first_block[array.name] = next_block
+            elems_per_block[array.name] = per_block
+            next_block += ceil_div(array.size_elements, per_block)
+        object.__setattr__(self, "arrays", arrays)
+        object.__setattr__(self, "block_size", block_size)
+        object.__setattr__(self, "_first_block", first_block)
+        object.__setattr__(self, "_elems_per_block", elems_per_block)
+        object.__setattr__(self, "num_blocks", next_block)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("DataBlockPartition is immutable")
+
+    def block_of(self, array_name: str, element_offset: int) -> int:
+        """Global block number holding the given element of an array."""
+        try:
+            first = self._first_block[array_name]
+        except KeyError:
+            raise BlockingError(f"array {array_name!r} not in partition") from None
+        per_block = self._elems_per_block[array_name]
+        if element_offset < 0:
+            raise BlockingError(f"negative element offset {element_offset}")
+        return first + element_offset // per_block
+
+    def blocks_of_array(self, array_name: str) -> range:
+        """The contiguous global block numbers belonging to an array."""
+        try:
+            first = self._first_block[array_name]
+        except KeyError:
+            raise BlockingError(f"array {array_name!r} not in partition") from None
+        array = next(a for a in self.arrays if a.name == array_name)
+        count = ceil_div(array.size_elements, self._elems_per_block[array_name])
+        return range(first, first + count)
+
+    def array_of_block(self, block: int) -> Array:
+        """The array a global block number belongs to."""
+        if not 0 <= block < self.num_blocks:
+            raise BlockingError(f"block {block} out of range (n={self.num_blocks})")
+        for array in self.arrays:
+            blocks = self.blocks_of_array(array.name)
+            if block in blocks:
+                return array
+        raise BlockingError(f"block {block} matched no array")  # pragma: no cover
+
+    def elements_per_block(self, array_name: str) -> int:
+        return self._elems_per_block[array_name]
+
+    def __repr__(self) -> str:
+        return (
+            f"DataBlockPartition({len(self.arrays)} arrays, "
+            f"{self.block_size}B blocks, n={self.num_blocks})"
+        )

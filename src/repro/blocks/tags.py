@@ -1,0 +1,56 @@
+"""Tag algebra (Section 3.3 / Figure 6 of the paper).
+
+A tag τ = d0 d1 ... d(n-1) is a bit vector over the n data blocks; we
+store it as a Python integer with bit j set iff block βj is accessed.
+The paper's three tag operations are re-exported here under their
+domain names:
+
+* ``dot(τ1, τ2)`` — the dot product, i.e. the number of common 1 bits;
+  the clustering algorithm's affinity measure;
+* ``bitwise_sum(τ1, τ2, ...)`` — the OR of tags; the tag of a cluster;
+* ``hamming(τ1, τ2)`` — the Hamming distance; the local scheduler's
+  dissimilarity measure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.util.bitset import (
+    bit_count,
+    bits_of,
+    dot_product as dot,
+    from_indices,
+    hamming_distance as hamming,
+    to_bitstring,
+)
+
+__all__ = ["dot", "hamming", "bitwise_sum", "ones", "blocks_in", "tag_from_blocks", "render"]
+
+
+def bitwise_sum(*tags: int) -> int:
+    """The cluster tag: bitwise OR of member tags (Figure 6, 'BitwiseSum')."""
+    acc = 0
+    for tag in tags:
+        acc |= tag
+    return acc
+
+
+def ones(tag: int) -> int:
+    """Number of data blocks a tag covers."""
+    return bit_count(tag)
+
+
+def blocks_in(tag: int) -> list[int]:
+    """Block numbers covered by a tag, ascending."""
+    return list(bits_of(tag))
+
+
+def tag_from_blocks(blocks: Iterable[int]) -> int:
+    """Tag covering exactly the given block numbers."""
+    return from_indices(blocks)
+
+
+def render(tag: int, num_blocks: int) -> str:
+    """Paper-style rendering, d0 first (e.g. τ=1100 for blocks {0,1})."""
+    return to_bitstring(tag, num_blocks)

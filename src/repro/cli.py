@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro map SOURCE.loop --machine dunnington [--schedule]
+    python -m repro simulate SOURCE.loop --machine dunnington --scheme ta
+    python -m repro machines
+    python -m repro workloads
+
+``map`` compiles an affine loop program, runs the topology-aware mapper
+against the chosen machine and prints the assignment/schedule report;
+``simulate`` additionally runs the simulator and compares against Base.
+Machines are simulation-scaled with ``--scale`` (default 32; use 1 for
+the unscaled Table 1 capacities).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.blocks.tags import render
+from repro.lang import compile_source
+from repro.mapping import TopologyAwareMapper, base_plan, base_plus_plan, local_plan
+from repro.runtime import execute_plan
+from repro.topology.machines import _REGISTRY, machine_by_name
+from repro.util.tables import format_table
+
+
+def _load_program(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    name = path.rsplit("/", 1)[-1].split(".")[0]
+    return compile_source(source, name=name)
+
+
+def _machine(args):
+    if getattr(args, "topology", None):
+        from repro.topology.parser import parse_topology
+
+        with open(args.topology, "r", encoding="utf-8") as handle:
+            machine = parse_topology(handle.read())
+    else:
+        machine = machine_by_name(args.machine)
+    if args.scale != 1:
+        machine = machine.with_scaled_caches(1.0 / args.scale)
+    return machine
+
+
+def cmd_machines(_args) -> int:
+    for name in _REGISTRY:
+        print(machine_by_name(name).describe())
+        print()
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    from repro.workloads import application_table
+
+    print(application_table())
+    return 0
+
+
+def cmd_map(args) -> int:
+    program = _load_program(args.source)
+    machine = _machine(args)
+    nest = program.nests[args.nest]
+    mapper = TopologyAwareMapper(
+        machine,
+        block_size=args.block_size,
+        balance_threshold=args.balance,
+        local_scheduling=args.schedule,
+        alpha=args.alpha,
+        beta=args.beta,
+    )
+    result = mapper.map_nest(program, nest)
+    n = result.partition.num_blocks
+    print(f"nest {nest.name!r}: {nest.iteration_count()} iterations, "
+          f"{len(result.group_set)} iteration groups over {n} data blocks "
+          f"(block size {result.partition.block_size}B)")
+    rows = []
+    for core, rounds in enumerate(result.group_rounds):
+        order = " -> ".join(
+            render(g.tag, n) if n <= 32 else f"#{g.ident}"
+            for rnd in rounds for g in rnd
+        )
+        size = sum(g.size for rnd in rounds for g in rnd)
+        rows.append((core, size, order or "(idle)"))
+    print(format_table(["core", "iterations", "schedule"], rows))
+    timings = ", ".join(f"{k}={v * 1000:.0f}ms" for k, v in result.timings.items())
+    print(f"mapper timings: {timings}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    program = _load_program(args.source)
+    machine = _machine(args)
+    nest = program.nests[args.nest]
+
+    def plan_for(scheme: str):
+        if scheme == "base":
+            return base_plan(nest, machine)
+        if scheme == "base+":
+            return base_plus_plan(nest, machine)
+        mapper = TopologyAwareMapper(
+            machine,
+            block_size=args.block_size,
+            balance_threshold=args.balance,
+            local_scheduling=(scheme == "ta+s"),
+        )
+        result = mapper.map_nest(program, nest)
+        if scheme == "local":
+            return local_plan(nest, machine, result.partition)
+        return result.plan()
+
+    base_result = execute_plan(plan_for("base"), verify=True)
+    print(base_result.summary())
+    if args.scheme != "base":
+        result = execute_plan(plan_for(args.scheme), verify=True)
+        print(result.summary())
+        print(f"\n{args.scheme} vs base: {result.cycles / base_result.cycles:.3f} "
+              f"({base_result.cycles / result.cycles:.2f}x speedup)")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro.mapping.autotune import autotune_block_size
+
+    program = _load_program(args.source)
+    machine = _machine(args)
+    nest = program.nests[args.nest]
+    candidates = tuple(int(c) for c in args.candidates.split(",") if c)
+    result = autotune_block_size(
+        program, nest, machine, candidates,
+        local_scheduling=args.schedule, balance_threshold=args.balance,
+    )
+    print(result.table())
+    print(f"\nbest block size: {result.best.block_size} bytes "
+          f"({result.best.cycles} cycles)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cache topology aware computation mapping (PLDI 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="list the built-in machines").set_defaults(func=cmd_machines)
+    sub.add_parser("workloads", help="list the evaluation workloads").set_defaults(func=cmd_workloads)
+
+    def common(p):
+        p.add_argument("source", help="affine loop program file")
+        p.add_argument("--machine", default="dunnington", help="target machine name")
+        p.add_argument("--topology", default=None,
+                       help="file with a topology spec string (overrides --machine)")
+        p.add_argument("--scale", type=int, default=32,
+                       help="divide cache capacities by this factor (default 32)")
+        p.add_argument("--nest", type=int, default=0, help="nest index (default 0)")
+        p.add_argument("--block-size", type=int, default=None,
+                       help="data block size in bytes (default: Section 4.1 heuristic)")
+        p.add_argument("--balance", type=float, default=0.10,
+                       help="balance threshold (default 0.10, the paper's)")
+
+    map_parser = sub.add_parser("map", help="run the topology-aware mapper")
+    common(map_parser)
+    map_parser.add_argument("--schedule", action="store_true",
+                            help="apply Figure 7 local scheduling")
+    map_parser.add_argument("--alpha", type=float, default=0.5)
+    map_parser.add_argument("--beta", type=float, default=0.5)
+    map_parser.set_defaults(func=cmd_map)
+
+    sim_parser = sub.add_parser("simulate", help="simulate a scheme vs Base")
+    common(sim_parser)
+    sim_parser.add_argument("--scheme", default="ta",
+                            choices=("base", "base+", "local", "ta", "ta+s"))
+    sim_parser.set_defaults(func=cmd_simulate)
+
+    tune_parser = sub.add_parser("tune", help="search block sizes by simulation")
+    common(tune_parser)
+    tune_parser.add_argument("--candidates", default="512,1024,2048,4096",
+                             help="comma-separated block sizes in bytes")
+    tune_parser.add_argument("--schedule", action="store_true",
+                             help="tune the combined (scheduled) scheme")
+    tune_parser.set_defaults(func=cmd_tune)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every module exposes ``run(...) -> FigureResult`` (rows + a rendered
+table with the paper's reported numbers alongside ours) and can be run as
+a script.  The index lives in DESIGN.md; measured-vs-paper numbers are
+recorded in EXPERIMENTS.md.
+
+All experiments run on *simulation-scaled* machines: every cache capacity
+is divided by :data:`~repro.experiments.harness.SIM_SCALE_DENOM` while
+topology, associativity, line size, and latencies stay unchanged, and the
+workload data sizes are scaled to match (see DESIGN.md substitutions).
+"""
+
+from repro.experiments.harness import (
+    FigureResult,
+    run_scheme,
+    scheme_cycles,
+    sim_machine,
+)
+
+__all__ = ["FigureResult", "run_scheme", "scheme_cycles", "sim_machine"]

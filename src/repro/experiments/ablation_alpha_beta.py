@@ -1,0 +1,45 @@
+"""Ablation (Section 4.2 text): the α / β scheduling weights.
+
+The paper experimented with different α (shared-cache, horizontal) and β
+(L1, vertical) weights and found equal weights best: "if β is too big,
+the potential locality in the shared caches is missed, and if α is too
+big, L1 locality starts to suffer."  We sweep the mix on the
+scheduling-sensitive workloads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.harness import FigureResult, geometric_mean, run_scheme, sim_machine
+from repro.topology.machines import dunnington
+from repro.workloads import all_workloads
+
+WEIGHTS = ((1.0, 0.0), (0.75, 0.25), (0.5, 0.5), (0.25, 0.75), (0.0, 1.0))
+
+#: scheduling-sensitive subset (banded / folded kernels)
+DEFAULT_APPS = ("equake", "cg", "freqmine", "namd", "galgel", "bodytrack")
+
+
+def run(apps: Sequence[str] | None = None) -> FigureResult:
+    names = tuple(apps) if apps is not None else DEFAULT_APPS
+    selected = [w for w in all_workloads() if w.name in names]
+    machine = sim_machine(dunnington())
+    rows = []
+    for alpha, beta in WEIGHTS:
+        ratios = []
+        for app in selected:
+            base = run_scheme(app, "base", machine).cycles
+            cycles = run_scheme(app, "ta+s", machine, alpha=alpha, beta=beta).cycles
+            ratios.append(cycles / base)
+        rows.append((f"a={alpha:g}, b={beta:g}", round(geometric_mean(ratios), 3)))
+    return FigureResult(
+        figure="Ablation: alpha/beta scheduling weights (combined scheme, vs Base)",
+        headers=("weights", "normalized cycles"),
+        rows=tuple(rows),
+        notes="paper: equal weights generated the best results.",
+    )
+
+
+if __name__ == "__main__":
+    print(run().table())

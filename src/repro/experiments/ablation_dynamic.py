@@ -1,0 +1,51 @@
+"""Ablation (Section 5 text): dynamic self-scheduling vs static mapping.
+
+"Our initial experience with dynamic scheduling schemes like [Markatos &
+LeBlanc] did not generate good results on the Harpertown and Dunnington
+machines, mostly due to the cost of dynamic iteration distribution."
+We compare central-queue self-scheduling (several chunk sizes) against
+Base and TopologyAware on Dunnington.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.harness import FigureResult, geometric_mean, run_scheme, sim_machine
+from repro.sim.dynamic import simulate_dynamic
+from repro.topology.machines import dunnington
+from repro.workloads import all_workloads
+
+CHUNKS = (32, 128, 512)
+DEFAULT_APPS = ("galgel", "equake", "facesim", "namd", "h264", "applu")
+
+
+def run(apps: Sequence[str] | None = None) -> FigureResult:
+    names = tuple(apps) if apps is not None else DEFAULT_APPS
+    selected = [w for w in all_workloads() if w.name in names]
+    machine = sim_machine(dunnington())
+    rows = []
+    ta_ratios = []
+    dyn_ratios: dict[int, list[float]] = {c: [] for c in CHUNKS}
+    for app in selected:
+        base = run_scheme(app, "base", machine).cycles
+        ta_ratios.append(run_scheme(app, "ta", machine).cycles / base)
+        for chunk in CHUNKS:
+            dyn = simulate_dynamic(app.nest(), machine, chunk_iterations=chunk)
+            dyn_ratios[chunk].append(dyn.cycles / base)
+    for chunk in CHUNKS:
+        rows.append(
+            (f"dynamic, {chunk}-iteration chunks", round(geometric_mean(dyn_ratios[chunk]), 3))
+        )
+    rows.append(("TopologyAware (static)", round(geometric_mean(ta_ratios), 3)))
+    return FigureResult(
+        figure="Ablation: dynamic self-scheduling vs static mapping (Dunnington, vs Base)",
+        headers=("scheme", "normalized cycles"),
+        rows=tuple(rows),
+        notes="paper: dynamic schemes 'did not generate good results ... "
+        "mostly due to the cost of dynamic iteration distribution'.",
+    )
+
+
+if __name__ == "__main__":
+    print(run().table())

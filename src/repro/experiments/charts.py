@@ -1,0 +1,66 @@
+"""ASCII bar charts for figure results.
+
+The paper's figures are normalized bar charts; for terminal-friendly
+reports we render the same data as horizontal bars.  Used by the CLI and
+by ``run_all --charts``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ExperimentError
+
+
+def bar_chart(
+    series: Mapping[str, float] | Sequence[tuple[str, float]],
+    title: str | None = None,
+    width: int = 48,
+    reference: float | None = 1.0,
+    fill: str = "#",
+) -> str:
+    """Horizontal bar chart of labelled values.
+
+    ``reference`` draws a tick at that value (the Base = 1.0 line of the
+    paper's normalized charts); bars are scaled so the largest value (or
+    the reference, if larger) spans ``width`` characters.
+    """
+    items = list(series.items()) if isinstance(series, Mapping) else list(series)
+    if not items:
+        raise ExperimentError("nothing to chart")
+    if width < 8:
+        raise ExperimentError("chart width must be at least 8")
+    top = max(v for _, v in items)
+    if reference is not None:
+        top = max(top, reference)
+    if top <= 0:
+        raise ExperimentError("chart values must include a positive value")
+    label_width = max(len(label) for label, _ in items)
+
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in items:
+        bar_len = max(0, round(value / top * width))
+        bar = fill * bar_len
+        if reference is not None:
+            ref_pos = round(reference / top * width)
+            if ref_pos >= len(bar):
+                bar = bar.ljust(ref_pos) + "|"
+            else:
+                bar = bar[:ref_pos] + "|" + bar[ref_pos + 1 :]
+        lines.append(f"{label.ljust(label_width)}  {value:7.3f}  {bar}")
+    return "\n".join(lines)
+
+
+def figure_chart(result, value_column: str, label_column: str | None = None) -> str:
+    """Chart one numeric column of a FigureResult."""
+    labels = result.column(label_column) if label_column else result.column(result.headers[0])
+    values = result.column(value_column)
+    pairs = []
+    for label, value in zip(labels, values):
+        if isinstance(value, (int, float)):
+            pairs.append((str(label), float(value)))
+    if not pairs:
+        raise ExperimentError(f"column {value_column!r} has no numeric values")
+    return bar_chart(pairs, title=f"{result.figure} — {value_column}")

@@ -1,0 +1,90 @@
+"""Figure 13: the headline result — Base / Base+ / TopologyAware on the
+three commercial machines, all twelve applications.
+
+The paper reports average improvements of TopologyAware over Base / Base+
+of 28%/16% (Harpertown), 29%/17% (Nehalem), 30%/21% (Dunnington), and, on
+Dunnington, cache-miss reductions over Base of 18% (L1), 39% (L2), 47%
+(L3) — 16%/31%/37% over Base+.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.harness import (
+    FigureResult,
+    geometric_mean,
+    run_scheme,
+    sim_machine,
+)
+from repro.topology.machines import commercial_machines
+from repro.workloads import all_workloads
+
+SCHEMES = ("base", "base+", "ta")
+
+
+def run(apps: Sequence[str] | None = None) -> FigureResult:
+    selected = [w for w in all_workloads() if apps is None or w.name in apps]
+    machines = [sim_machine(m) for m in commercial_machines()]
+    rows = []
+    ratios: dict[tuple[str, str], list[float]] = {}
+    for app in selected:
+        row = [app.name]
+        for machine in machines:
+            base = run_scheme(app, "base", machine).cycles
+            for scheme in ("base+", "ta"):
+                ratio = run_scheme(app, scheme, machine).cycles / base
+                row.append(round(ratio, 3))
+                ratios.setdefault((machine.name, scheme), []).append(ratio)
+        rows.append(tuple(row))
+
+    avg_row = ["MEAN"]
+    for machine in machines:
+        for scheme in ("base+", "ta"):
+            avg_row.append(round(geometric_mean(ratios[(machine.name, scheme)]), 3))
+    rows.append(tuple(avg_row))
+
+    headers = ["application"]
+    for machine in machines:
+        short = machine.name.split("-x")[0][:4]
+        headers += [f"{short}:base+", f"{short}:ta"]
+    return FigureResult(
+        figure="Figure 13: execution cycles normalized to Base",
+        headers=tuple(headers),
+        rows=tuple(rows),
+        notes="paper means (ta vs base / ta vs base+): harpertown 0.72/0.84, "
+        "nehalem 0.71/0.83, dunnington 0.70/0.79.",
+    )
+
+
+def miss_reductions(apps: Sequence[str] | None = None) -> FigureResult:
+    """The Dunnington cache-miss reduction companion numbers."""
+    from repro.topology.machines import dunnington
+
+    selected = [w for w in all_workloads() if apps is None or w.name in apps]
+    machine = sim_machine(dunnington())
+    levels = ("L1", "L2", "L3")
+    sums: dict[tuple[str, str], int] = {}
+    for app in selected:
+        for scheme in SCHEMES:
+            result = run_scheme(app, scheme, machine)
+            for level in levels:
+                key = (scheme, level)
+                sums[key] = sums.get(key, 0) + result.level(level).misses
+    rows = []
+    for level in levels:
+        vs_base = 1 - sums[("ta", level)] / sums[("base", level)]
+        vs_bp = 1 - sums[("ta", level)] / sums[("base+", level)]
+        rows.append((level, f"{100 * vs_base:.1f}%", f"{100 * vs_bp:.1f}%"))
+    return FigureResult(
+        figure="Figure 13 companion: Dunnington miss reductions by TopologyAware",
+        headers=("level", "vs Base", "vs Base+"),
+        rows=tuple(rows),
+        notes="paper: 18%/39%/47% vs Base and 16%/31%/37% vs Base+ (L1/L2/L3).",
+    )
+
+
+if __name__ == "__main__":
+    print(run().table())
+    print()
+    print(miss_reductions().table())

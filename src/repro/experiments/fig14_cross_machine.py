@@ -1,0 +1,60 @@
+"""Figure 14: cost of running a version tuned for one machine on another.
+
+For each execution machine we run the two foreign TopologyAware versions
+(generated at their native thread counts and ported naively, see
+Figure 2) and normalize to the native version.  The paper reports average
+degradations of 17%/31% (Nehalem/Dunnington versions on Harpertown),
+25%/19% (Harpertown/Dunnington versions on Nehalem) and 24%/21%
+(Harpertown/Nehalem versions on Dunnington).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.harness import (
+    FigureResult,
+    geometric_mean,
+    run_version,
+    sim_machine,
+)
+from repro.experiments.versions import version_machine
+from repro.topology.machines import commercial_machines
+from repro.workloads import all_workloads
+
+NATIVE_THREADS = {"harpertown": 8, "nehalem": 8, "dunnington": 12}
+PATTERNS = ("harpertown", "nehalem", "dunnington")
+
+
+def run(apps: Sequence[str] | None = None) -> FigureResult:
+    selected = [w for w in all_workloads() if apps is None or w.name in apps]
+    rows = []
+    for target in commercial_machines():
+        target_sim = sim_machine(target)
+        native_pattern = target.name
+        foreign = [p for p in PATTERNS if p != native_pattern]
+        per_version: dict[str, list[float]] = {p: [] for p in foreign}
+        for app in selected:
+            native_machine = sim_machine(
+                version_machine(native_pattern, NATIVE_THREADS[native_pattern])
+            )
+            native = run_version(app, native_machine, target_sim).cycles
+            for pattern in foreign:
+                version = sim_machine(version_machine(pattern, NATIVE_THREADS[pattern]))
+                cycles = run_version(app, version, target_sim).cycles
+                per_version[pattern].append(cycles / native)
+        row = [target.name]
+        for pattern in foreign:
+            row.append(f"{pattern}: {geometric_mean(per_version[pattern]):.3f}")
+        rows.append(tuple(row))
+    return FigureResult(
+        figure="Figure 14: foreign version cost, normalized to the native version",
+        headers=("run on", "foreign version A", "foreign version B"),
+        rows=tuple(rows),
+        notes="paper: harpertown 1.17 (nehalem ver) / 1.31 (dunnington ver); "
+        "nehalem 1.25 / 1.19; dunnington 1.24 / 1.21.",
+    )
+
+
+if __name__ == "__main__":
+    print(run().table())

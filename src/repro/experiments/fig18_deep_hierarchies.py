@@ -1,0 +1,58 @@
+"""Figure 18: deeper on-chip cache hierarchies (Default / Arch-I / Arch-II).
+
+The paper simulates the Figure 12 architectures and finds TopologyAware
+performs better (relative to the baselines) the deeper the hierarchy —
+the best improvements come on Arch-II.
+
+Like the other forward-looking simulation study (Figure 17), this
+experiment enables the simulator's shared-port contention model: Arch-I
+and Arch-II carry 16 and 32 cores behind their shared components, and
+contention is part of what a cycle-accurate platform such as GEMS
+charges schemes that miss more above the shared levels.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.harness import FigureResult, geometric_mean, run_scheme, sim_machine
+from repro.topology.machines import arch_i, arch_ii, dunnington
+from repro.workloads import all_workloads
+
+
+def run(apps: Sequence[str] | None = None) -> FigureResult:
+    selected = [w for w in all_workloads() if apps is None or w.name in apps]
+    rows = []
+    for machine_builder, label in (
+        (dunnington, "Default (Dunnington)"),
+        (arch_i, "Arch-I (4 levels)"),
+        (arch_ii, "Arch-II (5 levels)"),
+    ):
+        machine = sim_machine(machine_builder())
+        ratios_bp, ratios_ta = [], []
+        for app in selected:
+            base = run_scheme(app, "base", machine, port_occupancy=2).cycles
+            ratios_bp.append(
+                run_scheme(app, "base+", machine, port_occupancy=2).cycles / base
+            )
+            ratios_ta.append(
+                run_scheme(app, "ta", machine, port_occupancy=2).cycles / base
+            )
+        rows.append(
+            (
+                label,
+                round(geometric_mean(ratios_bp), 3),
+                round(geometric_mean(ratios_ta), 3),
+            )
+        )
+    return FigureResult(
+        figure="Figure 18: deeper hierarchies (vs Base on the same machine)",
+        headers=("architecture", "Base+", "TopologyAware"),
+        rows=tuple(rows),
+        notes="paper: TopologyAware's edge grows with hierarchy depth; "
+        "best on Arch-II.",
+    )
+
+
+if __name__ == "__main__":
+    print(run().table())

@@ -1,0 +1,90 @@
+"""Run every experiment and print the full report.
+
+Usage::
+
+    python -m repro.experiments.run_all            # everything (slow)
+    python -m repro.experiments.run_all --quick    # 6-app subset
+    python -m repro.experiments.run_all --charts   # + ASCII bar charts
+
+The shared result cache makes later figures cheap where they revisit the
+same (workload, machine, scheme) runs.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import tables
+from repro.experiments import (
+    ablation_alpha_beta,
+    ablation_clustering,
+    ablation_compile_time,
+    ablation_dynamic,
+    fig02_motivation,
+    fig13_main,
+    fig14_cross_machine,
+    fig15_scheduling,
+    fig16_blocksize,
+    fig17_cores,
+    fig18_deep_hierarchies,
+    fig19_small_caches,
+    fig20_levels_optimal,
+)
+
+QUICK_APPS = ("galgel", "equake", "facesim", "namd", "h264", "applu")
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    quick = "--quick" in argv
+    charts = "--charts" in argv
+    apps = QUICK_APPS if quick else None
+
+    steps = [
+        ("Table 1", lambda: tables.table1()),
+        ("Table 2", lambda: tables.table2()),
+        ("Figure 2", lambda: fig02_motivation.run()),
+        ("Figure 13", lambda: fig13_main.run(apps)),
+        ("Figure 13 (misses)", lambda: fig13_main.miss_reductions(apps)),
+        ("Figure 14", lambda: fig14_cross_machine.run(apps)),
+        ("Figure 15", lambda: fig15_scheduling.run(apps)),
+        ("Figure 16", lambda: fig16_blocksize.run(apps)),
+        ("Figure 17", lambda: fig17_cores.run(apps)),
+        ("Figure 18", lambda: fig18_deep_hierarchies.run(apps)),
+        ("Figure 19", lambda: fig19_small_caches.run(apps)),
+        ("Figure 20", lambda: fig20_levels_optimal.run(apps)),
+        ("Ablation a/b", lambda: ablation_alpha_beta.run()),
+        ("Ablation compile time", lambda: ablation_compile_time.run(apps)),
+        ("Ablation dynamic", lambda: ablation_dynamic.run(apps)),
+        ("Ablation clustering", lambda: ablation_clustering.run(apps)),
+    ]
+    for label, runner in steps:
+        t0 = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - t0
+        print(result.table())
+        if charts:
+            _maybe_chart(result)
+        print(f"[{label}: {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+def _maybe_chart(result) -> None:
+    """Chart the last numeric column, when one exists."""
+    from repro.errors import ExperimentError
+    from repro.experiments.charts import figure_chart
+
+    for header in reversed(result.headers):
+        try:
+            chart = figure_chart(result, header)
+        except ExperimentError:
+            continue
+        print()
+        print(chart)
+        return
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Loop-nest intermediate representation.
+
+This is the middle-end view of a program that the paper's pass consumes:
+
+* :class:`~repro.ir.arrays.Array` — a declared array and its data space
+  ``D`` (Section 3.2);
+* :class:`~repro.ir.accesses.ArrayAccess` — an affine reference ``R``
+  mapping iterations to array elements;
+* :class:`~repro.ir.loops.LoopNest` — a perfect/imperfect nest flattened to
+  its iteration space ``K`` (an :class:`~repro.poly.intset.IntSet`) plus the
+  accesses executed by each iteration;
+* :class:`~repro.ir.loops.Program` — arrays + nests;
+* :mod:`repro.ir.dependences` — dependence testing (GCD filter plus exact
+  polyhedral test) used by the parallelization step and by the
+  dependence-aware scheduler of Section 3.5.2.
+"""
+
+from repro.ir.arrays import Array
+from repro.ir.accesses import ArrayAccess
+from repro.ir.loops import LoopNest, Program
+from repro.ir.dependences import (
+    DependencePair,
+    gcd_filter,
+    has_loop_carried_dependence,
+    iteration_dependences,
+)
+
+__all__ = [
+    "Array",
+    "ArrayAccess",
+    "LoopNest",
+    "Program",
+    "DependencePair",
+    "gcd_filter",
+    "has_loop_carried_dependence",
+    "iteration_dependences",
+]

@@ -1,0 +1,112 @@
+"""Affine array references (the paper's mappings ``R``)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import IRError
+from repro.ir.arrays import Array
+from repro.poly.affine import AffineExpr
+from repro.poly.relation import AffineMap
+
+
+class ArrayAccess:
+    """One textual array reference inside a loop nest.
+
+    ``subscripts[k]`` gives array dimension ``k`` as an affine expression
+    over the nest's loop variables; ``is_write`` distinguishes the
+    assignment target from the uses.  ``R(I)`` in the paper is
+    :meth:`element`.
+    """
+
+    __slots__ = ("array", "loop_dims", "subscripts", "is_write", "_map")
+
+    def __init__(
+        self,
+        array: Array,
+        loop_dims: Sequence[str],
+        subscripts: Sequence[AffineExpr | int | str],
+        is_write: bool = False,
+    ):
+        loop_dims = tuple(loop_dims)
+        coerced = tuple(AffineExpr.coerce(s) for s in subscripts)
+        if len(coerced) != array.rank:
+            raise IRError(
+                f"array {array.name!r} has rank {array.rank}, got {len(coerced)} subscripts"
+            )
+        loop_set = set(loop_dims)
+        for expr in coerced:
+            extra = expr.variables() - loop_set
+            if extra:
+                raise IRError(
+                    f"subscript {expr} of {array.name!r} uses non-loop variables {sorted(extra)}"
+                )
+        out_dims = tuple(f"{array.name}_d{k}" for k in range(array.rank))
+        object.__setattr__(self, "array", array)
+        object.__setattr__(self, "loop_dims", loop_dims)
+        object.__setattr__(self, "subscripts", coerced)
+        object.__setattr__(self, "is_write", is_write)
+        object.__setattr__(self, "_map", AffineMap(loop_dims, out_dims, coerced))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ArrayAccess is immutable")
+
+    @property
+    def access_map(self) -> AffineMap:
+        """The reference as an affine map from iterations to array indices."""
+        return self._map
+
+    def element(self, iteration: Sequence[int]) -> tuple[int, ...]:
+        """Array element touched by ``iteration`` (R(I))."""
+        return self._map.apply(tuple(iteration))
+
+    def element_offset(self, iteration: Sequence[int]) -> int:
+        """Flat element offset within the array for ``iteration``."""
+        return self.array.linear_offset(self.element(iteration))
+
+    def offset_form(self) -> tuple[int, tuple[int, ...]]:
+        """Flat element offset as a linear form over the loop dims.
+
+        Returns ``(constant, coeffs)`` with ``offset(I) = constant +
+        sum(coeffs[k] * I[k])``.  This is the unchecked fast path for hot
+        loops (tagging, trace generation); validate the nest with
+        :meth:`repro.ir.loops.LoopNest.validate_access_bounds` first.
+        """
+        strides = self.array._strides
+        constant = 0
+        coeffs = [0] * len(self.loop_dims)
+        for subscript, stride in zip(self.subscripts, strides):
+            constant += subscript.constant * stride
+            for k, dim in enumerate(self.loop_dims):
+                coeffs[k] += subscript.coeff(dim) * stride
+        return constant, tuple(coeffs)
+
+    def is_uniform_with(self, other: ArrayAccess) -> bool:
+        """True if the two references differ only by a constant vector.
+
+        Uniform reference pairs (e.g. ``A[i][j]`` and ``A[i+1][j-1]``)
+        admit constant dependence distances.
+        """
+        if self.array != other.array or self.loop_dims != other.loop_dims:
+            return False
+        return all(
+            (a - b).is_constant() for a, b in zip(self.subscripts, other.subscripts)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArrayAccess):
+            return NotImplemented
+        return (
+            self.array == other.array
+            and self.loop_dims == other.loop_dims
+            and self.subscripts == other.subscripts
+            and self.is_write == other.is_write
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.array, self.loop_dims, self.subscripts, self.is_write))
+
+    def __repr__(self) -> str:
+        subs = "".join(f"[{s}]" for s in self.subscripts)
+        kind = "W" if self.is_write else "R"
+        return f"ArrayAccess({kind}:{self.array.name}{subs})"

@@ -1,0 +1,104 @@
+"""Array declarations and data spaces.
+
+An :class:`Array` owns a rectangular data space ``D`` (the paper's
+``D = {(d1, d2) | 0 <= d1 <= D1-1 and 0 <= d2 <= D2-1}``) and knows how to
+linearize an element index into a flat element offset (row-major), which
+the data-block partitioner and the cache simulator build on.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.poly.intset import IntSet
+
+
+class Array:
+    """A declared array: name, extents, element size in bytes."""
+
+    __slots__ = ("name", "extents", "element_size", "_strides")
+
+    def __init__(self, name: str, extents: tuple[int, ...] | list[int], element_size: int = 8):
+        extents = tuple(extents)
+        if not extents:
+            raise IRError(f"array {name!r} must have at least one dimension")
+        if any(e <= 0 for e in extents):
+            raise IRError(f"array {name!r} has non-positive extent in {extents}")
+        if element_size <= 0:
+            raise IRError(f"array {name!r} has non-positive element size {element_size}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "extents", extents)
+        object.__setattr__(self, "element_size", element_size)
+        strides = [1] * len(extents)
+        for k in range(len(extents) - 2, -1, -1):
+            strides[k] = strides[k + 1] * extents[k + 1]
+        object.__setattr__(self, "_strides", tuple(strides))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Array is immutable")
+
+    @property
+    def rank(self) -> int:
+        return len(self.extents)
+
+    @property
+    def size_elements(self) -> int:
+        total = 1
+        for extent in self.extents:
+            total *= extent
+        return total
+
+    @property
+    def size_bytes(self) -> int:
+        return self.size_elements * self.element_size
+
+    def data_space(self, dim_names: tuple[str, ...] | None = None) -> IntSet:
+        """The data space D as an integer box."""
+        if dim_names is None:
+            dim_names = tuple(f"{self.name}_d{k}" for k in range(self.rank))
+        if len(dim_names) != self.rank:
+            raise IRError(f"need {self.rank} dim names, got {len(dim_names)}")
+        return IntSet.box(dim_names, [(0, e - 1) for e in self.extents])
+
+    def contains(self, index: tuple[int, ...]) -> bool:
+        if len(index) != self.rank:
+            return False
+        return all(0 <= v < e for v, e in zip(index, self.extents))
+
+    def linear_offset(self, index: tuple[int, ...]) -> int:
+        """Row-major element offset of an index (bounds-checked)."""
+        if len(index) != self.rank:
+            raise IRError(
+                f"array {self.name!r} has rank {self.rank}, index has {len(index)} coords"
+            )
+        offset = 0
+        for value, extent, stride in zip(index, self.extents, self._strides):
+            if not 0 <= value < extent:
+                raise IRError(f"index {index} out of bounds for array {self.name!r} {self.extents}")
+            offset += value * stride
+        return offset
+
+    def index_of_offset(self, offset: int) -> tuple[int, ...]:
+        """Inverse of :meth:`linear_offset`."""
+        if not 0 <= offset < self.size_elements:
+            raise IRError(f"offset {offset} out of range for array {self.name!r}")
+        index = []
+        for stride in self._strides:
+            index.append(offset // stride)
+            offset %= stride
+        return tuple(index)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Array):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.extents == other.extents
+            and self.element_size == other.element_size
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.extents, self.element_size))
+
+    def __repr__(self) -> str:
+        dims = "".join(f"[{e}]" for e in self.extents)
+        return f"Array({self.name}{dims}, {self.element_size}B)"

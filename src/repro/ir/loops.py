@@ -1,0 +1,154 @@
+"""Loop nests and whole programs in the middle-end IR.
+
+A :class:`LoopNest` is the unit the paper's pass operates on: an iteration
+space ``K`` (a bounded :class:`~repro.poly.intset.IntSet` whose dims are
+the loop variables, outermost first) plus the affine accesses each
+iteration performs.  Strided source loops are normalized to unit stride by
+the frontend before reaching this IR.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.errors import IRError
+from repro.ir.accesses import ArrayAccess
+from repro.ir.arrays import Array
+from repro.poly.intset import IntSet
+
+
+class LoopNest:
+    """One parallel candidate loop nest."""
+
+    __slots__ = ("name", "dims", "space", "accesses", "parallel")
+
+    def __init__(
+        self,
+        name: str,
+        space: IntSet,
+        accesses: Sequence[ArrayAccess],
+        parallel: bool = True,
+    ):
+        accesses = tuple(accesses)
+        for access in accesses:
+            if access.loop_dims != space.dims:
+                raise IRError(
+                    f"access {access!r} is over dims {access.loop_dims}, "
+                    f"nest {name!r} has dims {space.dims}"
+                )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "dims", space.dims)
+        object.__setattr__(self, "space", space)
+        object.__setattr__(self, "accesses", accesses)
+        object.__setattr__(self, "parallel", parallel)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("LoopNest is immutable")
+
+    @property
+    def depth(self) -> int:
+        return len(self.dims)
+
+    def iterations(self) -> Iterator[tuple[int, ...]]:
+        """Iterations of ``K`` in original (lexicographic) execution order."""
+        return self.space.points()
+
+    def iteration_count(self) -> int:
+        return self.space.count()
+
+    def arrays(self) -> tuple[Array, ...]:
+        """Distinct arrays referenced by this nest, in first-use order."""
+        seen: dict[str, Array] = {}
+        for access in self.accesses:
+            seen.setdefault(access.array.name, access.array)
+        return tuple(seen.values())
+
+    def reads(self) -> tuple[ArrayAccess, ...]:
+        return tuple(a for a in self.accesses if not a.is_write)
+
+    def writes(self) -> tuple[ArrayAccess, ...]:
+        return tuple(a for a in self.accesses if a.is_write)
+
+    def validate_access_bounds(self) -> None:
+        """Prove every reference stays inside its array, or raise.
+
+        Uses the iteration space's (sound, over-approximating) bounding
+        box, so a pass here guarantees the unchecked fast offset path
+        (:meth:`~repro.ir.accesses.ArrayAccess.offset_form`) never
+        aliases; a raise may be spurious for non-rectangular spaces but is
+        never unsafely silent.
+        """
+        box = self.space.bounding_box()
+        for access in self.accesses:
+            for dim_index, subscript in enumerate(access.subscripts):
+                lo = hi = subscript.constant
+                for k, dim in enumerate(self.dims):
+                    coeff = subscript.coeff(dim)
+                    lo += min(coeff * box[k][0], coeff * box[k][1])
+                    hi += max(coeff * box[k][0], coeff * box[k][1])
+                extent = access.array.extents[dim_index]
+                if lo < 0 or hi >= extent:
+                    raise IRError(
+                        f"nest {self.name!r}: reference {access!r} dimension "
+                        f"{dim_index} spans [{lo}, {hi}] outside [0, {extent - 1}]"
+                    )
+
+    def touched_elements(self, iteration: tuple[int, ...]) -> list[tuple[str, tuple[int, ...], bool]]:
+        """(array name, element index, is_write) for each access at ``iteration``."""
+        return [(a.array.name, a.element(iteration), a.is_write) for a in self.accesses]
+
+    def __repr__(self) -> str:
+        return (
+            f"LoopNest({self.name!r}, dims={self.dims}, "
+            f"{len(self.accesses)} accesses, parallel={self.parallel})"
+        )
+
+
+class Program:
+    """A compiled program: declared arrays plus its loop nests."""
+
+    __slots__ = ("name", "arrays", "nests", "params")
+
+    def __init__(
+        self,
+        name: str,
+        arrays: Sequence[Array],
+        nests: Sequence[LoopNest],
+        params: dict[str, int] | None = None,
+    ):
+        array_map: dict[str, Array] = {}
+        for array in arrays:
+            if array.name in array_map:
+                raise IRError(f"duplicate array {array.name!r}")
+            array_map[array.name] = array
+        for nest in nests:
+            for access in nest.accesses:
+                declared = array_map.get(access.array.name)
+                if declared is None:
+                    raise IRError(
+                        f"nest {nest.name!r} references undeclared array {access.array.name!r}"
+                    )
+                if declared != access.array:
+                    raise IRError(
+                        f"nest {nest.name!r} disagrees with declaration of {access.array.name!r}"
+                    )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "arrays", dict(array_map))
+        object.__setattr__(self, "nests", tuple(nests))
+        object.__setattr__(self, "params", dict(params or {}))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Program is immutable")
+
+    def total_data_bytes(self) -> int:
+        """Size of all declared data (the paper's 'total data manipulated')."""
+        return sum(a.size_bytes for a in self.arrays.values())
+
+    def nest(self, name: str) -> LoopNest:
+        for nest in self.nests:
+            if nest.name == name:
+                return nest
+        raise IRError(f"no nest named {name!r}")
+
+    def __repr__(self) -> str:
+        return f"Program({self.name!r}, {len(self.arrays)} arrays, {len(self.nests)} nests)"

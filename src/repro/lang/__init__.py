@@ -1,0 +1,32 @@
+"""Frontend for a C-like affine loop language.
+
+The paper implements its pass inside Microsoft Phoenix; this package is our
+stand-in frontend.  It accepts the pseudo-C the paper writes its examples in
+(Figures 4 and 5):
+
+.. code-block:: c
+
+    param Q1 = 8;
+    param Q2 = 16;
+    array A[Q1 + 1][Q2 + 2];
+
+    parallel for (i1 = 0; i1 < Q1; i1++)
+      for (i2 = 2; i2 < Q2 + 2; i2++)
+        A[i1 + 1][i2 - 1] = A[i1 + 1][i2 - 1] + 1;
+
+and produces the loop-nest IR of :mod:`repro.ir`: iteration spaces as
+polyhedral :class:`~repro.poly.intset.IntSet` objects and array references
+as affine maps, which is exactly the view the paper's middle-end pass
+consumes.
+
+Pipeline: :func:`tokenize` -> :func:`parse` -> :func:`analyze` ->
+:func:`~repro.lang.lowering.lower_program`.  :func:`compile_source` runs the
+whole pipeline.
+"""
+
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.semantic import analyze
+from repro.lang.lowering import compile_source, lower_program
+
+__all__ = ["tokenize", "parse", "analyze", "compile_source", "lower_program"]

@@ -1,0 +1,152 @@
+"""AST node definitions for the affine loop language.
+
+All nodes carry the source line of their first token for diagnostics.
+Expression nodes form a conventional arithmetic tree; statements are
+assignments (possibly compound ``+=``/``-=``) and ``for`` loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Node:
+    line: int
+
+
+# -- expressions ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    ident: str
+
+    def __str__(self) -> str:
+        return self.ident
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # '+', '-', '*', '/', '%'
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # '-'
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    array: str
+    subscripts: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        subs = "".join(f"[{s}]" for s in self.subscripts)
+        return f"{self.array}{subs}"
+
+
+# -- statements -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``target = value`` (or ``target op= value`` desugared with ``op``)."""
+
+    target: ArrayRef
+    value: Expr
+    op: str = "="  # '=', '+=', '-='
+
+    def __str__(self) -> str:
+        return f"{self.target} {self.op} {self.value};"
+
+
+@dataclass(frozen=True)
+class ForLoop(Stmt):
+    """``for (var = lower; var < upper; var += step) body``.
+
+    ``upper_strict`` records whether the source wrote ``<`` (True) or
+    ``<=`` (False).  ``parallel`` marks an explicitly parallel loop
+    (``parallel for``).
+    """
+
+    var: str
+    lower: Expr
+    upper: Expr
+    upper_strict: bool
+    step: int
+    body: tuple[Stmt, ...]
+    parallel: bool = False
+
+    def __str__(self) -> str:
+        cmp = "<" if self.upper_strict else "<="
+        head = "parallel for" if self.parallel else "for"
+        inc = f"{self.var}++" if self.step == 1 else f"{self.var} += {self.step}"
+        body = " ".join(str(s) for s in self.body)
+        return f"{head} ({self.var} = {self.lower}; {self.var} {cmp} {self.upper}; {inc}) {{ {body} }}"
+
+
+# -- declarations / program --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParamDecl(Node):
+    """``param N = 100;`` — a compile-time integer constant."""
+
+    name: str
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"param {self.name} = {self.value};"
+
+
+@dataclass(frozen=True)
+class ArrayDeclNode(Node):
+    """``array A[E1][E2];`` — extents are affine in previously bound params."""
+
+    name: str
+    extents: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        dims = "".join(f"[{e}]" for e in self.extents)
+        return f"array {self.name}{dims};"
+
+
+@dataclass(frozen=True)
+class ProgramNode(Node):
+    params: tuple[ParamDecl, ...]
+    arrays: tuple[ArrayDeclNode, ...]
+    loops: tuple[ForLoop, ...] = field(default=())
+
+    def __str__(self) -> str:
+        parts = [str(p) for p in self.params]
+        parts += [str(a) for a in self.arrays]
+        parts += [str(l) for l in self.loops]
+        return "\n".join(parts)

@@ -1,0 +1,104 @@
+"""Hand-written lexer for the affine loop language.
+
+Supports ``//`` line comments and ``/* ... */`` block comments, decimal
+integer literals, C identifiers, and the operator/punctuation set listed in
+:mod:`repro.lang.tokens`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.lang.tokens import KEYWORDS, Token, TokenType
+
+# Multi-character operators first so maximal munch works by length.
+_OPERATORS = [
+    ("++", TokenType.INCREMENT),
+    ("--", TokenType.DECREMENT),
+    ("+=", TokenType.PLUS_ASSIGN),
+    ("-=", TokenType.MINUS_ASSIGN),
+    ("<=", TokenType.LE),
+    (">=", TokenType.GE),
+    ("==", TokenType.EQ),
+    ("!=", TokenType.NE),
+    ("+", TokenType.PLUS),
+    ("-", TokenType.MINUS),
+    ("*", TokenType.STAR),
+    ("/", TokenType.SLASH),
+    ("%", TokenType.PERCENT),
+    ("=", TokenType.ASSIGN),
+    ("<", TokenType.LT),
+    (">", TokenType.GT),
+    ("(", TokenType.LPAREN),
+    (")", TokenType.RPAREN),
+    ("[", TokenType.LBRACKET),
+    ("]", TokenType.RBRACKET),
+    ("{", TokenType.LBRACE),
+    ("}", TokenType.RBRACE),
+    (";", TokenType.SEMI),
+    (",", TokenType.COMMA),
+]
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; the result always ends with an EOF token."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+
+    def column() -> int:
+        return pos - line_start + 1
+
+    while pos < n:
+        ch = source[pos]
+        if ch == "\n":
+            pos += 1
+            line += 1
+            line_start = pos
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = n if end == -1 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line, column())
+            for k in range(pos, end):
+                if source[k] == "\n":
+                    line += 1
+                    line_start = k + 1
+            pos = end + 2
+            continue
+        if ch.isdigit():
+            start = pos
+            while pos < n and source[pos].isdigit():
+                pos += 1
+            if pos < n and (source[pos].isalpha() or source[pos] == "_"):
+                raise LexError(
+                    f"invalid number literal {source[start:pos + 1]!r}", line, start - line_start + 1
+                )
+            tokens.append(Token(TokenType.NUMBER, source[start:pos], line, start - line_start + 1))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < n and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            ttype = KEYWORDS.get(text, TokenType.IDENT)
+            tokens.append(Token(ttype, text, line, start - line_start + 1))
+            continue
+        for text, ttype in _OPERATORS:
+            if source.startswith(text, pos):
+                tokens.append(Token(ttype, text, line, column()))
+                pos += len(text)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, column())
+
+    tokens.append(Token(TokenType.EOF, "", line, column()))
+    return tokens

@@ -1,0 +1,151 @@
+"""Lowering: validated AST -> loop-nest IR.
+
+The lowering pass
+
+* normalizes strided loops to unit-stride counters (``for (i = L; i < U;
+  i += s)`` becomes counter ``i' >= 0`` with constraint ``s*i' <= U-1-L``
+  and every use of ``i`` rewritten to ``L + s*i'`` — the constraint stays
+  affine, so the iteration space remains a polyhedron);
+* flattens each top-level ``for`` into one :class:`~repro.ir.loops.LoopNest`
+  whose iteration space conjoins all level bounds;
+* turns every textual array reference into an
+  :class:`~repro.ir.accesses.ArrayAccess` (compound assignments contribute
+  both a read and a write of the target).
+
+Supported shape: perfect nests — statements may appear only at the
+innermost level.  This covers the paper's target programs (its examples,
+Figures 4 and 5, are perfect nests) and keeps iteration tagging exact.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SemanticError
+from repro.ir.accesses import ArrayAccess
+from repro.ir.arrays import Array
+from repro.ir.loops import LoopNest, Program
+from repro.lang.ast_nodes import Assign, ForLoop
+from repro.lang.parser import parse
+from repro.lang.semantic import SemanticInfo, analyze, to_affine
+from repro.poly.affine import AffineExpr
+from repro.poly.constraints import Constraint
+from repro.poly.intset import IntSet
+
+
+def compile_source(
+    source: str, name: str = "program", element_size: int = 8
+) -> Program:
+    """Full pipeline: source text -> :class:`~repro.ir.loops.Program`."""
+    info = analyze(parse(source))
+    return lower_program(info, name=name, element_size=element_size)
+
+
+def lower_program(
+    info: SemanticInfo, name: str = "program", element_size: int = 8
+) -> Program:
+    """Lower a validated AST into the IR."""
+    arrays = {
+        arr_name: Array(arr_name, extents, element_size)
+        for arr_name, extents in info.array_extents.items()
+    }
+    nests = []
+    for index, loop in enumerate(info.program.loops):
+        nest_name = f"{name}_nest{index}" if len(info.program.loops) > 1 else name
+        nests.append(_lower_nest(loop, nest_name, info, arrays))
+    return Program(name, list(arrays.values()), nests, info.params)
+
+
+def _lower_nest(
+    loop: ForLoop,
+    nest_name: str,
+    info: SemanticInfo,
+    arrays: dict[str, Array],
+) -> LoopNest:
+    dims: list[str] = []
+    constraints: list[Constraint] = []
+    # Maps source variable name -> expression over normalized counters.
+    substitution: dict[str, AffineExpr] = {}
+    assigns: list[Assign] = []
+    _walk_nest(loop, info, dims, constraints, substitution, assigns)
+
+    space = IntSet(tuple(dims), constraints)
+    accesses: list[ArrayAccess] = []
+    for stmt in assigns:
+        accesses.extend(_lower_assign(stmt, info, arrays, tuple(dims), substitution))
+    return LoopNest(nest_name, space, accesses, parallel=loop.parallel)
+
+
+def _walk_nest(
+    loop: ForLoop,
+    info: SemanticInfo,
+    dims: list[str],
+    constraints: list[Constraint],
+    substitution: dict[str, AffineExpr],
+    assigns: list[Assign],
+) -> None:
+    variables = set(substitution)
+    lower = to_affine(loop.lower, info.params, variables).substitute(substitution)
+    upper = to_affine(loop.upper, info.params, variables).substitute(substitution)
+    if loop.upper_strict:
+        upper = upper - 1
+
+    var = loop.var
+    dims.append(var)
+    if loop.step == 1:
+        substitution[var] = AffineExpr.var(var)
+        constraints.append(Constraint.ge(AffineExpr.var(var), lower))
+        constraints.append(Constraint.le(AffineExpr.var(var), upper))
+    else:
+        # Normalized counter: source value is lower + step * var.
+        substitution[var] = lower + AffineExpr.var(var) * loop.step
+        constraints.append(Constraint.ge(AffineExpr.var(var), 0))
+        constraints.append(Constraint.le(AffineExpr.var(var) * loop.step, upper - lower))
+
+    inner_loops = [s for s in loop.body if isinstance(s, ForLoop)]
+    inner_assigns = [s for s in loop.body if isinstance(s, Assign)]
+    if inner_loops and inner_assigns:
+        raise SemanticError(
+            "imperfect nest: statements and loops mixed at the same level "
+            "(only perfect nests are supported)",
+            loop.line,
+        )
+    if len(inner_loops) > 1:
+        raise SemanticError(
+            "sibling loops inside a nest are not supported; "
+            "split them into separate top-level nests",
+            inner_loops[1].line,
+        )
+    if inner_loops:
+        _walk_nest(inner_loops[0], info, dims, constraints, substitution, assigns)
+    else:
+        assigns.extend(inner_assigns)
+
+
+def _lower_assign(
+    stmt: Assign,
+    info: SemanticInfo,
+    arrays: dict[str, Array],
+    dims: tuple[str, ...],
+    substitution: dict[str, AffineExpr],
+) -> list[ArrayAccess]:
+    variables = set(substitution)
+    accesses: list[ArrayAccess] = []
+
+    def subscripts_of(ref) -> list[AffineExpr]:
+        return [
+            to_affine(sub, info.params, variables).substitute(substitution)
+            for sub in ref.subscripts
+        ]
+
+    target_subs = subscripts_of(stmt.target)
+    target_array = arrays[stmt.target.array]
+    accesses.append(ArrayAccess(target_array, dims, target_subs, is_write=True))
+    if stmt.op in ("+=", "-="):
+        accesses.append(ArrayAccess(target_array, dims, target_subs, is_write=False))
+
+    from repro.lang.semantic import _collect_refs
+
+    for ref in _collect_refs(stmt)[1:]:
+        accesses.append(
+            ArrayAccess(arrays[ref.array], dims, subscripts_of(ref), is_write=False)
+        )
+    return accesses

@@ -1,0 +1,261 @@
+"""Recursive-descent parser for the affine loop language.
+
+Grammar (EBNF, `{}` = repetition, `[]` = option)::
+
+    program    = { param_decl | array_decl } { loop } EOF
+    param_decl = "param" IDENT "=" expr ";"
+    array_decl = ("array" | "int") IDENT "[" expr "]" { "[" expr "]" } ";"
+    loop       = ["parallel"] "for" "(" IDENT "=" expr ";"
+                 IDENT ("<" | "<=") expr ";" increment ")" stmt
+    increment  = IDENT "++" | IDENT "+=" NUMBER
+    stmt       = loop | assign | "{" { stmt } "}"
+    assign     = array_ref ("=" | "+=" | "-=") expr ";"
+    expr       = term { ("+" | "-") term }
+    term       = factor { ("*" | "/" | "%") factor }
+    factor     = NUMBER | array_ref | IDENT | "(" expr ")" | "-" factor
+    array_ref  = IDENT "[" expr "]" { "[" expr "]" }
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.ast_nodes import (
+    ArrayDeclNode,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Expr,
+    ForLoop,
+    Name,
+    Num,
+    ParamDecl,
+    ProgramNode,
+    Stmt,
+    UnaryOp,
+)
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenType
+
+
+class Parser:
+    """Single-pass recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, ttype: TokenType) -> bool:
+        return self._peek().type is ttype
+
+    def _match(self, ttype: TokenType) -> Token | None:
+        if self._check(ttype):
+            return self._advance()
+        return None
+
+    def _expect(self, ttype: TokenType, what: str) -> Token:
+        token = self._peek()
+        if token.type is not ttype:
+            raise ParseError(
+                f"expected {what}, found {token.text!r}", token.line, token.column
+            )
+        return self._advance()
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse_program(self) -> ProgramNode:
+        params: list[ParamDecl] = []
+        arrays: list[ArrayDeclNode] = []
+        while True:
+            if self._check(TokenType.PARAM):
+                params.append(self._parse_param())
+            elif self._check(TokenType.ARRAY):
+                arrays.append(self._parse_array_decl())
+            else:
+                break
+        loops: list[ForLoop] = []
+        while not self._check(TokenType.EOF):
+            stmt = self._parse_statement()
+            if not isinstance(stmt, ForLoop):
+                raise ParseError(
+                    "top-level statements must be for loops", stmt.line
+                )
+            loops.append(stmt)
+        line = params[0].line if params else (arrays[0].line if arrays else 1)
+        return ProgramNode(line, tuple(params), tuple(arrays), tuple(loops))
+
+    def _parse_param(self) -> ParamDecl:
+        kw = self._expect(TokenType.PARAM, "'param'")
+        name = self._expect(TokenType.IDENT, "parameter name")
+        self._expect(TokenType.ASSIGN, "'='")
+        value = self._parse_expr()
+        self._expect(TokenType.SEMI, "';'")
+        return ParamDecl(kw.line, name.text, value)
+
+    def _parse_array_decl(self) -> ArrayDeclNode:
+        kw = self._expect(TokenType.ARRAY, "'array'")
+        name = self._expect(TokenType.IDENT, "array name")
+        extents: list[Expr] = []
+        self._expect(TokenType.LBRACKET, "'['")
+        extents.append(self._parse_expr())
+        self._expect(TokenType.RBRACKET, "']'")
+        while self._match(TokenType.LBRACKET):
+            extents.append(self._parse_expr())
+            self._expect(TokenType.RBRACKET, "']'")
+        self._expect(TokenType.SEMI, "';'")
+        return ArrayDeclNode(kw.line, name.text, tuple(extents))
+
+    def _parse_statement(self) -> Stmt:
+        if self._check(TokenType.PARALLEL) or self._check(TokenType.FOR):
+            return self._parse_for()
+        if self._check(TokenType.LBRACE):
+            raise ParseError(
+                "bare blocks are only allowed as loop bodies",
+                self._peek().line,
+                self._peek().column,
+            )
+        return self._parse_assign()
+
+    def _parse_for(self) -> ForLoop:
+        parallel = self._match(TokenType.PARALLEL) is not None
+        kw = self._expect(TokenType.FOR, "'for'")
+        self._expect(TokenType.LPAREN, "'('")
+        var = self._expect(TokenType.IDENT, "loop variable")
+        self._expect(TokenType.ASSIGN, "'='")
+        lower = self._parse_expr()
+        self._expect(TokenType.SEMI, "';'")
+        cond_var = self._expect(TokenType.IDENT, "loop variable in condition")
+        if cond_var.text != var.text:
+            raise ParseError(
+                f"loop condition tests {cond_var.text!r}, expected {var.text!r}",
+                cond_var.line,
+                cond_var.column,
+            )
+        if self._match(TokenType.LT):
+            strict = True
+        elif self._match(TokenType.LE):
+            strict = False
+        else:
+            token = self._peek()
+            raise ParseError("expected '<' or '<='", token.line, token.column)
+        upper = self._parse_expr()
+        self._expect(TokenType.SEMI, "';'")
+        step = self._parse_increment(var.text)
+        self._expect(TokenType.RPAREN, "')'")
+        body = self._parse_body()
+        return ForLoop(kw.line, var.text, lower, upper, strict, step, body, parallel)
+
+    def _parse_increment(self, var: str) -> int:
+        token = self._expect(TokenType.IDENT, "loop variable in increment")
+        if token.text != var:
+            raise ParseError(
+                f"increment updates {token.text!r}, expected {var!r}",
+                token.line,
+                token.column,
+            )
+        if self._match(TokenType.INCREMENT):
+            return 1
+        if self._match(TokenType.PLUS_ASSIGN):
+            num = self._expect(TokenType.NUMBER, "step constant")
+            step = num.value
+            if step <= 0:
+                raise ParseError("loop step must be positive", num.line, num.column)
+            return step
+        token = self._peek()
+        raise ParseError("expected '++' or '+= <number>'", token.line, token.column)
+
+    def _parse_body(self) -> tuple[Stmt, ...]:
+        if self._match(TokenType.LBRACE):
+            stmts: list[Stmt] = []
+            while not self._check(TokenType.RBRACE):
+                if self._check(TokenType.EOF):
+                    token = self._peek()
+                    raise ParseError("unterminated block", token.line, token.column)
+                stmts.append(self._parse_statement())
+            self._expect(TokenType.RBRACE, "'}'")
+            return tuple(stmts)
+        return (self._parse_statement(),)
+
+    def _parse_assign(self) -> Assign:
+        target = self._parse_array_ref()
+        if self._match(TokenType.ASSIGN):
+            op = "="
+        elif self._match(TokenType.PLUS_ASSIGN):
+            op = "+="
+        elif self._match(TokenType.MINUS_ASSIGN):
+            op = "-="
+        else:
+            token = self._peek()
+            raise ParseError("expected '=', '+=' or '-='", token.line, token.column)
+        value = self._parse_expr()
+        self._expect(TokenType.SEMI, "';'")
+        return Assign(target.line, target, value, op)
+
+    def _parse_array_ref(self) -> ArrayRef:
+        name = self._expect(TokenType.IDENT, "array name")
+        subs: list[Expr] = []
+        self._expect(TokenType.LBRACKET, "'['")
+        subs.append(self._parse_expr())
+        self._expect(TokenType.RBRACKET, "']'")
+        while self._match(TokenType.LBRACKET):
+            subs.append(self._parse_expr())
+            self._expect(TokenType.RBRACKET, "']'")
+        return ArrayRef(name.line, name.text, tuple(subs))
+
+    # -- expressions --------------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        left = self._parse_term()
+        while True:
+            if self._match(TokenType.PLUS):
+                left = BinOp(left.line, "+", left, self._parse_term())
+            elif self._match(TokenType.MINUS):
+                left = BinOp(left.line, "-", left, self._parse_term())
+            else:
+                return left
+
+    def _parse_term(self) -> Expr:
+        left = self._parse_factor()
+        while True:
+            if self._match(TokenType.STAR):
+                left = BinOp(left.line, "*", left, self._parse_factor())
+            elif self._match(TokenType.SLASH):
+                left = BinOp(left.line, "/", left, self._parse_factor())
+            elif self._match(TokenType.PERCENT):
+                left = BinOp(left.line, "%", left, self._parse_factor())
+            else:
+                return left
+
+    def _parse_factor(self) -> Expr:
+        token = self._peek()
+        if self._match(TokenType.MINUS):
+            return UnaryOp(token.line, "-", self._parse_factor())
+        if self._match(TokenType.NUMBER):
+            return Num(token.line, token.value)
+        if self._match(TokenType.LPAREN):
+            expr = self._parse_expr()
+            self._expect(TokenType.RPAREN, "')'")
+            return expr
+        if self._check(TokenType.IDENT):
+            if self._peek(1).type is TokenType.LBRACKET:
+                return self._parse_array_ref()
+            name = self._advance()
+            return Name(name.line, name.text)
+        raise ParseError(f"unexpected token {token.text!r}", token.line, token.column)
+
+
+def parse(source: str | list[Token]) -> ProgramNode:
+    """Parse source text (or an existing token list) into an AST."""
+    tokens = tokenize(source) if isinstance(source, str) else source
+    return Parser(tokens).parse_program()

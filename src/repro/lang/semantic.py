@@ -1,0 +1,209 @@
+"""Static semantics for the affine loop language.
+
+Responsibilities:
+
+* bind ``param`` declarations to integer values (params may reference
+  earlier params; the expressions must fold to constants);
+* check array declarations (unique names, positive constant extents after
+  param folding);
+* check every loop nest: loop variables are unique within a nest, bounds
+  are affine in *outer* loop variables and params, subscripts are affine in
+  loop variables and params, referenced arrays are declared with the right
+  rank;
+* provide :func:`to_affine`, the expression -> :class:`AffineExpr`
+  converter used here and by lowering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SemanticError
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Expr,
+    ForLoop,
+    Name,
+    Num,
+    ProgramNode,
+    UnaryOp,
+)
+from repro.poly.affine import AffineExpr
+
+
+def to_affine(expr: Expr, params: dict[str, int], variables: set[str]) -> AffineExpr:
+    """Convert an expression AST to an affine expression.
+
+    ``params`` are folded to constants; names in ``variables`` stay
+    symbolic.  Raises :class:`SemanticError` for non-affine shapes
+    (variable * variable, division/modulo by non-constants or with a
+    symbolic dividend, array references inside index expressions).
+    """
+    if isinstance(expr, Num):
+        return AffineExpr.const(expr.value)
+    if isinstance(expr, Name):
+        if expr.ident in params:
+            return AffineExpr.const(params[expr.ident])
+        if expr.ident in variables:
+            return AffineExpr.var(expr.ident)
+        raise SemanticError(f"undeclared name {expr.ident!r}", expr.line)
+    if isinstance(expr, UnaryOp):
+        return -to_affine(expr.operand, params, variables)
+    if isinstance(expr, ArrayRef):
+        raise SemanticError(
+            f"array reference {expr.array!r} not allowed in an affine position", expr.line
+        )
+    if isinstance(expr, BinOp):
+        left = to_affine(expr.left, params, variables)
+        right = to_affine(expr.right, params, variables)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            if left.is_constant():
+                return right * left.constant
+            if right.is_constant():
+                return left * right.constant
+            raise SemanticError("non-affine product of two variables", expr.line)
+        if expr.op in ("/", "%"):
+            if not (left.is_constant() and right.is_constant()):
+                raise SemanticError(
+                    f"'{expr.op}' only allowed between constants in affine positions", expr.line
+                )
+            if right.constant == 0:
+                raise SemanticError("division by zero", expr.line)
+            value = (
+                left.constant // right.constant
+                if expr.op == "/"
+                else left.constant % right.constant
+            )
+            return AffineExpr.const(value)
+        raise SemanticError(f"unknown operator {expr.op!r}", expr.line)
+    raise SemanticError(f"unsupported expression {expr!r}", getattr(expr, "line", 0))
+
+
+@dataclass
+class SemanticInfo:
+    """Result of :func:`analyze`: the validated AST plus derived facts."""
+
+    program: ProgramNode
+    params: dict[str, int]
+    array_extents: dict[str, tuple[int, ...]]
+    loop_vars: dict[int, tuple[str, ...]] = field(default_factory=dict)
+    """Loop variables of each top-level nest, outermost first, keyed by index."""
+
+
+def _fold_constant(expr: Expr, params: dict[str, int], what: str) -> int:
+    affine = to_affine(expr, params, set())
+    if not affine.is_constant():
+        raise SemanticError(f"{what} must be a constant expression", expr.line)
+    return affine.constant
+
+
+def analyze(program: ProgramNode) -> SemanticInfo:
+    """Validate a parsed program and compute parameter/extent bindings."""
+    params: dict[str, int] = {}
+    for decl in program.params:
+        if decl.name in params:
+            raise SemanticError(f"duplicate param {decl.name!r}", decl.line)
+        params[decl.name] = _fold_constant(decl.value, params, f"param {decl.name!r}")
+
+    array_extents: dict[str, tuple[int, ...]] = {}
+    for decl in program.arrays:
+        if decl.name in array_extents:
+            raise SemanticError(f"duplicate array {decl.name!r}", decl.line)
+        if decl.name in params:
+            raise SemanticError(
+                f"array {decl.name!r} shadows a param of the same name", decl.line
+            )
+        extents = tuple(
+            _fold_constant(e, params, f"extent of array {decl.name!r}") for e in decl.extents
+        )
+        for extent in extents:
+            if extent <= 0:
+                raise SemanticError(
+                    f"array {decl.name!r} has non-positive extent {extent}", decl.line
+                )
+        array_extents[decl.name] = extents
+
+    info = SemanticInfo(program, params, array_extents)
+    for index, loop in enumerate(program.loops):
+        vars_seen = _check_loop(loop, params, array_extents, outer_vars=())
+        info.loop_vars[index] = vars_seen
+    return info
+
+
+def _check_loop(
+    loop: ForLoop,
+    params: dict[str, int],
+    array_extents: dict[str, tuple[int, ...]],
+    outer_vars: tuple[str, ...],
+) -> tuple[str, ...]:
+    """Validate one loop (recursively); returns all loop vars of the nest."""
+    if loop.var in outer_vars:
+        raise SemanticError(f"loop variable {loop.var!r} shadows an outer loop", loop.line)
+    if loop.var in params:
+        raise SemanticError(f"loop variable {loop.var!r} shadows a param", loop.line)
+    if loop.var in array_extents:
+        raise SemanticError(f"loop variable {loop.var!r} shadows an array", loop.line)
+    outer_set = set(outer_vars)
+    to_affine(loop.lower, params, outer_set)
+    to_affine(loop.upper, params, outer_set)
+
+    all_vars: tuple[str, ...] = outer_vars + (loop.var,)
+    collected = all_vars
+    inner_seen = False
+    for stmt in loop.body:
+        if isinstance(stmt, ForLoop):
+            collected = _check_loop(stmt, params, array_extents, all_vars)
+            inner_seen = True
+        elif isinstance(stmt, Assign):
+            _check_assign(stmt, params, array_extents, set(all_vars))
+        else:
+            raise SemanticError(f"unsupported statement {stmt!r}", stmt.line)
+    if loop.parallel and outer_vars:
+        raise SemanticError(
+            "'parallel' is only allowed on the outermost loop of a nest", loop.line
+        )
+    return collected if inner_seen else all_vars
+
+
+def _check_assign(
+    stmt: Assign,
+    params: dict[str, int],
+    array_extents: dict[str, tuple[int, ...]],
+    variables: set[str],
+) -> None:
+    for ref in _collect_refs(stmt):
+        extents = array_extents.get(ref.array)
+        if extents is None:
+            raise SemanticError(f"undeclared array {ref.array!r}", ref.line)
+        if len(ref.subscripts) != len(extents):
+            raise SemanticError(
+                f"array {ref.array!r} has rank {len(extents)}, "
+                f"reference uses {len(ref.subscripts)} subscripts",
+                ref.line,
+            )
+        for sub in ref.subscripts:
+            to_affine(sub, params, variables)
+
+
+def _collect_refs(stmt: Assign) -> list[ArrayRef]:
+    refs: list[ArrayRef] = [stmt.target]
+
+    def walk(expr: Expr) -> None:
+        if isinstance(expr, ArrayRef):
+            refs.append(expr)
+            for sub in expr.subscripts:
+                walk(sub)
+        elif isinstance(expr, BinOp):
+            walk(expr.left)
+            walk(expr.right)
+        elif isinstance(expr, UnaryOp):
+            walk(expr.operand)
+
+    walk(stmt.value)
+    return refs

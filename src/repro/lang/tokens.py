@@ -1,0 +1,76 @@
+"""Token definitions for the affine loop language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """Lexical categories."""
+
+    # literals / identifiers
+    NUMBER = "number"
+    IDENT = "ident"
+    # keywords
+    PARAM = "param"
+    ARRAY = "array"
+    FOR = "for"
+    PARALLEL = "parallel"
+    # punctuation
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    SEMI = ";"
+    COMMA = ","
+    # operators
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    INCREMENT = "++"
+    DECREMENT = "--"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    # end of input
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "param": TokenType.PARAM,
+    "array": TokenType.ARRAY,
+    "int": TokenType.ARRAY,  # `int A[...]` is accepted as an array decl
+    "for": TokenType.FOR,
+    "parallel": TokenType.PARALLEL,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position (1-based line/column)."""
+
+    type: TokenType
+    text: str
+    line: int
+    column: int
+
+    @property
+    def value(self) -> int:
+        """Integer value of a NUMBER token."""
+        if self.type is not TokenType.NUMBER:
+            raise ValueError(f"token {self.text!r} is not a number")
+        return int(self.text)
+
+    def __str__(self) -> str:
+        return f"{self.type.name}({self.text!r})@{self.line}:{self.column}"

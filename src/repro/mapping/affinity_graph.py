@@ -1,0 +1,58 @@
+"""The iteration-group affinity graph (Figure 6, "BuildGraph").
+
+Nodes are iteration groups; the edge between two groups weighs the number
+of common 1 bits between their tags — the degree of data-block sharing
+("sort of affinity") between the groups' iterations.  The graph is dense
+by construction (any two groups sharing at least one block are adjacent),
+so we store it as a node list plus an on-demand weight function, with an
+adjacency materialization for callers that want to walk edges.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.blocks.groups import IterationGroup
+from repro.blocks.tags import dot
+
+
+class AffinityGraph:
+    """Weighted data-sharing graph over iteration groups."""
+
+    __slots__ = ("groups", "_by_ident")
+
+    def __init__(self, groups: Sequence[IterationGroup]):
+        self.groups = tuple(groups)
+        self._by_ident = {g.ident: g for g in self.groups}
+
+    def weight(self, a: IterationGroup, b: IterationGroup) -> int:
+        """Number of data blocks shared by the two groups' tags."""
+        return dot(a.tag, b.tag)
+
+    def edges(self, min_weight: int = 1) -> Iterator[tuple[IterationGroup, IterationGroup, int]]:
+        """All unordered pairs with weight >= ``min_weight``."""
+        for i, a in enumerate(self.groups):
+            for b in self.groups[i + 1 :]:
+                w = dot(a.tag, b.tag)
+                if w >= min_weight:
+                    yield a, b, w
+
+    def neighbors(self, group: IterationGroup, min_weight: int = 1) -> list[tuple[IterationGroup, int]]:
+        out = []
+        for other in self.groups:
+            if other.ident == group.ident:
+                continue
+            w = dot(group.tag, other.tag)
+            if w >= min_weight:
+                out.append((other, w))
+        return out
+
+    def total_sharing(self) -> int:
+        """Sum of all edge weights — a scalar sharing density measure."""
+        return sum(w for _, _, w in self.edges())
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __repr__(self) -> str:
+        return f"AffinityGraph({len(self.groups)} groups)"

@@ -1,0 +1,85 @@
+"""Simulation-guided parameter search (the paper's empirical tuning).
+
+The paper picks tile sizes by trying them ("we experimented with
+different tile sizes and selected the one that performed the best") and
+bounds the block size analytically.  This module closes the loop the same
+way for our own knobs: candidate block sizes (and optionally α/β weights)
+are mapped and simulated, and the fastest configuration wins.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import MappingError
+from repro.ir.loops import LoopNest, Program
+from repro.mapping.distribute import TopologyAwareMapper
+from repro.runtime import execute_plan
+from repro.sim.engine import SimConfig
+from repro.topology.tree import Machine
+
+
+@dataclass(frozen=True)
+class TuneOutcome:
+    """One tried configuration and its simulated cycles."""
+
+    block_size: int
+    alpha: float
+    beta: float
+    cycles: int
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    best: TuneOutcome
+    trials: tuple[TuneOutcome, ...]
+
+    def table(self) -> str:
+        from repro.util.tables import format_table
+
+        rows = [
+            (t.block_size, f"{t.alpha:g}/{t.beta:g}", t.cycles,
+             "<- best" if t == self.best else "")
+            for t in self.trials
+        ]
+        return format_table(("block size", "a/b", "cycles", ""), rows,
+                            title="autotune trials")
+
+
+def autotune_block_size(
+    program: Program,
+    nest: LoopNest,
+    machine: Machine,
+    candidates: Sequence[int],
+    local_scheduling: bool = False,
+    balance_threshold: float = 0.10,
+    weights: Sequence[tuple[float, float]] = ((0.5, 0.5),),
+    config: SimConfig | None = None,
+) -> TuneResult:
+    """Map + simulate each candidate; return the fastest configuration.
+
+    Candidates must be positive multiples of every array's element size.
+    The search is exhaustive over ``candidates x weights`` — the paper's
+    methodology, not a model.
+    """
+    if not candidates:
+        raise MappingError("no block-size candidates given")
+    trials: list[TuneOutcome] = []
+    for block_size in candidates:
+        if block_size <= 0:
+            raise MappingError(f"invalid block size {block_size}")
+        for alpha, beta in weights:
+            mapper = TopologyAwareMapper(
+                machine,
+                block_size=block_size,
+                balance_threshold=balance_threshold,
+                alpha=alpha,
+                beta=beta,
+                local_scheduling=local_scheduling,
+            )
+            plan = mapper.map_nest(program, nest).plan()
+            cycles = execute_plan(plan, config=config).cycles
+            trials.append(TuneOutcome(block_size, alpha, beta, cycles))
+    best = min(trials, key=lambda t: (t.cycles, t.block_size))
+    return TuneResult(best=best, trials=tuple(trials))

@@ -1,0 +1,121 @@
+"""Greedy load balancing of iteration-group clusters (Figure 6, lower box).
+
+Given the clusters formed at one level of the hierarchy, equalize their
+iteration counts to within the tunable balance threshold: repeatedly evict
+an iteration group from an oversized cluster into an undersized one,
+choosing the group whose tag has the largest dot product with the
+recipient's tag; when no whole group fits the limits, split one (same-tag
+sub-groups) so the sizes land inside the window.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MappingError
+from repro.blocks.groups import IterationGroup
+from repro.blocks.tags import bitwise_sum, dot
+
+
+class Cluster:
+    """A mutable bag of iteration groups with cached tag and size."""
+
+    __slots__ = ("groups", "tag", "size")
+
+    def __init__(self, groups: list[IterationGroup] | None = None):
+        self.groups: list[IterationGroup] = list(groups or [])
+        self.tag = bitwise_sum(*(g.tag for g in self.groups))
+        self.size = sum(g.size for g in self.groups)
+
+    def add(self, group: IterationGroup) -> None:
+        self.groups.append(group)
+        self.tag |= group.tag
+        self.size += group.size
+
+    def remove(self, group: IterationGroup) -> None:
+        self.groups.remove(group)
+        self.size -= group.size
+        self.tag = bitwise_sum(*(g.tag for g in self.groups))
+
+    def __repr__(self) -> str:
+        return f"Cluster({len(self.groups)} groups, {self.size} iters)"
+
+
+def balance_limits(total: int, k: int, threshold: float) -> tuple[float, float]:
+    """(LowLimit, UpLimit) around the per-cluster average."""
+    if k <= 0:
+        raise MappingError("cluster count must be positive")
+    if not 0 <= threshold < 1:
+        raise MappingError(f"balance threshold must be in [0, 1), got {threshold}")
+    avg = total / k
+    return avg * (1 - threshold), avg * (1 + threshold)
+
+
+def balance_clusters(clusters: list[Cluster], threshold: float) -> None:
+    """Equalize cluster sizes in place to within ``threshold``.
+
+    Follows the paper's greedy scheme: evict from the largest cluster to a
+    below-LowLimit one (falling back to the smallest), preferring the
+    group maximizing the dot product with the recipient; split a group
+    when no whole group keeps both clusters inside the window.  The split
+    fallback guarantees termination: each pass strictly shrinks the
+    largest cluster until it is within UpLimit.
+    """
+    k = len(clusters)
+    if k <= 1:
+        return
+    total = sum(c.size for c in clusters)
+    low, up = balance_limits(total, k, threshold)
+
+    guard = 0
+    max_steps = 4 * k + 4 * sum(len(c.groups) for c in clusters) + 64
+    while True:
+        donor = max(clusters, key=lambda c: c.size)
+        # Integer sizes vs. a fractional window: stop within one iteration
+        # of the limit, otherwise 1-iteration moves can oscillate forever.
+        if donor.size < up + 1:
+            break
+        guard += 1
+        if guard > max_steps:
+            raise MappingError("load balancing failed to converge")  # pragma: no cover
+        under = [c for c in clusters if c.size < low]
+        recipient = min(under or [c for c in clusters if c is not donor], key=lambda c: c.size)
+
+        # A whole-group move is eligible when both ends stay in the window.
+        eligible = [
+            g
+            for g in donor.groups
+            if donor.size - g.size >= low and recipient.size + g.size <= up
+        ]
+        if eligible:
+            best = max(eligible, key=lambda g: (dot(g.tag, recipient.tag), g.size, -g.ident))
+            donor.remove(best)
+            recipient.add(best)
+            continue
+
+        # Split: carve exactly enough iterations to pull the donor to the
+        # average (and never overfill the recipient).
+        need = min(int(donor.size - (low + up) / 2), int(up - recipient.size))
+        need = max(1, need)
+        candidates = [g for g in donor.groups if g.size > 1]
+        if not candidates:
+            # All groups are single iterations but none was eligible:
+            # force-move the best single iteration group.
+            best = max(donor.groups, key=lambda g: (dot(g.tag, recipient.tag), -g.ident))
+            donor.remove(best)
+            recipient.add(best)
+            continue
+        victim = max(candidates, key=lambda g: (dot(g.tag, recipient.tag), g.size, -g.ident))
+        cut = min(need, victim.size - 1)
+        moved, kept = victim.split(cut)
+        donor.remove(victim)
+        donor.add(kept)
+        recipient.add(moved)
+
+
+def verify_balance(clusters: list[Cluster], threshold: float, slack: float = 0.0) -> bool:
+    """True when every cluster is within the (threshold + slack) window.
+
+    ``slack`` absorbs the +-1 iteration quantization of group splitting.
+    """
+    total = sum(c.size for c in clusters)
+    low, up = balance_limits(total, len(clusters), threshold)
+    return all(low - slack - 1 <= c.size <= up + slack + 1 for c in clusters)

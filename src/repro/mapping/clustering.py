@@ -1,0 +1,180 @@
+"""Hierarchical, cache-topology-driven clustering (Figure 6).
+
+The descent walks the cache hierarchy tree level by level, starting at the
+root (last-level cache, or off-chip memory when several LLCs exist).  At
+each level every current cluster set is re-clustered into as many clusters
+as the tree node has children, merging greedily by the tag dot product —
+the paper's qualitative affinity measure — splitting when too few clusters
+remain, and finally load balancing within the tunable threshold.  After
+the full descent the number of leaf clusters equals the core count, and
+left-to-right tree order gives the core assignment.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+from repro.errors import MappingError
+from repro.blocks.groups import IterationGroup
+from repro.blocks.tags import dot
+from repro.mapping.balance import Cluster, balance_clusters
+from repro.topology.tree import Machine
+
+
+def cluster_one_level(
+    groups: Sequence[IterationGroup], k: int, threshold: float
+) -> list[Cluster]:
+    """Cluster a set of iteration groups into exactly ``k`` clusters.
+
+    Greedy agglomerative merging by maximum tag dot product (ties broken
+    toward smaller combined size, then deterministically by group ids),
+    followed by splitting when fewer than ``k`` clusters exist, and load
+    balancing.
+
+    The merge is deliberately *flat* (straight to ``k`` clusters), exactly
+    as Figure 6 prescribes: a level of the cache tree with high fan-out is
+    clustered in one shot.  This is what makes the hierarchy depth matter
+    (the paper's Figure 20): a deeper tree hands the algorithm a sequence
+    of small-fan-out decisions instead of one noisy flat cut.
+    """
+    if k <= 0:
+        raise MappingError("cluster count must be positive")
+    clusters: list[Cluster | None] = [Cluster([g]) for g in groups]
+    alive = len(clusters)
+    if alive < k and not groups:
+        raise MappingError("cannot cluster an empty group list")
+
+    # Lazy-deletion pair heap keyed by (-dot, combined size, ids).  Pairs
+    # with zero affinity are left out: merging unrelated clusters is only a
+    # packing decision, handled by the zero-affinity fallback below, and
+    # skipping them keeps the heap near-linear for sparse sharing graphs.
+    heap: list[tuple[int, int, int, int]] = []
+    for i in range(len(clusters)):
+        tag_i = clusters[i].tag
+        size_i = clusters[i].size
+        for j in range(i + 1, len(clusters)):
+            weight = dot(tag_i, clusters[j].tag)
+            if weight > 0:
+                heap.append((-weight, size_i + clusters[j].size, i, j))
+    heapq.heapify(heap)
+
+    def push_pairs(new_index: int) -> None:
+        new = clusters[new_index]
+        for idx, other in enumerate(clusters):
+            if other is None or idx == new_index:
+                continue
+            weight = dot(new.tag, other.tag)
+            if weight > 0:
+                heapq.heappush(
+                    heap,
+                    (-weight, new.size + other.size, min(idx, new_index), max(idx, new_index)),
+                )
+
+    while alive > k:
+        merged = False
+        while heap:
+            _, __, i, j = heapq.heappop(heap)
+            if clusters[i] is None or clusters[j] is None:
+                continue
+            a, b = clusters[i], clusters[j]
+            clusters[i] = None
+            clusters[j] = None
+            combined = Cluster(a.groups + b.groups)
+            clusters.append(combined)
+            alive -= 1
+            push_pairs(len(clusters) - 1)
+            merged = True
+            break
+        if not merged:
+            # Zero-affinity fallback: no sharing left anywhere; merge the
+            # two smallest clusters (pure size packing).
+            live = sorted(
+                (idx for idx, c in enumerate(clusters) if c is not None),
+                key=lambda idx: clusters[idx].size,
+            )
+            i, j = live[0], live[1]
+            a, b = clusters[i], clusters[j]
+            clusters[i] = None
+            clusters[j] = None
+            clusters.append(Cluster(a.groups + b.groups))
+            alive -= 1
+            push_pairs(len(clusters) - 1)
+
+    result = [c for c in clusters if c is not None]
+
+    while len(result) < k:
+        result.sort(key=lambda c: -c.size)
+        big = result[0]
+        if len(big.groups) >= 2:
+            first, second = _split_cluster(big)
+        else:
+            group = big.groups[0]
+            if group.size < 2:
+                raise MappingError(
+                    f"cannot form {k} clusters from "
+                    f"{sum(c.size for c in result)} iterations"
+                )
+            left, right = group.split(group.size // 2)
+            first, second = Cluster([left]), Cluster([right])
+        result.remove(big)
+        result.extend([first, second])
+
+    balance_clusters(result, threshold)
+    return result
+
+
+def _split_cluster(cluster: Cluster) -> tuple[Cluster, Cluster]:
+    """Split a multi-group cluster into two size-balanced halves.
+
+    Greedy first-fit-decreasing: largest groups first, each into the
+    lighter half; keeps same-tag cohesion best-effort by seeding the halves
+    with the two least-similar groups.
+    """
+    groups = sorted(cluster.groups, key=lambda g: (-g.size, g.ident))
+    a, b = Cluster(), Cluster()
+    for group in groups:
+        target = a if a.size <= b.size else b
+        target.add(group)
+    return a, b
+
+
+def hierarchical_distribute(
+    groups: Sequence[IterationGroup],
+    machine: Machine,
+    threshold: float = 0.10,
+    strategy: str = "greedy",
+) -> list[list[IterationGroup]]:
+    """Figure 6 end to end: groups -> per-core group lists.
+
+    Returns one list per core, indexed by core id (left-to-right order of
+    the cache tree leaves).  ``strategy`` selects the per-level
+    partitioner: ``"greedy"`` is the paper's dot-product merge; ``"kl"``
+    additionally refines every two-way cut with Kernighan-Lin swaps
+    (higher-fan-out levels always use the greedy merge).
+    """
+    if not groups:
+        raise MappingError("no iteration groups to distribute")
+    if strategy not in ("greedy", "kl"):
+        raise MappingError(f"unknown clustering strategy {strategy!r}")
+    degrees = machine.clustering_degrees()
+    cluster_sets: list[list[IterationGroup]] = [list(groups)]
+    for degree in degrees:
+        if degree == 1:
+            continue  # pass-through level (e.g. private caches)
+        next_sets: list[list[IterationGroup]] = []
+        for current in cluster_sets:
+            if strategy == "kl" and degree == 2 and len(current) >= 2:
+                from repro.mapping.kl import cluster_one_level_kl
+
+                clusters = cluster_one_level_kl(current, threshold)
+            else:
+                clusters = cluster_one_level(current, degree, threshold)
+            next_sets.extend([list(c.groups) for c in clusters])
+        cluster_sets = next_sets
+    if len(cluster_sets) != machine.num_cores:
+        raise MappingError(
+            f"descent produced {len(cluster_sets)} clusters for "
+            f"{machine.num_cores} cores"
+        )
+    return cluster_sets

@@ -1,0 +1,226 @@
+"""Iteration-group dependence graph (Section 3.5.2).
+
+Edges are derived from the exact iteration-level dependences of the nest:
+if some iteration in group ``b`` depends on an iteration in group ``a``,
+the graph holds the edge ``a -> b`` ("b after a").  Since iterations of
+``a`` can also depend on iterations of ``b``, the raw graph can be cyclic;
+:meth:`GroupDependenceGraph.acyclified` merges each strongly connected
+component into a single super-group, exactly as the paper prescribes
+("we remove all the cycles ... by merging the involved nodes").
+
+The alternative dependence-handling policy of Section 3.5.2 — clustering
+all dependent groups together by giving dependence edges infinite weight —
+is provided by :func:`merge_dependent_groups`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.blocks.groups import IterationGroup
+from repro.blocks.tags import bitwise_sum
+from repro.ir.dependences import iteration_dependences
+from repro.ir.loops import LoopNest
+
+
+class GroupDependenceGraph:
+    """DAG (or pre-merge digraph) over iteration-group idents."""
+
+    __slots__ = ("nodes", "succs", "preds")
+
+    def __init__(self, nodes: Sequence[int], edges: Sequence[tuple[int, int]]):
+        self.nodes = tuple(nodes)
+        node_set = set(self.nodes)
+        self.succs: dict[int, set[int]] = {n: set() for n in self.nodes}
+        self.preds: dict[int, set[int]] = {n: set() for n in self.nodes}
+        for a, b in edges:
+            if a not in node_set or b not in node_set:
+                continue
+            if a == b:
+                continue
+            self.succs[a].add(b)
+            self.preds[b].add(a)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self.succs.values())
+
+    def has_cycle(self) -> bool:
+        return any(len(scc) > 1 for scc in self._sccs())
+
+    def _sccs(self) -> list[list[int]]:
+        """Tarjan's algorithm, iterative (deep graphs must not overflow)."""
+        index: dict[int, int] = {}
+        low: dict[int, int] = {}
+        on_stack: set[int] = set()
+        stack: list[int] = []
+        sccs: list[list[int]] = []
+        counter = [0]
+
+        for root in self.nodes:
+            if root in index:
+                continue
+            work: list[tuple[int, iter]] = [(root, iter(sorted(self.succs[root])))]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in index:
+                        index[succ] = low[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(sorted(self.succs[succ]))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    scc = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        scc.append(member)
+                        if member == node:
+                            break
+                    sccs.append(sorted(scc))
+        return sccs
+
+    def acyclified(
+        self, groups: Sequence[IterationGroup]
+    ) -> tuple[list[IterationGroup], "GroupDependenceGraph"]:
+        """Merge SCCs into super-groups; returns (new groups, DAG).
+
+        Groups not participating in any cycle are returned unchanged
+        (identity preserved); each multi-node SCC becomes one merged group
+        whose tag/read/write tags are the bitwise sums of its members'.
+        """
+        by_ident = {g.ident: g for g in groups}
+        sccs = self._sccs()
+        rep: dict[int, int] = {}
+        new_groups: list[IterationGroup] = []
+        for scc in sccs:
+            members = [by_ident[i] for i in scc if i in by_ident]
+            if not members:
+                continue
+            if len(members) == 1:
+                merged = members[0]
+            else:
+                iterations = [p for m in members for p in m.iterations]
+                merged = IterationGroup(
+                    bitwise_sum(*(m.tag for m in members)),
+                    iterations,
+                    bitwise_sum(*(m.write_tag for m in members)),
+                    bitwise_sum(*(m.read_tag for m in members)),
+                )
+            new_groups.append(merged)
+            for ident in scc:
+                rep[ident] = merged.ident
+        edges = set()
+        for a in self.nodes:
+            for b in self.succs[a]:
+                ra, rb = rep[a], rep[b]
+                if ra != rb:
+                    edges.add((ra, rb))
+        new_groups.sort(key=lambda g: g.iterations[0])
+        dag = GroupDependenceGraph([g.ident for g in new_groups], sorted(edges))
+        return new_groups, dag
+
+    def topological_order(self) -> list[int]:
+        """Kahn topological order (graph must be acyclic)."""
+        indeg = {n: len(self.preds[n]) for n in self.nodes}
+        ready = sorted(n for n, d in indeg.items() if d == 0)
+        order: list[int] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for succ in sorted(self.succs[node]):
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.nodes):
+            from repro.errors import ScheduleError
+
+            raise ScheduleError("graph has a cycle; acyclify first")
+        return order
+
+    def __repr__(self) -> str:
+        return f"GroupDependenceGraph({len(self.nodes)} nodes, {self.num_edges} edges)"
+
+
+def build_group_dependence_graph(
+    nest: LoopNest,
+    groups: Sequence[IterationGroup],
+    limit: int | None = None,
+) -> GroupDependenceGraph:
+    """Lift the nest's iteration-level dependences to group granularity."""
+    owner: dict[tuple[int, ...], int] = {}
+    for group in groups:
+        for point in group.iterations:
+            owner[point] = group.ident
+    edges: set[tuple[int, int]] = set()
+    for pair in iteration_dependences(nest, limit=limit):
+        a = owner.get(pair.source)
+        b = owner.get(pair.sink)
+        if a is None or b is None or a == b:
+            continue
+        edges.add((a, b))
+    return GroupDependenceGraph([g.ident for g in groups], sorted(edges))
+
+
+def merge_dependent_groups(
+    groups: Sequence[IterationGroup], graph: GroupDependenceGraph
+) -> list[IterationGroup]:
+    """Infinite-edge-weight policy: co-cluster all dependence-connected groups.
+
+    Every weakly connected component of the dependence graph collapses to
+    one group, so the clustering step can never separate dependent
+    iterations — correctness without inter-core synchronization, at the
+    cost of parallelism (the paper's first option in Section 3.5.2).
+    """
+    parent: dict[int, int] = {g.ident: g.ident for g in groups}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[max(ra, rb)] = min(ra, rb)
+
+    for a in graph.nodes:
+        for b in graph.succs[a]:
+            if a in parent and b in parent:
+                union(a, b)
+
+    by_root: dict[int, list[IterationGroup]] = {}
+    for group in groups:
+        by_root.setdefault(find(group.ident), []).append(group)
+    merged: list[IterationGroup] = []
+    for members in by_root.values():
+        if len(members) == 1:
+            merged.append(members[0])
+        else:
+            merged.append(
+                IterationGroup(
+                    bitwise_sum(*(m.tag for m in members)),
+                    [p for m in members for p in m.iterations],
+                    bitwise_sum(*(m.write_tag for m in members)),
+                    bitwise_sum(*(m.read_tag for m in members)),
+                )
+            )
+    merged.sort(key=lambda g: g.iterations[0])
+    return merged

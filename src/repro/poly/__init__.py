@@ -1,0 +1,41 @@
+"""Polyhedral substrate: integer sets, affine relations and code generation.
+
+This package plays the role the Omega Library plays in the paper: it
+represents iteration spaces ``K``, data spaces ``D`` and access relations
+``R`` as systems of affine constraints over integer variables, and it can
+generate loop nests that enumerate the integer points of a set (the
+equivalent of Omega's ``codegen`` utility, Section 3.4 of the paper).
+
+Public surface
+--------------
+
+:class:`~repro.poly.affine.AffineExpr`
+    Immutable affine expression ``c0 + c1*x1 + ... + cn*xn``.
+:class:`~repro.poly.constraints.Constraint`
+    ``expr >= 0`` or ``expr == 0``.
+:class:`~repro.poly.intset.IntSet`
+    Convex set of integer points (conjunction of constraints).
+:class:`~repro.poly.unions.UnionSet`
+    Finite union of convex sets.
+:class:`~repro.poly.relation.AffineMap`
+    Affine mapping between spaces (array access functions).
+:func:`~repro.poly.codegen.generate_loop_nest`
+    Python source that enumerates a set's points (Omega ``codegen``).
+"""
+
+from repro.poly.affine import AffineExpr
+from repro.poly.constraints import Constraint
+from repro.poly.intset import IntSet
+from repro.poly.relation import AffineMap
+from repro.poly.unions import UnionSet
+from repro.poly.codegen import compile_enumerator, generate_loop_nest
+
+__all__ = [
+    "AffineExpr",
+    "Constraint",
+    "IntSet",
+    "AffineMap",
+    "UnionSet",
+    "compile_enumerator",
+    "generate_loop_nest",
+]

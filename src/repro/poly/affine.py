@@ -1,0 +1,159 @@
+"""Immutable affine expressions over named integer variables.
+
+An :class:`AffineExpr` is ``constant + sum(coeff[v] * v)``.  Expressions are
+the atoms from which constraints, sets and access maps are built; they
+support the arithmetic needed by Fourier-Motzkin elimination and code
+generation (addition, subtraction, integer scaling, substitution,
+evaluation).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import PolyhedralError
+
+
+class AffineExpr:
+    """``constant + sum(coeffs[name] * name)`` with integer coefficients.
+
+    Instances are immutable and hashable.  Zero coefficients are never
+    stored, so structural equality coincides with mathematical equality.
+    """
+
+    __slots__ = ("coeffs", "constant", "_hash")
+
+    def __init__(self, coeffs: Mapping[str, int] | None = None, constant: int = 0):
+        cleaned = {}
+        if coeffs:
+            for name, coeff in coeffs.items():
+                if not isinstance(coeff, int):
+                    raise PolyhedralError(f"coefficient of {name!r} must be int, got {type(coeff).__name__}")
+                if coeff != 0:
+                    cleaned[name] = coeff
+        if not isinstance(constant, int):
+            raise PolyhedralError(f"constant must be int, got {type(constant).__name__}")
+        object.__setattr__(self, "coeffs", cleaned)
+        object.__setattr__(self, "constant", constant)
+        object.__setattr__(self, "_hash", hash((frozenset(cleaned.items()), constant)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("AffineExpr is immutable")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def var(name: str) -> AffineExpr:
+        """The expression consisting of the single variable ``name``."""
+        return AffineExpr({name: 1})
+
+    @staticmethod
+    def const(value: int) -> AffineExpr:
+        """A constant expression."""
+        return AffineExpr({}, value)
+
+    @staticmethod
+    def coerce(value: AffineExpr | int | str) -> AffineExpr:
+        """Coerce an int (constant) or str (variable) into an expression."""
+        if isinstance(value, AffineExpr):
+            return value
+        if isinstance(value, int):
+            return AffineExpr.const(value)
+        if isinstance(value, str):
+            return AffineExpr.var(value)
+        raise PolyhedralError(f"cannot coerce {value!r} to AffineExpr")
+
+    # -- queries -----------------------------------------------------------
+
+    def variables(self) -> frozenset[str]:
+        """The variables with non-zero coefficient."""
+        return frozenset(self.coeffs)
+
+    def coeff(self, name: str) -> int:
+        """Coefficient of ``name`` (0 if absent)."""
+        return self.coeffs.get(name, 0)
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate under a full assignment of the expression's variables."""
+        total = self.constant
+        for name, coeff in self.coeffs.items():
+            if name not in env:
+                raise PolyhedralError(f"evaluate: no value for variable {name!r}")
+            total += coeff * env[name]
+        return total
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: AffineExpr | int) -> AffineExpr:
+        other = AffineExpr.coerce(other)
+        coeffs = dict(self.coeffs)
+        for name, coeff in other.coeffs.items():
+            coeffs[name] = coeffs.get(name, 0) + coeff
+        return AffineExpr(coeffs, self.constant + other.constant)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> AffineExpr:
+        return AffineExpr({n: -c for n, c in self.coeffs.items()}, -self.constant)
+
+    def __sub__(self, other: AffineExpr | int) -> AffineExpr:
+        return self + (-AffineExpr.coerce(other))
+
+    def __rsub__(self, other: AffineExpr | int) -> AffineExpr:
+        return AffineExpr.coerce(other) - self
+
+    def __mul__(self, factor: int) -> AffineExpr:
+        if not isinstance(factor, int):
+            raise PolyhedralError("AffineExpr can only be scaled by an int")
+        return AffineExpr({n: c * factor for n, c in self.coeffs.items()}, self.constant * factor)
+
+    __rmul__ = __mul__
+
+    def substitute(self, bindings: Mapping[str, AffineExpr | int]) -> AffineExpr:
+        """Replace variables by expressions (simultaneous substitution)."""
+        result = AffineExpr.const(self.constant)
+        for name, coeff in self.coeffs.items():
+            if name in bindings:
+                result = result + AffineExpr.coerce(bindings[name]) * coeff
+            else:
+                result = result + AffineExpr({name: coeff})
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> AffineExpr:
+        """Rename variables."""
+        return AffineExpr(
+            {mapping.get(n, n): c for n, c in self.coeffs.items()}, self.constant
+        )
+
+    # -- dunder plumbing ----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AffineExpr):
+            return NotImplemented
+        return self.coeffs == other.coeffs and self.constant == other.constant
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"AffineExpr({self})"
+
+    def __str__(self) -> str:
+        parts = []
+        for name in sorted(self.coeffs):
+            coeff = self.coeffs[name]
+            if coeff == 1:
+                parts.append(f"+ {name}")
+            elif coeff == -1:
+                parts.append(f"- {name}")
+            elif coeff < 0:
+                parts.append(f"- {-coeff}*{name}")
+            else:
+                parts.append(f"+ {coeff}*{name}")
+        if self.constant or not parts:
+            parts.append(f"+ {self.constant}" if self.constant >= 0 else f"- {-self.constant}")
+        text = " ".join(parts)
+        return text[2:] if text.startswith("+ ") else "-" + text[2:] if text.startswith("- ") else text

@@ -1,0 +1,138 @@
+"""Affine constraints: ``expr >= 0`` and ``expr == 0``.
+
+Constraints are normalized on construction: the GCD of the coefficients is
+divided out (tightening inequality constants toward the feasible side, which
+is exact over the integers), so structurally different but equivalent
+constraints usually compare equal.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from repro.errors import PolyhedralError
+from repro.poly.affine import AffineExpr
+from repro.util.mathutil import floor_div
+
+
+class Constraint:
+    """A single affine constraint.
+
+    ``kind`` is ``'>='`` (meaning ``expr >= 0``) or ``'=='`` (meaning
+    ``expr == 0``).
+    """
+
+    __slots__ = ("expr", "kind", "_hash")
+
+    GE = ">="
+    EQ = "=="
+
+    def __init__(self, expr: AffineExpr, kind: str = GE):
+        if kind not in (self.GE, self.EQ):
+            raise PolyhedralError(f"unknown constraint kind {kind!r}")
+        expr = _normalize(expr, kind)
+        object.__setattr__(self, "expr", expr)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "_hash", hash((expr, kind)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Constraint is immutable")
+
+    # -- convenience constructors -------------------------------------------
+
+    @staticmethod
+    def ge(lhs: AffineExpr | int | str, rhs: AffineExpr | int | str) -> Constraint:
+        """``lhs >= rhs``."""
+        return Constraint(AffineExpr.coerce(lhs) - AffineExpr.coerce(rhs), Constraint.GE)
+
+    @staticmethod
+    def le(lhs: AffineExpr | int | str, rhs: AffineExpr | int | str) -> Constraint:
+        """``lhs <= rhs``."""
+        return Constraint(AffineExpr.coerce(rhs) - AffineExpr.coerce(lhs), Constraint.GE)
+
+    @staticmethod
+    def eq(lhs: AffineExpr | int | str, rhs: AffineExpr | int | str) -> Constraint:
+        """``lhs == rhs``."""
+        return Constraint(AffineExpr.coerce(lhs) - AffineExpr.coerce(rhs), Constraint.EQ)
+
+    @staticmethod
+    def lt(lhs: AffineExpr | int | str, rhs: AffineExpr | int | str) -> Constraint:
+        """``lhs < rhs`` (integer strictness: lhs <= rhs - 1)."""
+        return Constraint(AffineExpr.coerce(rhs) - AffineExpr.coerce(lhs) - 1, Constraint.GE)
+
+    @staticmethod
+    def gt(lhs: AffineExpr | int | str, rhs: AffineExpr | int | str) -> Constraint:
+        """``lhs > rhs`` (integer strictness: lhs >= rhs + 1)."""
+        return Constraint(AffineExpr.coerce(lhs) - AffineExpr.coerce(rhs) - 1, Constraint.GE)
+
+    # -- queries -------------------------------------------------------------
+
+    def variables(self) -> frozenset[str]:
+        return self.expr.variables()
+
+    def coeff(self, name: str) -> int:
+        return self.expr.coeff(name)
+
+    def is_tautology(self) -> bool:
+        """Constant constraint that always holds."""
+        if not self.expr.is_constant():
+            return False
+        if self.kind == self.EQ:
+            return self.expr.constant == 0
+        return self.expr.constant >= 0
+
+    def is_contradiction(self) -> bool:
+        """Constant constraint that never holds."""
+        if not self.expr.is_constant():
+            return False
+        return not self.is_tautology()
+
+    def satisfied_by(self, env: Mapping[str, int]) -> bool:
+        value = self.expr.evaluate(env)
+        return value == 0 if self.kind == self.EQ else value >= 0
+
+    def substitute(self, bindings: Mapping[str, AffineExpr | int]) -> Constraint:
+        return Constraint(self.expr.substitute(bindings), self.kind)
+
+    def rename(self, mapping: Mapping[str, str]) -> Constraint:
+        return Constraint(self.expr.rename(mapping), self.kind)
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Constraint):
+            return NotImplemented
+        return self.kind == other.kind and self.expr == other.expr
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.expr} {self.kind} 0)"
+
+    def __str__(self) -> str:
+        return f"{self.expr} {self.kind} 0"
+
+
+def _normalize(expr: AffineExpr, kind: str) -> AffineExpr:
+    """Divide out the coefficient GCD.
+
+    For ``>=`` the constant is floored toward the feasible side
+    (``g*x + c >= 0`` iff ``x + floor(c/g) >= 0`` over the integers); for
+    ``==`` an indivisible constant makes the constraint unsatisfiable, which
+    we encode as the canonical contradiction ``-1 == 0``.
+    """
+    if not expr.coeffs:
+        return expr
+    g = 0
+    for coeff in expr.coeffs.values():
+        g = math.gcd(g, abs(coeff))
+    if g <= 1:
+        return expr
+    coeffs = {n: c // g for n, c in expr.coeffs.items()}
+    if kind == Constraint.EQ:
+        if expr.constant % g != 0:
+            return AffineExpr({}, -1)  # unsatisfiable marker
+        return AffineExpr(coeffs, expr.constant // g)
+    return AffineExpr(coeffs, floor_div(expr.constant, g))

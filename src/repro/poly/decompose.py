@@ -1,0 +1,107 @@
+"""Decomposing irregular point sets into boxes (for compact codegen).
+
+Tag-defined iteration groups are rarely convex, but they are usually
+*piecewise* rectangular: a handful of contiguous runs (1-D) or stacked
+row segments (n-D).  Emitting one loop nest per box is far more compact
+than a point table and matches what Omega's ``codegen`` produces for
+unions.  :func:`boxes_from_points` computes a greedy exact box cover;
+:func:`union_from_points` wraps it into a :class:`UnionSet` ready for
+:func:`repro.poly.codegen.generate_loop_nest`.
+
+The cover is exact (disjoint boxes, every point covered, no extras) and
+deterministic.  The greedy strategy stacks maximal runs along the last
+dimension, then merges identical consecutive rows along earlier
+dimensions — optimal for the row-major-contiguous groups tagging
+produces, and never worse than one box per point.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import PolyhedralError
+from repro.poly.intset import IntSet
+from repro.poly.unions import UnionSet
+
+Box = tuple[tuple[int, int], ...]  # (lo, hi) per dimension, inclusive
+
+
+def runs_1d(values: Sequence[int]) -> list[tuple[int, int]]:
+    """Maximal runs of consecutive integers (input need not be sorted)."""
+    if not values:
+        return []
+    ordered = sorted(set(values))
+    runs: list[tuple[int, int]] = []
+    start = prev = ordered[0]
+    for v in ordered[1:]:
+        if v == prev + 1:
+            prev = v
+            continue
+        runs.append((start, prev))
+        start = prev = v
+    runs.append((start, prev))
+    return runs
+
+
+def boxes_from_points(points: Sequence[tuple[int, ...]]) -> list[Box]:
+    """Exact disjoint box cover of a finite point set.
+
+    Recursively: group points by their first coordinate, compute the box
+    cover of each slice in the remaining dimensions, then merge slices
+    with identical covers into ranges of the first coordinate.
+    """
+    if not points:
+        return []
+    dim = len(points[0])
+    if any(len(p) != dim for p in points):
+        raise PolyhedralError("points must share one dimensionality")
+    if dim == 0:
+        return [()]
+    if dim == 1:
+        return [((lo, hi),) for lo, hi in runs_1d([p[0] for p in points])]
+
+    by_head: dict[int, list[tuple[int, ...]]] = {}
+    for p in set(points):
+        by_head.setdefault(p[0], []).append(p[1:])
+    # Tail cover per head value.
+    covers: dict[int, tuple[Box, ...]] = {
+        head: tuple(sorted(boxes_from_points(tail))) for head, tail in by_head.items()
+    }
+    boxes: list[Box] = []
+    for lo, hi in runs_1d(list(by_head)):
+        # Split the run wherever the tail cover changes, merging equal
+        # consecutive covers into one head range.
+        start = lo
+        current = covers[lo]
+        for head in range(lo + 1, hi + 2):
+            cover = covers.get(head) if head <= hi else None
+            if cover != current:
+                for tail_box in current:
+                    boxes.append(((start, head - 1),) + tail_box)
+                if head <= hi:
+                    start = head
+                    current = covers[head]
+    return sorted(boxes)
+
+
+def union_from_points(
+    dims: Sequence[str], points: Sequence[tuple[int, ...]]
+) -> UnionSet:
+    """The point set as a union of integer boxes over named dims."""
+    boxes = boxes_from_points(points)
+    pieces = [IntSet.box(dims, list(box)) for box in boxes]
+    return UnionSet(tuple(dims), pieces)
+
+
+def cover_is_exact(points: Sequence[tuple[int, ...]], boxes: Sequence[Box]) -> bool:
+    """Check that ``boxes`` cover exactly ``points`` (test helper)."""
+    covered: set[tuple[int, ...]] = set()
+    for box in boxes:
+        slots: list[tuple[int, ...]] = [()]
+        for lo, hi in box:
+            slots = [s + (v,) for s in slots for v in range(lo, hi + 1)]
+        for p in slots:
+            if p in covered:
+                return False  # overlap
+            covered.add(p)
+    return covered == set(points)

@@ -1,0 +1,137 @@
+"""Affine maps between spaces (the paper's access relations ``R``).
+
+An :class:`AffineMap` sends a point of an input space (an iteration vector)
+to a point of an output space (an array index vector) through one affine
+expression per output dimension, exactly like the reference
+
+    R = {(i1, i2) -> (d1, d2) | d1 = i1 + 1 and d2 = i2 - 1}
+
+in Section 3.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import PolyhedralError
+from repro.poly.affine import AffineExpr
+from repro.poly.constraints import Constraint
+from repro.poly.intset import IntSet
+
+
+class AffineMap:
+    """Affine mapping ``in_dims -> out_dims``.
+
+    ``exprs[k]`` gives the value of ``out_dims[k]`` as an affine expression
+    over ``in_dims``.
+    """
+
+    __slots__ = ("in_dims", "out_dims", "exprs")
+
+    def __init__(
+        self,
+        in_dims: Sequence[str],
+        out_dims: Sequence[str],
+        exprs: Sequence[AffineExpr | int | str],
+    ):
+        in_dims = tuple(in_dims)
+        out_dims = tuple(out_dims)
+        if len(out_dims) != len(exprs):
+            raise PolyhedralError(
+                f"map has {len(out_dims)} output dims but {len(exprs)} expressions"
+            )
+        coerced = tuple(AffineExpr.coerce(e) for e in exprs)
+        in_set = set(in_dims)
+        for out_name, expr in zip(out_dims, coerced):
+            extra = expr.variables() - in_set
+            if extra:
+                raise PolyhedralError(
+                    f"expression for {out_name!r} uses {sorted(extra)} outside input dims"
+                )
+        object.__setattr__(self, "in_dims", in_dims)
+        object.__setattr__(self, "out_dims", out_dims)
+        object.__setattr__(self, "exprs", coerced)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("AffineMap is immutable")
+
+    @staticmethod
+    def identity(dims: Sequence[str], out_dims: Sequence[str] | None = None) -> AffineMap:
+        out = tuple(out_dims) if out_dims is not None else tuple(f"{d}'" for d in dims)
+        return AffineMap(dims, out, [AffineExpr.var(d) for d in dims])
+
+    # -- application --------------------------------------------------------
+
+    def apply(self, point: Sequence[int] | Mapping[str, int]) -> tuple[int, ...]:
+        """Map an input point to the output point."""
+        if isinstance(point, Mapping):
+            env = dict(point)
+        else:
+            if len(point) != len(self.in_dims):
+                raise PolyhedralError(
+                    f"point has {len(point)} coordinates, map expects {len(self.in_dims)}"
+                )
+            env = dict(zip(self.in_dims, point))
+        return tuple(expr.evaluate(env) for expr in self.exprs)
+
+    def compose(self, inner: AffineMap) -> AffineMap:
+        """``self o inner``: first apply ``inner``, then ``self``."""
+        if inner.out_dims != self.in_dims:
+            raise PolyhedralError(
+                f"cannot compose: inner outputs {inner.out_dims} != outer inputs {self.in_dims}"
+            )
+        bindings = dict(zip(self.in_dims, inner.exprs))
+        return AffineMap(
+            inner.in_dims,
+            self.out_dims,
+            [expr.substitute(bindings) for expr in self.exprs],
+        )
+
+    def image(self, domain: IntSet) -> IntSet:
+        """Rational image of ``domain`` under the map.
+
+        Built by conjoining ``out == expr`` with the domain constraints and
+        projecting onto the output dimensions.
+        """
+        if domain.dims != self.in_dims:
+            raise PolyhedralError(
+                f"domain dims {domain.dims} do not match map inputs {self.in_dims}"
+            )
+        clash = set(self.out_dims) & set(self.in_dims)
+        if clash:
+            raise PolyhedralError(f"output dims {sorted(clash)} clash with input dims")
+        combined_dims = self.in_dims + self.out_dims
+        cons = list(domain.constraints)
+        for out_name, expr in zip(self.out_dims, self.exprs):
+            cons.append(Constraint.eq(AffineExpr.var(out_name), expr))
+        combined = IntSet(combined_dims, cons)
+        return combined.project_onto(self.out_dims)
+
+    def as_graph_set(self, domain: IntSet) -> IntSet:
+        """The relation's graph {(in, out) | in in domain, out = f(in)}."""
+        if domain.dims != self.in_dims:
+            raise PolyhedralError(
+                f"domain dims {domain.dims} do not match map inputs {self.in_dims}"
+            )
+        cons = list(domain.constraints)
+        for out_name, expr in zip(self.out_dims, self.exprs):
+            cons.append(Constraint.eq(AffineExpr.var(out_name), expr))
+        return IntSet(self.in_dims + self.out_dims, cons)
+
+    # -- dunder --------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AffineMap):
+            return NotImplemented
+        return (
+            self.in_dims == other.in_dims
+            and self.out_dims == other.out_dims
+            and self.exprs == other.exprs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.in_dims, self.out_dims, self.exprs))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{d} = {e}" for d, e in zip(self.out_dims, self.exprs))
+        return f"AffineMap({{({', '.join(self.in_dims)}) -> ({', '.join(self.out_dims)}) | {body}}})"

@@ -1,0 +1,83 @@
+"""Finite unions of convex integer sets.
+
+Tag-defined iteration groups (Section 3.3) are generally *not* convex: the
+set of iterations accessing data blocks {0, 1} and nothing else is a
+difference of convex sets.  :class:`UnionSet` gives the library a closed
+representation: unions support membership, enumeration without duplicates,
+and (piecewise-convex) code generation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import PolyhedralError
+from repro.poly.intset import IntSet
+
+
+class UnionSet:
+    """A union of convex :class:`IntSet` pieces over a common dim tuple."""
+
+    __slots__ = ("dims", "pieces")
+
+    def __init__(self, dims: Sequence[str], pieces: Iterable[IntSet] = ()):
+        dims = tuple(dims)
+        checked = []
+        for piece in pieces:
+            if piece.dims != dims:
+                raise PolyhedralError(
+                    f"piece dims {piece.dims} do not match union dims {dims}"
+                )
+            checked.append(piece)
+        object.__setattr__(self, "dims", dims)
+        object.__setattr__(self, "pieces", tuple(checked))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("UnionSet is immutable")
+
+    @staticmethod
+    def from_set(base: IntSet) -> UnionSet:
+        return UnionSet(base.dims, [base])
+
+    def union(self, other: UnionSet | IntSet) -> UnionSet:
+        if isinstance(other, IntSet):
+            other = UnionSet.from_set(other)
+        if other.dims != self.dims:
+            raise PolyhedralError(f"dimension mismatch: {self.dims} vs {other.dims}")
+        return UnionSet(self.dims, self.pieces + other.pieces)
+
+    def contains(self, point: Sequence[int] | Mapping[str, int]) -> bool:
+        return any(piece.contains(point) for piece in self.pieces)
+
+    def points(self) -> Iterator[tuple[int, ...]]:
+        """Enumerate points of the union in lexicographic order, deduplicated.
+
+        Uses a k-way merge over the (sorted) piece enumerations so memory
+        stays proportional to the number of pieces, not the number of points.
+        """
+        merged = heapq.merge(*(piece.points() for piece in self.pieces))
+        last: tuple[int, ...] | None = None
+        for point in merged:
+            if point != last:
+                yield point
+                last = point
+
+    def count(self) -> int:
+        return sum(1 for _ in self.points())
+
+    def is_empty(self) -> bool:
+        return all(piece.is_empty() for piece in self.pieces)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnionSet):
+            return NotImplemented
+        if self.dims != other.dims:
+            return False
+        return set(self.pieces) == set(other.pieces)
+
+    def __hash__(self) -> int:
+        return hash((self.dims, frozenset(self.pieces)))
+
+    def __repr__(self) -> str:
+        return f"UnionSet({len(self.pieces)} pieces over {self.dims})"

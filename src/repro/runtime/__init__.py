@@ -1,0 +1,21 @@
+"""Execution glue: plans -> traces -> simulated runs, and per-core codegen.
+
+:func:`~repro.runtime.executor.execute_plan` is the one-call path from an
+:class:`~repro.mapping.distribute.ExecutablePlan` to a simulated
+:class:`~repro.sim.stats.SimResult`;
+:mod:`repro.runtime.codeemit` emits the per-core enumeration code the
+paper's backend would hand to Phoenix (Section 3.4's "generate code for
+each core").
+"""
+
+from repro.runtime.executor import execute_plan, execute_program
+from repro.runtime.codeemit import emit_core_sources, emit_plan_module
+from repro.sim.trace import MemoryLayout
+
+__all__ = [
+    "execute_plan",
+    "execute_program",
+    "emit_core_sources",
+    "emit_plan_module",
+    "MemoryLayout",
+]

@@ -1,0 +1,59 @@
+"""One-call plan execution on the simulator."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.mapping.distribute import ExecutablePlan
+from repro.sim.engine import SimConfig, simulate_plan
+from repro.sim.hierarchy import MachineSim
+from repro.sim.stats import SimResult
+from repro.topology.tree import Machine
+
+
+def execute_plan(
+    plan: ExecutablePlan,
+    machine: Machine | None = None,
+    config: SimConfig | None = None,
+    verify: bool = False,
+) -> SimResult:
+    """Simulate ``plan`` (optionally on a different target machine).
+
+    ``verify=True`` additionally checks plan completeness (every iteration
+    exactly once) and simulator conservation invariants — the slow but
+    paranoid mode used by tests.
+    """
+    if verify:
+        plan.verify_complete()
+    result = simulate_plan(plan, machine=machine, config=config)
+    if verify:
+        result.verify_conservation()
+    return result
+
+
+def execute_program(
+    plans: Sequence[ExecutablePlan],
+    machine: Machine | None = None,
+    config: SimConfig | None = None,
+    warm_caches: bool = True,
+) -> list[SimResult]:
+    """Run a multi-nest program: the plans execute back to back.
+
+    With ``warm_caches`` (the default) all plans share one simulated
+    machine, so a later nest can hit on data a former one brought
+    on-chip — the behaviour a real program has.  Per-plan statistics are
+    still separated (component counters are reset between plans).
+    """
+    if not plans:
+        return []
+    target = machine or plans[0].machine
+    shared = MachineSim(target) if warm_caches else None
+    results: list[SimResult] = []
+    for plan in plans:
+        if shared is not None:
+            shared.reset_stats()
+            result = simulate_plan(plan, machine=target, config=config, machine_sim=shared)
+        else:
+            result = simulate_plan(plan, machine=target, config=config)
+        results.append(result)
+    return results

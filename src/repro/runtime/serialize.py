@@ -1,0 +1,104 @@
+"""JSON (de)serialization of plans and results.
+
+A compiled mapping is an artifact worth persisting: build farms map once
+and run many times; experiment pipelines archive what they executed.
+``plan_to_json``/``plan_from_json`` round-trip an
+:class:`~repro.mapping.distribute.ExecutablePlan` given the program it
+belongs to (iteration tuples are data; the nest and machine are
+reconstructed from their own sources and validated against the recorded
+fingerprints).  ``result_to_dict`` flattens a
+:class:`~repro.sim.stats.SimResult` for logging.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import SimulationError
+from repro.ir.loops import Program
+from repro.mapping.distribute import ExecutablePlan
+from repro.sim.stats import SimResult
+from repro.topology.tree import Machine
+
+FORMAT_VERSION = 1
+
+
+def _machine_fingerprint(machine: Machine) -> dict:
+    return {
+        "name": machine.name,
+        "cores": machine.num_cores,
+        "levels": list(machine.cache_levels()),
+        "degrees": list(machine.clustering_degrees()),
+        "total_cache_bytes": machine.total_cache_bytes(),
+    }
+
+
+def plan_to_json(plan: ExecutablePlan) -> str:
+    """Serialize a plan (rounds of iteration tuples + fingerprints)."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "label": plan.label,
+        "nest": plan.nest.name,
+        "dims": list(plan.nest.dims),
+        "machine": _machine_fingerprint(plan.machine),
+        "rounds": [
+            [[list(point) for point in rnd] for rnd in core_rounds]
+            for core_rounds in plan.rounds
+        ],
+    }
+    return json.dumps(payload)
+
+
+def plan_from_json(
+    text: str, program: Program, machine: Machine
+) -> ExecutablePlan:
+    """Reconstruct a plan against a program and machine.
+
+    The recorded nest name and machine fingerprint must match — a plan
+    computed for one topology must not silently execute against another.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SimulationError(f"malformed plan JSON: {error}") from None
+    if payload.get("format") != FORMAT_VERSION:
+        raise SimulationError(
+            f"unsupported plan format {payload.get('format')!r}"
+        )
+    nest = program.nest(payload["nest"])
+    if list(nest.dims) != payload["dims"]:
+        raise SimulationError(
+            f"nest {nest.name!r} dims {nest.dims} do not match recorded "
+            f"{payload['dims']}"
+        )
+    recorded = payload["machine"]
+    actual = _machine_fingerprint(machine)
+    for key in ("cores", "levels", "degrees"):
+        if recorded[key] != actual[key]:
+            raise SimulationError(
+                f"machine mismatch on {key}: plan was built for "
+                f"{recorded[key]}, target has {actual[key]}"
+            )
+    rounds = tuple(
+        tuple(tuple(tuple(point) for point in rnd) for rnd in core_rounds)
+        for core_rounds in payload["rounds"]
+    )
+    plan = ExecutablePlan(machine, nest, rounds, payload["label"])
+    plan.verify_complete()
+    return plan
+
+
+def result_to_dict(result: SimResult) -> dict:
+    """Flatten a simulation result for logs/JSON."""
+    return {
+        "label": result.label,
+        "machine": result.machine_name,
+        "cycles": result.cycles,
+        "total_accesses": result.total_accesses,
+        "memory_accesses": result.memory_accesses,
+        "barriers": result.barriers,
+        "levels": {
+            stats.level: {"hits": stats.hits, "misses": stats.misses}
+            for stats in result.levels
+        },
+    }

@@ -1,0 +1,73 @@
+"""A single set-associative LRU cache component.
+
+Addresses are pre-shifted to line numbers by the caller (the engine), so
+the hot path is: index the set, dict lookup, LRU reorder.  Python dicts
+preserve insertion order, which gives an O(1) LRU: re-inserting a key
+moves it to the back; the front is the least recently used line.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.topology.cache import CacheSpec
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over line numbers."""
+
+    __slots__ = ("spec", "num_sets", "ways", "sets", "hits", "misses", "evictions")
+
+    def __init__(self, spec: CacheSpec):
+        self.spec = spec
+        self.num_sets = spec.num_sets
+        self.ways = spec.associativity
+        if self.num_sets <= 0:
+            raise SimulationError(f"{spec.level}: no sets")
+        self.sets: list[dict[int, None]] = [dict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def access(self, line: int) -> bool:
+        """Access a line; True on hit.  Misses allocate (fill) the line."""
+        bucket = self.sets[line % self.num_sets]
+        if line in bucket:
+            # LRU touch: move to the most-recently-used position.
+            del bucket[line]
+            bucket[line] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        bucket[line] = None
+        if len(bucket) > self.ways:
+            del bucket[next(iter(bucket))]
+            self.evictions += 1
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Non-destructive lookup (no LRU update, no counters)."""
+        return line in self.sets[line % self.num_sets]
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(bucket) for bucket in self.sets)
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def flush(self) -> None:
+        """Drop all contents (keeps statistics)."""
+        for bucket in self.sets:
+            bucket.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"SetAssociativeCache({self.spec.level}, {self.num_sets}x{self.ways}, "
+            f"h={self.hits} m={self.misses})"
+        )

@@ -1,0 +1,149 @@
+"""Multi-core interleaved simulation of an executable plan.
+
+Cores run concurrently; the engine advances the core with the smallest
+local clock (a heap), processing a small quantum of accesses per step so
+interleaving in shared caches is fine-grained without per-access heap
+traffic.  Rounds end in a barrier: every core waits for the slowest, plus
+a fixed synchronization overhead.
+
+Cycle accounting per access: the latency of the first hitting cache level
+(or memory) plus a fixed per-access issue cost modeling non-memory work.
+Total execution time is the slowest core's finish time — exactly the
+quantity the paper's "execution cycles" figures normalize.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.mapping.distribute import ExecutablePlan
+from repro.sim.hierarchy import MachineSim
+from repro.sim.stats import LevelStats, SimResult
+from repro.sim.trace import MemoryLayout, build_traces
+from repro.topology.tree import Machine
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Engine knobs.
+
+    ``quantum`` — accesses a core retires before the engine re-checks who
+    is globally earliest (granularity of shared-cache interleaving);
+    ``issue_cycles`` — fixed per-access cost for non-memory work;
+    ``barrier_overhead`` — cycles added to every core at a barrier;
+    ``port_occupancy`` — cycles a *shared* cache's port stays busy per
+    probe (0 disables contention modeling; cores queuing on a shared
+    component pay the wait).
+    """
+
+    quantum: int = 8
+    issue_cycles: int = 1
+    barrier_overhead: int = 100
+    port_occupancy: int = 0
+
+    def __post_init__(self) -> None:
+        if self.quantum <= 0:
+            raise SimulationError("quantum must be positive")
+        if self.issue_cycles < 0 or self.barrier_overhead < 0 or self.port_occupancy < 0:
+            raise SimulationError("costs must be non-negative")
+
+
+def simulate_plan(
+    plan: ExecutablePlan,
+    machine: Machine | None = None,
+    config: SimConfig | None = None,
+    layout: MemoryLayout | None = None,
+    machine_sim: MachineSim | None = None,
+) -> SimResult:
+    """Simulate a plan; returns cycles and per-level statistics.
+
+    ``machine`` overrides the plan's target (used by the cross-machine
+    experiment, Figure 14: run the version tuned for machine A on
+    machine B).  A pre-built ``machine_sim`` may be passed to run several
+    plans against warm caches; by default each call starts cold.
+    """
+    config = config or SimConfig()
+    target = machine or plan.machine
+    msim = machine_sim or MachineSim(target)
+    if msim.machine.num_cores < len(plan.rounds):
+        raise SimulationError(
+            f"plan uses {len(plan.rounds)} cores, machine "
+            f"{msim.machine.name!r} has {msim.machine.num_cores}"
+        )
+    if layout is None:
+        layout = MemoryLayout.for_nest(plan.nest, msim.line_size)
+    traces = build_traces(plan, layout, msim.line_shift)
+
+    num_rounds = max((len(t) for t in traces), default=0)
+    core_time = [0] * len(traces)
+    barriers = 0
+    barrier_cycles = 0
+    total_accesses = 0
+    quantum = config.quantum
+    issue = config.issue_cycles
+    access = msim.access
+
+    for round_index in range(num_rounds):
+        heap: list[tuple[int, int, int]] = []  # (time, core, position)
+        round_traces: list[list[int]] = []
+        for core, core_trace in enumerate(traces):
+            lines = core_trace[round_index] if round_index < len(core_trace) else []
+            round_traces.append(lines)
+            if lines:
+                heap.append((core_time[core], core, 0))
+        heapq.heapify(heap)
+        occupancy = config.port_occupancy
+        timed = msim.access_timed
+        while heap:
+            now, core, pos = heapq.heappop(heap)
+            lines = round_traces[core]
+            end = min(pos + quantum, len(lines))
+            if occupancy:
+                for index in range(pos, end):
+                    now += timed(core, lines[index], now, occupancy) + issue
+            else:
+                for index in range(pos, end):
+                    now += access(core, lines[index]) + issue
+            total_accesses += end - pos
+            if end < len(lines):
+                heapq.heappush(heap, (now, core, end))
+            else:
+                core_time[core] = now
+        if round_index + 1 < num_rounds:
+            barriers += 1
+            slowest = max(core_time)
+            barrier_cycles += sum(slowest - t for t in core_time)
+            core_time = [slowest + config.barrier_overhead] * len(core_time)
+
+    levels = []
+    for level_name, components in msim.level_components().items():
+        levels.append(
+            LevelStats(
+                level_name,
+                sum(c.hits for c in components),
+                sum(c.misses for c in components),
+            )
+        )
+    levels.sort(key=lambda s: _level_rank(s.level))
+    last_misses = levels[-1].misses if levels else total_accesses
+    result = SimResult(
+        label=plan.label,
+        machine_name=msim.machine.name,
+        cycles=max(core_time) if core_time else 0,
+        core_cycles=tuple(core_time),
+        levels=tuple(levels),
+        memory_accesses=last_misses,
+        total_accesses=total_accesses,
+        barriers=barriers,
+        barrier_cycles=barrier_cycles,
+    )
+    return result
+
+
+def _level_rank(level: str) -> int:
+    try:
+        return int(level.lstrip("L"))
+    except ValueError:
+        return 99

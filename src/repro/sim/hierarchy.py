@@ -1,0 +1,113 @@
+"""Instantiation of a machine's cache components and per-core access paths.
+
+Every cache node of the topology tree becomes exactly one
+:class:`~repro.sim.cachesim.SetAssociativeCache`; nodes shared by several
+cores are *the same object* on each of those cores' paths — that is the
+whole point: constructive or destructive sharing emerges from the common
+state.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.cachesim import SetAssociativeCache
+from repro.topology.tree import Machine
+
+
+class MachineSim:
+    """All cache components of a machine plus per-core lookup paths."""
+
+    __slots__ = (
+        "machine",
+        "line_shift",
+        "line_size",
+        "components",
+        "core_paths",
+        "memory_latency",
+        "_busy",
+        "_shared",
+    )
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        line_sizes = {n.spec.line_size for n in machine.cache_nodes()}
+        if len(line_sizes) != 1:
+            raise SimulationError(
+                f"mixed line sizes {sorted(line_sizes)} are not supported"
+            )
+        self.line_size = line_sizes.pop()
+        self.line_shift = self.line_size.bit_length() - 1
+        self.components: dict[int, SetAssociativeCache] = {
+            node.uid: SetAssociativeCache(node.spec) for node in machine.cache_nodes()
+        }
+        # Port-contention state: shared components (more than one core
+        # below) track when their single port frees up.
+        self._busy: dict[int, int] = {}
+        self._shared: dict[int, bool] = {}
+        for node in machine.cache_nodes():
+            self._busy[node.uid] = 0
+            self._shared[node.uid] = len(node.cores_below()) > 1
+        self.core_paths: list[tuple[tuple[SetAssociativeCache, int, int, bool], ...]] = []
+        for core in range(machine.num_cores):
+            path = tuple(
+                (
+                    self.components[node.uid],
+                    node.spec.latency,
+                    node.uid,
+                    self._shared[node.uid],
+                )
+                for node in machine.cache_path(core)
+            )
+            self.core_paths.append(path)
+        self.memory_latency = machine.memory_latency
+
+    def access(self, core: int, line: int) -> int:
+        """One access by ``core`` to cache line ``line``; returns latency.
+
+        Probes the core's path L1 upward; a miss at each level allocates
+        the line there (fill on the way to the hit level), so the latency
+        is that of the first hitting level, or memory.
+        """
+        for cache, latency, _uid, _shared in self.core_paths[core]:
+            if cache.access(line):
+                return latency
+        return self.memory_latency
+
+    def access_timed(self, core: int, line: int, now: int, occupancy: int) -> int:
+        """Access with shared-port contention; returns total latency.
+
+        Each *shared* cache component has a single port that is busy for
+        ``occupancy`` cycles per probe; concurrent probes from the cores
+        sharing it queue up.  Private L1s are dual-ported (no queueing).
+        The returned latency is the hit level's latency plus any queueing
+        delay accumulated on the way.
+        """
+        busy = self._busy
+        queue_delay = 0
+        for cache, latency, uid, shared in self.core_paths[core]:
+            if shared:
+                start = busy[uid]
+                if start > now + queue_delay:
+                    queue_delay = start - now
+                busy[uid] = max(start, now + queue_delay) + occupancy
+            if cache.access(line):
+                return latency + queue_delay
+        return self.memory_latency + queue_delay
+
+    def line_of(self, address: int) -> int:
+        return address >> self.line_shift
+
+    def level_components(self) -> dict[str, list[SetAssociativeCache]]:
+        """Components grouped by level name (for stats aggregation)."""
+        by_level: dict[str, list[SetAssociativeCache]] = {}
+        for node in self.machine.cache_nodes():
+            by_level.setdefault(node.spec.level, []).append(self.components[node.uid])
+        return by_level
+
+    def flush(self) -> None:
+        for cache in self.components.values():
+            cache.flush()
+
+    def reset_stats(self) -> None:
+        for cache in self.components.values():
+            cache.reset_stats()

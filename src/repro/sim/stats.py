@@ -1,0 +1,88 @@
+"""Simulation results and accounting invariants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Aggregated hit/miss counts for one cache level."""
+
+    level: str
+    hits: int
+    misses: int
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.level}: {self.accesses} accesses, {self.misses} misses "
+            f"({100 * self.miss_rate:.1f}%)"
+        )
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of simulating one executable plan."""
+
+    label: str
+    machine_name: str
+    cycles: int
+    core_cycles: tuple[int, ...]
+    levels: tuple[LevelStats, ...]
+    memory_accesses: int
+    total_accesses: int
+    barriers: int
+    barrier_cycles: int
+
+    def level(self, name: str) -> LevelStats:
+        for stats in self.levels:
+            if stats.level == name:
+                return stats
+        raise SimulationError(f"no level {name!r} in result")
+
+    def verify_conservation(self) -> None:
+        """hits + misses == accesses per level; L(k+1) accesses == L(k) misses.
+
+        The second invariant holds level-to-level because every access
+        probes the next level exactly when the previous one missed, and
+        all cores' paths traverse every level of a uniform hierarchy.
+        Memory accesses equal last-level misses.
+        """
+        ordered = list(self.levels)
+        if not ordered:
+            return
+        if ordered[0].accesses != self.total_accesses:
+            raise SimulationError(
+                f"L1 accesses {ordered[0].accesses} != issued {self.total_accesses}"
+            )
+        for upper, lower in zip(ordered, ordered[1:]):
+            if upper.misses != lower.accesses:
+                raise SimulationError(
+                    f"{upper.level} misses {upper.misses} != "
+                    f"{lower.level} accesses {lower.accesses}"
+                )
+        if ordered[-1].misses != self.memory_accesses:
+            raise SimulationError(
+                f"{ordered[-1].level} misses {ordered[-1].misses} != "
+                f"memory accesses {self.memory_accesses}"
+            )
+
+    def summary(self) -> str:
+        lines = [
+            f"[{self.machine_name}] {self.label}: {self.cycles} cycles, "
+            f"{self.total_accesses} accesses, {self.barriers} barriers"
+        ]
+        for stats in self.levels:
+            lines.append(f"  {stats}")
+        lines.append(f"  memory: {self.memory_accesses} accesses")
+        return "\n".join(lines)

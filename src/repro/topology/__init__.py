@@ -1,0 +1,40 @@
+"""Cache topology descriptions (the paper's architecture input ``A = {T, N}``).
+
+:class:`~repro.topology.cache.CacheSpec` describes one cache component;
+:class:`~repro.topology.tree.TopologyNode` /
+:class:`~repro.topology.tree.Machine` form the cache hierarchy tree with the
+last-level cache as root (off-chip memory becomes the root when there are
+multiple last-level caches, exactly as the paper prescribes);
+:mod:`repro.topology.machines` provides the three commercial machines of
+Table 1, the deeper Arch-I / Arch-II topologies of Figure 12, and the
+scaled variants used in the sensitivity studies.
+"""
+
+from repro.topology.cache import CacheSpec
+from repro.topology.parser import parse_topology
+from repro.topology.tree import Machine, TopologyNode
+from repro.topology.machines import (
+    arch_i,
+    arch_ii,
+    dunnington,
+    dunnington_scaled,
+    halve_caches,
+    harpertown,
+    machine_by_name,
+    nehalem,
+)
+
+__all__ = [
+    "CacheSpec",
+    "Machine",
+    "TopologyNode",
+    "parse_topology",
+    "arch_i",
+    "arch_ii",
+    "dunnington",
+    "dunnington_scaled",
+    "halve_caches",
+    "harpertown",
+    "machine_by_name",
+    "nehalem",
+]

@@ -1,0 +1,70 @@
+"""Cache component descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry and timing of one cache component.
+
+    ``level`` is the architectural level name (``"L1"``, ``"L2"``, ...);
+    ``latency`` is the access latency in core cycles.
+    """
+
+    level: str
+    size_bytes: int
+    associativity: int
+    line_size: int
+    latency: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise TopologyError(f"{self.level}: non-positive size {self.size_bytes}")
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise TopologyError(f"{self.level}: line size must be a positive power of two")
+        if self.size_bytes % self.line_size:
+            raise TopologyError(f"{self.level}: size not a multiple of line size")
+        lines = self.size_bytes // self.line_size
+        if self.associativity <= 0 or lines % self.associativity:
+            raise TopologyError(
+                f"{self.level}: {lines} lines not divisible by associativity "
+                f"{self.associativity}"
+            )
+        if self.latency <= 0:
+            raise TopologyError(f"{self.level}: non-positive latency {self.latency}")
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+    def scaled(self, factor: float) -> CacheSpec:
+        """Spec with capacity scaled by ``factor`` (sets scale, ways fixed).
+
+        Used by the Figure 19 experiment (halved capacities).  The result
+        keeps the line size and associativity, so the scaled size must stay
+        a positive multiple of ``line_size * associativity``.
+        """
+        new_size = int(self.size_bytes * factor)
+        chunk = self.line_size * self.associativity
+        new_size = max(chunk, (new_size // chunk) * chunk)
+        return replace(self, size_bytes=new_size)
+
+    def __str__(self) -> str:
+        if self.size_bytes % (1024 * 1024) == 0:
+            size = f"{self.size_bytes // (1024 * 1024)}MB"
+        elif self.size_bytes % 1024 == 0:
+            size = f"{self.size_bytes // 1024}KB"
+        else:
+            size = f"{self.size_bytes}B"
+        return (
+            f"{self.level} {size}, {self.associativity}-way, "
+            f"{self.line_size}-byte line, {self.latency} cycle latency"
+        )

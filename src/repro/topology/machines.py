@@ -1,0 +1,148 @@
+"""Concrete machine descriptions.
+
+The three commercial machines follow Table 1 and Figure 1 of the paper:
+
+* **Harpertown** — 8 cores, 2 sockets, private L1, L2 shared per core pair,
+  no L3 (four last-level caches, so memory is the tree root);
+* **Nehalem** — 8 cores, 2 sockets, private L1 and L2, L3 shared per socket;
+* **Dunnington** — 12 cores, 2 sockets, private L1, L2 shared per core
+  pair, L3 shared per socket.
+
+Off-chip latencies are converted from the nanoseconds of Table 1 to core
+cycles at each machine's clock (100 ns * 3.2 GHz = 320 cycles, and so on).
+
+Figure 12's Arch-I and Arch-II are the deeper hypothetical hierarchies of
+the simulation study: the paper shows their shapes but not their
+parameters, so we pick binary-tree topologies with 4 and 5 on-chip levels
+(Figure 20 references an L4 for Arch-I) and monotone size/latency ladders.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.cache import CacheSpec
+from repro.topology.tree import Machine, TopologyNode
+
+KB = 1024
+MB = 1024 * KB
+
+
+def _group(spec: CacheSpec, children_groups: list[list[TopologyNode]]) -> list[TopologyNode]:
+    return [TopologyNode.cache(spec, group) for group in children_groups]
+
+
+def _chunks(items: list[TopologyNode], size: int) -> list[list[TopologyNode]]:
+    if len(items) % size:
+        raise TopologyError(f"cannot split {len(items)} nodes into groups of {size}")
+    return [items[k : k + size] for k in range(0, len(items), size)]
+
+
+def _uniform_tree(
+    num_cores: int, level_specs: list[tuple[CacheSpec, int]]
+) -> TopologyNode:
+    """Build a level-uniform tree.
+
+    ``level_specs`` lists (spec, cores_per_instance) from L1 upward.  The
+    returned node is the memory root when more than one top-level cache
+    remains, otherwise the single last-level cache.
+    """
+    nodes: list[TopologyNode] = [TopologyNode.core(c) for c in range(num_cores)]
+    covered = 1
+    for spec, per_instance in level_specs:
+        if per_instance % covered:
+            raise TopologyError(
+                f"{spec.level} covers {per_instance} cores, not a multiple of {covered}"
+            )
+        nodes = _group(spec, _chunks(nodes, per_instance // covered))
+        covered = per_instance
+    if len(nodes) == 1:
+        return nodes[0]
+    return TopologyNode.memory(nodes)
+
+
+def harpertown() -> Machine:
+    """Intel Harpertown: 8 cores, L1 private, L2 per core pair, no L3."""
+    l1 = CacheSpec("L1", 32 * KB, 8, 64, 3)
+    l2 = CacheSpec("L2", 6 * MB, 24, 64, 15)
+    root = _uniform_tree(8, [(l1, 1), (l2, 2)])
+    return Machine("harpertown", 3.2, 320, root, sockets=2)
+
+
+def nehalem() -> Machine:
+    """Intel Nehalem: 8 cores, private L1/L2, L3 per 4-core socket."""
+    l1 = CacheSpec("L1", 32 * KB, 8, 64, 4)
+    l2 = CacheSpec("L2", 256 * KB, 8, 64, 10)
+    l3 = CacheSpec("L3", 8 * MB, 16, 64, 35)
+    root = _uniform_tree(8, [(l1, 1), (l2, 1), (l3, 4)])
+    return Machine("nehalem", 2.9, 174, root, sockets=2)
+
+
+def dunnington() -> Machine:
+    """Intel Dunnington: 12 cores, L1 private, L2 per pair, L3 per socket."""
+    return dunnington_scaled(12)
+
+
+def dunnington_scaled(num_cores: int) -> Machine:
+    """Dunnington extended socket by socket (Figure 17: 12, 18, 24 cores).
+
+    The paper grows the Figure 1(c) architecture six cores at a time; each
+    extra socket brings its own L3 and three more pairwise-shared L2s.
+    """
+    if num_cores % 6:
+        raise TopologyError("Dunnington scales in 6-core sockets")
+    l1 = CacheSpec("L1", 32 * KB, 8, 64, 4)
+    l2 = CacheSpec("L2", 3 * MB, 12, 64, 10)
+    l3 = CacheSpec("L3", 12 * MB, 16, 64, 36)
+    root = _uniform_tree(num_cores, [(l1, 1), (l2, 2), (l3, 6)])
+    name = "dunnington" if num_cores == 12 else f"dunnington{num_cores}"
+    return Machine(name, 2.4, 120, root, sockets=num_cores // 6)
+
+
+def arch_i() -> Machine:
+    """Figure 12(a): 16 cores, four on-chip cache levels (binary fan-out)."""
+    l1 = CacheSpec("L1", 32 * KB, 8, 64, 4)
+    l2 = CacheSpec("L2", 512 * KB, 8, 64, 10)
+    l3 = CacheSpec("L3", 4 * MB, 16, 64, 24)
+    l4 = CacheSpec("L4", 16 * MB, 16, 64, 45)
+    root = _uniform_tree(16, [(l1, 1), (l2, 2), (l3, 4), (l4, 8)])
+    return Machine("arch-I", 2.4, 150, root, sockets=2)
+
+
+def arch_ii() -> Machine:
+    """Figure 12(b): 32 cores, five on-chip cache levels (binary fan-out)."""
+    l1 = CacheSpec("L1", 32 * KB, 8, 64, 4)
+    l2 = CacheSpec("L2", 512 * KB, 8, 64, 10)
+    l3 = CacheSpec("L3", 2 * MB, 16, 64, 20)
+    l4 = CacheSpec("L4", 8 * MB, 16, 64, 40)
+    l5 = CacheSpec("L5", 32 * MB, 16, 64, 55)
+    root = _uniform_tree(32, [(l1, 1), (l2, 2), (l3, 4), (l4, 8), (l5, 16)])
+    return Machine("arch-II", 2.4, 170, root, sockets=2)
+
+
+def halve_caches(machine: Machine) -> Machine:
+    """Every cache capacity cut in half (the Figure 19 configuration)."""
+    return machine.with_scaled_caches(0.5)
+
+
+_REGISTRY = {
+    "harpertown": harpertown,
+    "nehalem": nehalem,
+    "dunnington": dunnington,
+    "arch-I": arch_i,
+    "arch-II": arch_ii,
+}
+
+
+def machine_by_name(name: str) -> Machine:
+    """Look up a machine builder by name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise TopologyError(
+            f"unknown machine {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def commercial_machines() -> tuple[Machine, Machine, Machine]:
+    """The three Intel machines of the hardware evaluation."""
+    return harpertown(), nehalem(), dunnington()

@@ -1,0 +1,92 @@
+"""Parsing compact topology spec strings into machines.
+
+Downstream users (and the CLI's ``--topology``) can describe a machine in
+one line instead of building trees by hand::
+
+    cores=8 clock=2.9 mem=174
+    L1:32K/8/64@4 per 1; L2:256K/8/64@10 per 1; L3:8M/16/64@35 per 4
+
+Grammar: ``cores=<n>``, ``clock=<GHz>``, ``mem=<cycles>`` in any order,
+then one cache clause per level, innermost first:
+``<level>:<size>/<ways>/<line>@<latency> per <cores-per-instance>``.
+Sizes accept ``K``/``M`` suffixes.  Clauses are separated by ``;`` or
+newlines.  The per-instance core counts must be non-decreasing and divide
+the core count (level-uniform trees, like every machine in this library).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import TopologyError
+from repro.topology.cache import CacheSpec
+from repro.topology.machines import _uniform_tree
+from repro.topology.tree import Machine
+
+_SETTING = re.compile(r"^(cores|clock|mem|name)\s*=\s*([\w.\-]+)$")
+_CACHE = re.compile(
+    r"^(?P<level>\w+)\s*:\s*(?P<size>\d+(?:\.\d+)?)(?P<unit>[KMG]?)\s*/\s*"
+    r"(?P<ways>\d+)\s*/\s*(?P<line>\d+)\s*@\s*(?P<latency>\d+)"
+    r"(?:\s+per\s+(?P<per>\d+))?$"
+)
+
+_UNIT = {"": 1, "K": 1024, "M": 1024 * 1024, "G": 1024 * 1024 * 1024}
+
+
+def parse_topology(spec: str) -> Machine:
+    """Parse a topology spec string into a :class:`Machine`."""
+    cores: int | None = None
+    clock = 2.0
+    memory_latency: int | None = None
+    name = "custom"
+    levels: list[tuple[CacheSpec, int]] = []
+
+    clauses = [c.strip() for chunk in spec.splitlines() for c in chunk.split(";")]
+    for clause in clauses:
+        if not clause:
+            continue
+        setting = _SETTING.match(clause)
+        if setting:
+            key, value = setting.groups()
+            if key == "cores":
+                cores = int(value)
+            elif key == "clock":
+                clock = float(value)
+            elif key == "mem":
+                memory_latency = int(value)
+            else:
+                name = value
+            continue
+        cache = _CACHE.match(clause)
+        if cache:
+            size = int(float(cache["size"]) * _UNIT[cache["unit"]])
+            spec_obj = CacheSpec(
+                cache["level"],
+                size,
+                int(cache["ways"]),
+                int(cache["line"]),
+                int(cache["latency"]),
+            )
+            per = int(cache["per"]) if cache["per"] else 1
+            levels.append((spec_obj, per))
+            continue
+        raise TopologyError(f"cannot parse topology clause {clause!r}")
+
+    if cores is None:
+        raise TopologyError("topology spec must set cores=<n>")
+    if memory_latency is None:
+        raise TopologyError("topology spec must set mem=<cycles>")
+    if not levels:
+        raise TopologyError("topology spec must define at least one cache level")
+    pers = [per for _, per in levels]
+    if pers != sorted(pers):
+        raise TopologyError(
+            "cache levels must be listed innermost first "
+            "(non-decreasing 'per' counts)"
+        )
+    for _, per in levels:
+        if cores % per:
+            raise TopologyError(f"'per {per}' does not divide {cores} cores")
+    root = _uniform_tree(cores, levels)
+    sockets = max(1, cores // max(pers))
+    return Machine(name, clock, memory_latency, root, sockets=sockets)

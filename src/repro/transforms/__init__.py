@@ -1,0 +1,28 @@
+"""Intra-core locality transformations (the paper's Base+ baseline).
+
+Base+ is "the state-of-the-art in data locality enhancement": per core it
+applies loop permutation (linear/unimodular transformations) and iteration
+space tiling, with the tile size chosen empirically.  Because every scheme
+in the evaluation keeps the per-core iteration *sets* fixed and only
+reorders them, these transforms are exposed as iteration-order rewriters
+over explicit iteration lists, plus the classic legality machinery
+(distance/direction vectors, lexicographic positivity).
+"""
+
+from repro.transforms.unimodular import (
+    direction_vectors,
+    distance_vectors,
+    is_legal_permutation,
+)
+from repro.transforms.permute import best_locality_permutation, permuted_order
+from repro.transforms.tiling import select_tile_sizes, tiled_order
+
+__all__ = [
+    "direction_vectors",
+    "distance_vectors",
+    "is_legal_permutation",
+    "best_locality_permutation",
+    "permuted_order",
+    "select_tile_sizes",
+    "tiled_order",
+]

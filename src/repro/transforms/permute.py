@@ -1,0 +1,82 @@
+"""Locality-driven loop permutation (half of Base+).
+
+The cost model is the classic one: the innermost loop should be the
+dimension with the smallest combined memory stride across references
+(unit-stride spatial locality first, temporal reuse — dimension absent
+from a subscript — best of all).  Among all *legal* permutations we pick
+the one minimizing a stride-weighted cost with the innermost position
+weighted heaviest.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+from repro.errors import TransformError
+from repro.ir.loops import LoopNest
+from repro.transforms.unimodular import distance_vectors, is_legal_permutation
+
+
+def dimension_stride(nest: LoopNest, dim: str) -> int:
+    """Summed memory stride (in elements) a unit step of ``dim`` causes.
+
+    For each reference, stepping ``dim`` by one moves the accessed element
+    by ``sum_k coeff_k(dim) * array_stride_k`` elements; zero means
+    temporal reuse in that reference.
+    """
+    total = 0
+    for access in nest.accesses:
+        move = 0
+        strides = access.array._strides  # row-major element strides
+        for subscript, stride in zip(access.subscripts, strides):
+            move += subscript.coeff(dim) * stride
+        total += abs(move)
+    return total
+
+
+def permutation_cost(nest: LoopNest, perm: Sequence[int]) -> float:
+    """Stride-weighted cost: inner positions dominate geometrically.
+
+    The innermost position's stride counts fully; each step outward is
+    attenuated 4x (a loop one level out advances its subscripts once per
+    full inner sweep).
+    """
+    depth = len(nest.dims)
+    return sum(
+        dimension_stride(nest, nest.dims[original]) * (4.0 ** -(depth - 1 - pos))
+        for pos, original in enumerate(perm)
+    )
+
+
+def best_locality_permutation(nest: LoopNest) -> tuple[int, ...]:
+    """Legal permutation minimizing the stride cost (identity on ties)."""
+    depth = len(nest.dims)
+    if depth == 1:
+        return (0,)
+    distances = distance_vectors(nest) if not nest.parallel else set()
+    best: tuple[int, ...] | None = None
+    best_cost = float("inf")
+    for perm in itertools.permutations(range(depth)):
+        if distances and not is_legal_permutation(perm, distances):
+            continue
+        cost = permutation_cost(nest, perm)
+        if cost < best_cost or (cost == best_cost and perm == tuple(range(depth))):
+            best_cost = cost
+            best = perm
+    if best is None:
+        # No legal reordering at all: keep the original order.
+        return tuple(range(depth))
+    return best
+
+
+def permuted_order(
+    points: Sequence[tuple[int, ...]], perm: Sequence[int]
+) -> list[tuple[int, ...]]:
+    """Reorder an explicit iteration list as the permuted nest would visit it."""
+    perm = tuple(perm)
+    if points and len(perm) != len(points[0]):
+        raise TransformError(
+            f"permutation of length {len(perm)} on {len(points[0])}-d points"
+        )
+    return sorted(points, key=lambda p: tuple(p[k] for k in perm))

@@ -1,0 +1,103 @@
+"""Iteration-space tiling (blocking) — the other half of Base+.
+
+Tiling reorders iterations tile by tile so the working set of a tile fits
+in cache before the sweep moves on.  Because our baselines reorder
+explicit iteration lists, :func:`tiled_order` sorts points by
+(tile coordinates, intra-tile coordinates); legality is inherited from the
+permutation check (tiling a legal loop order with rectangular tiles is
+legal for the fully-permutable orders we apply it to — the paper's Base+
+applies it the same way).
+
+Tile-size selection follows the paper's empirical spirit: candidates are
+scored by a working-set model (distinct cache lines a tile touches) and
+the largest tile whose footprint fits the target cache is chosen;
+experiments can instead sweep candidates through the simulator and pick
+the fastest, exactly as the paper did.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import TransformError
+from repro.ir.loops import LoopNest
+
+DEFAULT_CANDIDATES = (4, 8, 16, 32, 64, 128)
+
+
+def tiled_order(
+    points: Sequence[tuple[int, ...]],
+    tile_sizes: Sequence[int],
+    perm: Sequence[int] | None = None,
+) -> list[tuple[int, ...]]:
+    """Reorder an iteration list in tiled (blocked) order.
+
+    Points are sorted by tile coordinate first, then by intra-tile
+    coordinate, both in the (optionally permuted) dimension order.
+    """
+    if not points:
+        return []
+    depth = len(points[0])
+    if len(tile_sizes) != depth:
+        raise TransformError(f"need {depth} tile sizes, got {len(tile_sizes)}")
+    if any(t <= 0 for t in tile_sizes):
+        raise TransformError(f"tile sizes must be positive: {tile_sizes}")
+    order = tuple(perm) if perm is not None else tuple(range(depth))
+
+    def key(point: tuple[int, ...]) -> tuple:
+        tiles = tuple(point[k] // tile_sizes[k] for k in order)
+        intra = tuple(point[k] for k in order)
+        return tiles + intra
+
+    return sorted(points, key=key)
+
+
+def tile_footprint_bytes(nest: LoopNest, tile_sizes: Sequence[int]) -> int:
+    """Working-set estimate of one tile, in bytes.
+
+    For each reference, a tile of extents ``T`` maps to a data region of
+    extent ``sum_k |coeff(dim_k)| * (T_k - 1) + 1`` per array dimension;
+    the product over array dimensions (clipped to the array bounds) times
+    the element size approximates the tile's footprint for that reference.
+    Distinct references to the same array overlap, so this over-estimates
+    — which only biases toward smaller, safer tiles.
+    """
+    if len(tile_sizes) != len(nest.dims):
+        raise TransformError(
+            f"need {len(nest.dims)} tile sizes, got {len(tile_sizes)}"
+        )
+    total = 0
+    for access in nest.accesses:
+        region = 1
+        for dim_index, subscript in enumerate(access.subscripts):
+            extent = 1
+            for k, dim in enumerate(nest.dims):
+                extent += abs(subscript.coeff(dim)) * (tile_sizes[k] - 1)
+            extent = min(extent, access.array.extents[dim_index])
+            region *= extent
+        total += region * access.array.element_size
+    return total
+
+
+def select_tile_sizes(
+    nest: LoopNest,
+    cache_bytes: int,
+    candidates: Sequence[int] = DEFAULT_CANDIDATES,
+) -> tuple[int, ...]:
+    """Largest square tile whose modeled footprint fits ``cache_bytes``.
+
+    Returns one size per loop dimension.  Falls back to the smallest
+    candidate when nothing fits (tiny caches) — tiling never makes the
+    iteration *set* wrong, only less effective.
+    """
+    if cache_bytes <= 0:
+        raise TransformError("cache size must be positive")
+    depth = len(nest.dims)
+    best = (min(candidates),) * depth
+    for size in sorted(candidates):
+        tile = (size,) * depth
+        if tile_footprint_bytes(nest, tile) <= cache_bytes:
+            best = tile
+        else:
+            break
+    return best

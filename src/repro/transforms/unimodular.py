@@ -1,0 +1,60 @@
+"""Legality machinery for loop reordering.
+
+Classical theory: a loop permutation is legal iff every dependence
+distance vector remains lexicographically positive after permuting its
+components.  Distance vectors come from the exact polyhedral dependence
+pairs of :mod:`repro.ir.dependences` (uniform dependences give a small
+constant set; non-uniform nests contribute their sampled distances, which
+is conservative enough for the Base+ baseline: an illegal permutation is
+never reported legal because legality is judged on *observed* distances of
+the very iteration space being transformed, which is exhaustive for the
+bounded spaces this library works on).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import TransformError
+from repro.ir.dependences import iteration_dependences
+from repro.ir.loops import LoopNest
+from repro.util.mathutil import sign
+
+
+def distance_vectors(nest: LoopNest, limit: int | None = 20_000) -> set[tuple[int, ...]]:
+    """Distinct dependence distance vectors of the nest (exact, enumerated)."""
+    return {pair.distance for pair in iteration_dependences(nest, limit=limit)}
+
+
+def direction_vectors(nest: LoopNest, limit: int | None = 20_000) -> set[tuple[int, ...]]:
+    """Distinct direction vectors: the componentwise signs of distances."""
+    return {tuple(sign(x) for x in d) for d in distance_vectors(nest, limit)}
+
+
+def _lex_positive(vector: Sequence[int]) -> bool:
+    for x in vector:
+        if x > 0:
+            return True
+        if x < 0:
+            return False
+    return False
+
+
+def is_legal_permutation(
+    perm: Sequence[int], distances: Iterable[tuple[int, ...]]
+) -> bool:
+    """True iff every distance vector stays lexicographically positive.
+
+    ``perm[k]`` gives the original dimension placed at position ``k``.
+    An empty distance set (fully parallel nest) makes every permutation
+    legal.
+    """
+    perm = tuple(perm)
+    for distance in distances:
+        if len(distance) != len(perm):
+            raise TransformError(
+                f"distance vector {distance} does not match permutation {perm}"
+            )
+        if not _lex_positive([distance[p] for p in perm]):
+            return False
+    return True

@@ -1,0 +1,51 @@
+"""Integer arithmetic helpers used by the polyhedral substrate."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+
+def floor_div(a: int, b: int) -> int:
+    """Floor division that is explicit about intent (``a // b`` with b != 0)."""
+    if b == 0:
+        raise ZeroDivisionError("floor_div by zero")
+    return a // b
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for integers of any sign.
+
+    >>> ceil_div(7, 2), ceil_div(-7, 2)
+    (4, -3)
+    """
+    if b == 0:
+        raise ZeroDivisionError("ceil_div by zero")
+    return -((-a) // b)
+
+
+def sign(x: int) -> int:
+    """-1, 0 or 1 according to the sign of ``x``."""
+    if x > 0:
+        return 1
+    if x < 0:
+        return -1
+    return 0
+
+
+def gcd_list(values: Iterable[int]) -> int:
+    """GCD of an iterable (0 for an empty iterable)."""
+    acc = 0
+    for value in values:
+        acc = math.gcd(acc, value)
+    return acc
+
+
+def lcm_list(values: Iterable[int]) -> int:
+    """LCM of an iterable (1 for an empty iterable)."""
+    acc = 1
+    for value in values:
+        if value == 0:
+            return 0
+        acc = acc * value // math.gcd(acc, value)
+    return abs(acc)

@@ -1,0 +1,77 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints paper-style tables (Table 1, Table 2, and one
+row block per figure).  We keep the renderer dependency-free so reports can
+be produced anywhere the library runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    align: str | Sequence[str] | None = None,
+) -> str:
+    """Render a monospace table.
+
+    ``align`` is either a single character applied to all columns or one
+    character per column: ``'l'`` (left), ``'r'`` (right), ``'c'`` (center).
+    Numeric-looking cells default to right alignment, everything else left.
+    """
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    ncols = len(headers)
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError(f"row has {len(row)} cells, expected {ncols}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    if align is None:
+        aligns = []
+        for j in range(ncols):
+            column = [row[j] for row in str_rows]
+            numeric = column and all(_looks_numeric(c) for c in column)
+            aligns.append("r" if numeric else "l")
+    elif isinstance(align, str) and len(align) == 1:
+        aligns = [align] * ncols
+    else:
+        aligns = list(align)
+        if len(aligns) != ncols:
+            raise ValueError("align must give one spec per column")
+
+    def pad(cell: str, width: int, how: str) -> str:
+        if how == "r":
+            return cell.rjust(width)
+        if how == "c":
+            return cell.center(width)
+        return cell.ljust(width)
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(pad(h, widths[j], "c") for j, h in enumerate(headers)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(pad(cell, widths[j], aligns[j]) for j, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def _looks_numeric(cell: str) -> bool:
+    try:
+        float(cell.rstrip("%x"))
+        return True
+    except ValueError:
+        return False

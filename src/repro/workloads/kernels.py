@@ -1,0 +1,212 @@
+"""Kernel sources for the twelve applications.
+
+Each builder returns (source, num_blocks): the loop-language source of the
+kernel and the default data-block count for tagging.  The access patterns
+model the data-sharing structure of each application class:
+
+* **mirrored / folded gathers** (galgel, bodytrack, namd, freqmine,
+  povray) — every element is read by several iterations that sit *far
+  apart* in the iteration space (mirrored modes of an oscillatory solver,
+  flipped reference frames, symmetric force pairs, folded scans).  A
+  contiguous (Base) distribution places the sharers on cores without any
+  cache affinity, and no intra-core transform (Base+) can repair that:
+  only topology-aware placement co-locates them.
+* **multi-tap bands** (equake, cg, sp, h264) — strided sharing at a reach
+  of several data blocks; chained groups reward both placement and the
+  Figure 7 group *scheduling*.
+* **stencil** (applu) — near-neighbor sharing only; the default
+  distribution is already nearly aligned, so gains are small (the paper's
+  per-application variation shows the same).
+* **transpose** (facesim, mesa) — row/column-crossing references with
+  pathological default order (power-of-two rows conflict in the cache
+  sets); conventional locality optimization (Base+) shines here, and
+  topology-aware placement adds cross-core sharing on top.
+"""
+
+from __future__ import annotations
+
+
+def galgel(n: int = 256, band: int = 16) -> tuple[str, int]:
+    """Fluid dynamics: oscillatory instability — mirrored modes + local band.
+
+    The two coupling scales are the point: the mirror pairs want
+    socket-level co-location while the {band}-row band wants pair-level
+    (shared L2) co-location, so the best mapping depends on the whole
+    cache topology (this is the paper's Figure 2 motivating application).
+    """
+    src = f"""
+// galgel: oscillatory instability analysis.  Each cell couples with its
+// vertical mirror image (a far iteration) and with cells {band} rows away
+// (near iterations) - two sharing scales.
+array V[{n}][{n}];
+array W[{n}][{n}];
+parallel for (i = {band}; i < {n - band}; i++)
+  for (j = 0; j < {n}; j++)
+    W[i][j] = V[i][j] + V[{n - 1} - i][j] + V[i + {band}][j] + V[i - {band}][j];
+"""
+    return src, 64
+
+
+def applu(n: int = 200) -> tuple[str, int]:
+    """SSOR solver: 5-point stencil sweep (near-neighbor sharing only)."""
+    src = f"""
+// applu: SSOR relaxation step over the interior of the grid.
+array U0[{n + 2}][{n + 2}];
+array U1[{n + 2}][{n + 2}];
+parallel for (i = 1; i <= {n}; i++)
+  for (j = 1; j <= {n}; j++)
+    U1[i][j] = U0[i][j] + U0[i - 1][j] + U0[i + 1][j]
+             + U0[i][j - 1] + U0[i][j + 1];
+"""
+    return src, 64
+
+
+def equake(m: int = 98304, num_blocks: int = 192) -> tuple[str, int]:
+    """Seismic wave propagation: five-tap symmetric band at long reach.
+
+    ``num_blocks`` counts blocks over *both* arrays; the tap reaches are
+    exact multiples of the block extent so the sharing chains align with
+    block boundaries (the partition never splits a tap pair).
+    """
+    block = (2 * m) // num_blocks  # elements per block
+    k1 = 4 * block
+    k2 = 8 * block
+    src = f"""
+// equake: wave-front update couples element j with j +/- K1 and j +/- K2
+// (reaches of 4 and 8 data blocks), so each element is read by five
+// far-apart iterations.  Reaches are exact block multiples.
+array A[{m}];
+array B[{m}];
+parallel for (j = {k2}; j < {m - k2}; j++)
+  B[j] = A[j] + A[j + {k1}] + A[j - {k1}] + A[j + {k2}] + A[j - {k2}];
+"""
+    return src, num_blocks
+
+
+def cg(m: int = 98304, num_blocks: int = 96) -> tuple[str, int]:
+    """Conjugate gradient: banded sparse matrix-vector, four off-diagonals."""
+    block = m // num_blocks
+    k1 = 6 * block
+    k2 = 18 * block
+    src = f"""
+// cg: y = banded A*x with off-diagonals at reaches of 6 and 18 blocks.
+array X[{m}];
+array Y[{m}];
+parallel for (i = {k2}; i < {m - k2}; i++)
+  Y[i] = X[i] + X[i + {k1}] + X[i - {k1}] + X[i + {k2}] + X[i - {k2}];
+"""
+    return src, num_blocks
+
+
+def sp(n: int = 224, band: int = 56) -> tuple[str, int]:
+    """Scalar penta-diagonal solver: wide vertical band in the grid."""
+    src = f"""
+// sp: penta-diagonal coupling along i at distances {band} and {2 * band} rows.
+array P0[{n}][{n}];
+array P1[{n}][{n}];
+parallel for (i = {band}; i < {n - band}; i++)
+  for (j = 0; j < {n}; j++)
+    P1[i][j] = P0[i][j] + P0[i + {band}][j] + P0[i - {band}][j];
+"""
+    return src, 64
+
+
+def bodytrack(n: int = 256) -> tuple[str, int]:
+    """Body tracking: likelihood over the frame and its two flips."""
+    src = f"""
+// bodytrack: the likelihood kernel reads the frame, its vertical flip and
+// its double flip - three far-apart sharers per element.
+array F0[{n}][{n}];
+array D[{n}][{n}];
+parallel for (i = 0; i < {n}; i++)
+  for (j = 0; j < {n}; j++)
+    D[i][j] = F0[i][j] + F0[{n - 1} - i][j] + F0[{n - 1} - i][{n - 1} - j];
+"""
+    return src, 96
+
+
+def facesim(n: int = 256) -> tuple[str, int]:
+    """Face simulation: symmetric mesh operator (transpose coupling)."""
+    src = f"""
+// facesim: symmetric stiffness application couples E[i][j] with E[j][i];
+// the power-of-two row size makes the default column order pathological.
+array E[{n}][{n}];
+array S[{n}][{n}];
+parallel for (i = 0; i < {n}; i++)
+  for (j = 0; j < {n}; j++)
+    S[i][j] = E[i][j] + E[j][i];
+"""
+    return src, 32
+
+
+def freqmine(m: int = 49152) -> tuple[str, int]:
+    """Frequent itemset mining: four-tap folded transaction scan."""
+    src = f"""
+// freqmine: the counting pass reads the transaction list from both ends
+// of each half (folded scan), so every element is read twice from
+// iterations on opposite sides of the iteration space.
+array T[{2 * m}];
+array C[{m}];
+parallel for (j = 0; j < {m}; j++)
+  C[j] = C[j] + T[j] + T[{m - 1} - j] + T[j + {m}] + T[{2 * m - 1} - j];
+"""
+    return src, 96
+
+
+def namd(c: int = 96, k: int = 512) -> tuple[str, int]:
+    """Molecular dynamics: mirrored-cell pair forces over a cell list."""
+    src = f"""
+// namd: force on particle (c, k) accumulates its mirror cell partners
+// (C-1-c, k) and (C-1-c, K-1-k) - symmetric pair interactions.
+array Q[{c}][{k}];
+array F[{c}][{k}];
+parallel for (i = 0; i < {c}; i++)
+  for (j = 0; j < {k}; j++)
+    F[i][j] = Q[i][j] + Q[{c - 1} - i][j] + Q[{c - 1} - i][{k - 1} - j];
+"""
+    return src, 64
+
+
+def povray(n: int = 256) -> tuple[str, int]:
+    """Ray tracing: diagonal + mirrored buffer gathers."""
+    src = f"""
+// povray: secondary-ray gather mixes the transposed buffer with the
+// vertically mirrored one.
+array I0[{n}][{n}];
+array I1[{n}][{n}];
+parallel for (i = 0; i < {n}; i++)
+  for (j = 0; j < {n}; j++)
+    I1[i][j] = I0[i][j] + I0[j][i] + I0[{n - 1} - i][j];
+"""
+    return src, 32
+
+
+def mesa(n: int = 256) -> tuple[str, int]:
+    """3-D graphics: texture swizzle (transpose + vertical flip)."""
+    src = f"""
+// mesa: swizzled texture copy reading the transposed and flip-transposed
+// texture; the column-major reads with a power-of-two row size have
+// terrible default order (the Base+ transforms shine here).
+array X[{n}][{n}];
+array O[{n}][{n}];
+parallel for (i = 0; i < {n}; i++)
+  for (j = 0; j < {n}; j++)
+    O[i][j] = X[j][i] + X[{n - 1} - j][i];
+"""
+    return src, 32
+
+
+def h264(n: int = 240, window: int = 60) -> tuple[str, int]:
+    """H.264 motion estimation: search-window gathers around each block."""
+    src = f"""
+// h264: motion search reads the reference frame at +/- the window offset
+// in both dimensions (four-tap window).
+array C0[{n}][{n}];
+array P[{n}][{n}];
+array R[{n}][{n}];
+parallel for (i = {window}; i < {n - window}; i++)
+  for (j = {window}; j < {n - window}; j++)
+    R[i][j] = C0[i][j] + P[i][j + {window}] + P[i][j - {window}]
+            + P[i + {window}][j] + P[i - {window}][j];
+"""
+    return src, 96

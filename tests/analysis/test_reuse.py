@@ -1,0 +1,73 @@
+"""Unit tests for reuse-distance profiles."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.analysis import reuse_distance_profile
+from repro.analysis.reuse import _distances
+from repro.lang import compile_source
+from repro.mapping import TopologyAwareMapper, base_plan
+
+
+class TestDistances:
+    def test_first_touches(self):
+        first, hist = _distances([1, 2, 3])
+        assert first == 3 and hist == {}
+
+    def test_immediate_reuse(self):
+        first, hist = _distances([1, 1])
+        assert first == 1 and hist == {0: 1}
+
+    def test_distance_counts_distinct(self):
+        # 1 .. 2 2 3 .. 1: between the two 1s, distinct lines {2, 3}.
+        first, hist = _distances([1, 2, 2, 3, 1])
+        assert hist[2] == 1  # the second 1
+        assert hist[0] == 1  # the second 2
+
+    def test_empty(self):
+        assert _distances([]) == (0, {})
+
+
+class TestProfile:
+    @pytest.fixture(scope="class")
+    def setup(self, ):
+        m = 512
+        program = compile_source(
+            f"""
+            array Q[{m}];
+            array F[{m}];
+            parallel for (j = 0; j < {m}; j++)
+              F[j] = F[j] + Q[j] + Q[{m - 1} - j];
+            """,
+            name="mirror",
+        )
+        return program
+
+    def test_accounting(self, setup, fig9_machine):
+        plan = base_plan(setup.nests[0], fig9_machine)
+        profile = reuse_distance_profile(plan, core=0, line_size=32)
+        bucketed = sum(count for _, count in profile.histogram)
+        assert profile.first_touches + bucketed == profile.total_accesses
+
+    def test_hits_monotone_in_capacity(self, setup, fig9_machine):
+        plan = base_plan(setup.nests[0], fig9_machine)
+        profile = reuse_distance_profile(plan, core=0, line_size=32)
+        assert profile.hits_under(16) <= profile.hits_under(256)
+
+    def test_scheduling_shortens_distances(self, setup, fig9_machine):
+        """The combined scheme chains mirror pairs: far more short-distance
+        reuse than Base's order at small capacities."""
+        nest = setup.nests[0]
+        base = base_plan(nest, fig9_machine)
+        mapper = TopologyAwareMapper(
+            fig9_machine, block_size=256, balance_threshold=0.02, local_scheduling=True
+        )
+        ta = mapper.map_nest(setup, nest).plan()
+        base_profile = reuse_distance_profile(base, core=0, line_size=32)
+        ta_profile = reuse_distance_profile(ta, core=0, line_size=32)
+        assert ta_profile.hit_ratio_under(64) >= base_profile.hit_ratio_under(64)
+
+    def test_bad_core(self, setup, fig9_machine):
+        plan = base_plan(setup.nests[0], fig9_machine)
+        with pytest.raises(SimulationError):
+            reuse_distance_profile(plan, core=99)

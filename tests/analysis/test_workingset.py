@@ -1,0 +1,85 @@
+"""Unit tests for working-set / replication analysis."""
+
+import pytest
+
+from repro.blocks.datablocks import DataBlockPartition
+from repro.lang import compile_source
+from repro.mapping import TopologyAwareMapper, base_plan
+from repro.analysis import analyze_plan, replication_factor, sharing_matrix
+
+
+@pytest.fixture(scope="module")
+def mirror_setup():
+    m = 1024
+    program = compile_source(
+        f"""
+        array Q[{m}];
+        array F[{m}];
+        parallel for (j = 0; j < {m}; j++)
+          F[j] = F[j] + Q[j] + Q[{m - 1} - j];
+        """,
+        name="mirror",
+    )
+    partition = DataBlockPartition(list(program.arrays.values()), 512)
+    return program, partition
+
+
+class TestReplication:
+    def test_base_replicates_mirror_reads(self, mirror_setup, fig9_machine):
+        program, partition = mirror_setup
+        nest = program.nests[0]
+        base = base_plan(nest, fig9_machine)
+        mapper = TopologyAwareMapper(fig9_machine, block_size=512, balance_threshold=0.02)
+        ta = mapper.map_nest(program, nest).plan()
+        base_rep = replication_factor(base, partition, "L2")
+        ta_rep = replication_factor(ta, partition, "L2")
+        # The mirrored Q reads force Base to pull each Q block under both
+        # L2s; TopologyAware co-locates the mirror pairs.
+        assert base_rep > ta_rep
+        assert ta_rep == pytest.approx(1.0, abs=0.2)
+
+    def test_replication_at_least_one(self, mirror_setup, fig9_machine):
+        program, partition = mirror_setup
+        plan = base_plan(program.nests[0], fig9_machine)
+        for level in ("L1", "L2", "L3"):
+            assert replication_factor(plan, partition, level) >= 1.0
+
+    def test_single_shared_level_is_one(self, mirror_setup, fig9_machine):
+        program, partition = mirror_setup
+        plan = base_plan(program.nests[0], fig9_machine)
+        # Everything sits under the single L3: no replication possible.
+        assert replication_factor(plan, partition, "L3") == pytest.approx(1.0)
+
+
+class TestSharingMatrix:
+    def test_symmetric_with_self_counts(self, mirror_setup, fig9_machine):
+        program, partition = mirror_setup
+        plan = base_plan(program.nests[0], fig9_machine)
+        matrix = sharing_matrix(plan, partition)
+        n = len(matrix)
+        for a in range(n):
+            for b in range(n):
+                assert matrix[a][b] == matrix[b][a]
+            assert matrix[a][a] >= max(matrix[a])
+
+
+class TestAnalyzePlan:
+    def test_alignment_improves_with_topology_aware(self, mirror_setup, fig9_machine):
+        program, partition = mirror_setup
+        nest = program.nests[0]
+        base = analyze_plan(base_plan(nest, fig9_machine), partition)
+        mapper = TopologyAwareMapper(fig9_machine, block_size=512, balance_threshold=0.02)
+        ta = analyze_plan(mapper.map_nest(program, nest).plan(), partition)
+        assert ta.sharing_alignment >= base.sharing_alignment
+
+    def test_table_renders(self, mirror_setup, fig9_machine):
+        program, partition = mirror_setup
+        analysis = analyze_plan(base_plan(program.nests[0], fig9_machine), partition)
+        text = analysis.table()
+        assert "replication" in text and "alignment" in text
+
+    def test_core_block_counts(self, mirror_setup, fig9_machine):
+        program, partition = mirror_setup
+        analysis = analyze_plan(base_plan(program.nests[0], fig9_machine), partition)
+        assert len(analysis.core_block_counts) == 4
+        assert all(c > 0 for c in analysis.core_block_counts)

@@ -1,0 +1,88 @@
+"""Unit tests for the data-block partition."""
+
+import pytest
+
+from repro.errors import BlockingError
+from repro.blocks.datablocks import DataBlockPartition
+from repro.ir.arrays import Array
+
+
+def parts(extents=(64,), block=64, element=8):
+    return DataBlockPartition([Array("A", extents, element)], block)
+
+
+class TestConstruction:
+    def test_block_count(self):
+        # 64 elements x 8B = 512B; 64B blocks of 8 elements -> 8 blocks.
+        assert parts().num_blocks == 8
+
+    def test_partial_last_block(self):
+        p = DataBlockPartition([Array("A", (10,), 8)], 64)
+        assert p.num_blocks == 2  # 8 + 2 elements
+
+    def test_blocks_never_cross_arrays(self):
+        p = DataBlockPartition([Array("A", (9,), 8), Array("B", (4,), 8)], 64)
+        # A: 2 blocks (8 + 1), B starts a fresh block.
+        assert p.blocks_of_array("A") == range(0, 2)
+        assert p.blocks_of_array("B") == range(2, 3)
+
+    def test_sequential_numbering(self):
+        p = DataBlockPartition(
+            [Array("A", (16,), 8), Array("B", (16,), 8)], 64
+        )
+        assert list(p.blocks_of_array("A")) == [0, 1]
+        assert list(p.blocks_of_array("B")) == [2, 3]
+
+    def test_non_positive_block_size(self):
+        with pytest.raises(BlockingError):
+            parts(block=0)
+
+    def test_block_not_multiple_of_element(self):
+        with pytest.raises(BlockingError):
+            DataBlockPartition([Array("A", (8,), 8)], 20)
+
+    def test_empty_arrays(self):
+        with pytest.raises(BlockingError):
+            DataBlockPartition([], 64)
+
+    def test_duplicate_names(self):
+        with pytest.raises(BlockingError):
+            DataBlockPartition([Array("A", (8,)), Array("A", (8,))], 64)
+
+
+class TestLookup:
+    def test_block_of(self):
+        p = parts()
+        assert p.block_of("A", 0) == 0
+        assert p.block_of("A", 7) == 0
+        assert p.block_of("A", 8) == 1
+
+    def test_block_of_second_array(self):
+        p = DataBlockPartition([Array("A", (8,), 8), Array("B", (8,), 8)], 64)
+        assert p.block_of("B", 0) == 1
+
+    def test_block_of_unknown_array(self):
+        with pytest.raises(BlockingError):
+            parts().block_of("Z", 0)
+
+    def test_negative_offset(self):
+        with pytest.raises(BlockingError):
+            parts().block_of("A", -1)
+
+    def test_array_of_block(self):
+        p = DataBlockPartition([Array("A", (8,), 8), Array("B", (8,), 8)], 64)
+        assert p.array_of_block(0).name == "A"
+        assert p.array_of_block(1).name == "B"
+
+    def test_array_of_block_out_of_range(self):
+        with pytest.raises(BlockingError):
+            parts().array_of_block(99)
+
+    def test_elements_per_block(self):
+        assert parts().elements_per_block("A") == 8
+
+    def test_paper_example_twelve_blocks(self):
+        # Figure 5: m = 12k elements, blocks of k elements -> 12 blocks.
+        k = 4
+        p = DataBlockPartition([Array("B", (12 * k,), 8)], k * 8)
+        assert p.num_blocks == 12

@@ -1,0 +1,115 @@
+"""Unit tests for iteration groups and group sets."""
+
+import pytest
+
+from repro.errors import BlockingError
+from repro.blocks.datablocks import DataBlockPartition
+from repro.blocks.groups import GroupSet, IterationGroup
+from repro.blocks.tagger import tag_iterations
+from repro.poly.codegen import compile_enumerator
+
+
+class TestIterationGroup:
+    def test_size(self):
+        g = IterationGroup(0b11, [(0,), (1,), (2,)])
+        assert g.size == 3
+
+    def test_iterations_sorted(self):
+        g = IterationGroup(0b1, [(2,), (0,), (1,)])
+        assert g.iterations == ((0,), (1,), (2,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(BlockingError):
+            IterationGroup(0b1, [])
+
+    def test_split(self):
+        g = IterationGroup(0b1, [(0,), (1,), (2,), (3,)], write_tag=0b1)
+        a, b = g.split(1)
+        assert a.size == 1 and b.size == 3
+        assert a.tag == b.tag == g.tag
+        assert a.write_tag == g.write_tag
+
+    def test_split_bounds(self):
+        g = IterationGroup(0b1, [(0,), (1,)])
+        with pytest.raises(BlockingError):
+            g.split(0)
+        with pytest.raises(BlockingError):
+            g.split(2)
+
+    def test_unique_idents(self):
+        a = IterationGroup(0b1, [(0,)])
+        b = IterationGroup(0b1, [(0,)])
+        assert a.ident != b.ident
+
+    def test_enumerator_source_compiles(self):
+        g = IterationGroup(0b1, [(0, 1), (2, 3)])
+        fn = compile_enumerator(g.enumerator_source())
+        assert list(fn()) == [(0, 1), (2, 3)]
+
+    def test_enumerator_box_mode(self):
+        # A contiguous run decomposes into one box -> a loop, not a table.
+        g = IterationGroup(0b1, [(k,) for k in range(16)])
+        source = g.enumerator_source(mode="boxes")
+        assert "range(" in source and "_points = (" not in source
+        fn = compile_enumerator(source)
+        assert list(fn()) == list(g.iterations)
+
+    def test_enumerator_auto_prefers_boxes_for_runs(self):
+        g = IterationGroup(0b1, [(k,) for k in range(32)])
+        assert "range(" in g.enumerator_source(mode="auto")
+
+    def test_enumerator_auto_falls_back_for_scattered(self):
+        g = IterationGroup(0b1, [(3 * k,) for k in range(8)])
+        assert "_points = (" in g.enumerator_source(mode="auto")
+
+    def test_enumerator_unknown_mode(self):
+        g = IterationGroup(0b1, [(0,)])
+        with pytest.raises(BlockingError):
+            g.enumerator_source(mode="magic")
+
+    def test_immutable(self):
+        g = IterationGroup(0b1, [(0,)])
+        with pytest.raises(AttributeError):
+            g.tag = 5
+
+
+class TestGroupSet:
+    def test_partition_verifies(self, fig5_program):
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 32)
+        gs = tag_iterations(nest, part)
+        gs.verify_partition()
+
+    def test_total_iterations(self, fig5_program):
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 32)
+        gs = tag_iterations(nest, part)
+        assert gs.total_iterations() == nest.iteration_count()
+
+    def test_duplicate_iteration_detected(self, fig5_program):
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 32)
+        g = IterationGroup(0b1, [(8,)])
+        bad = GroupSet(nest, part, [g, IterationGroup(0b10, [(8,)])])
+        with pytest.raises(BlockingError):
+            bad.verify_partition()
+
+    def test_incomplete_cover_detected(self, fig5_program):
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 32)
+        bad = GroupSet(nest, part, [IterationGroup(0b1, [(8,)])])
+        with pytest.raises(BlockingError):
+            bad.verify_partition()
+
+    def test_describe(self, fig5_program):
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 32)
+        gs = tag_iterations(nest, part)
+        text = gs.describe(max_rows=2)
+        assert "tau=" in text and "more" in text
+
+    def test_iterable(self, fig5_program):
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 32)
+        gs = tag_iterations(nest, part)
+        assert len(list(gs)) == len(gs)

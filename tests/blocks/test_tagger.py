@@ -1,0 +1,130 @@
+"""Unit tests for iteration tagging and block-size selection."""
+
+import pytest
+
+from repro.errors import BlockingError
+from repro.blocks.datablocks import DataBlockPartition
+from repro.blocks.tagger import choose_block_size, tag_iterations
+from repro.blocks.tags import render
+from repro.lang import compile_source
+
+
+class TestFigure10:
+    """The paper's running example must reproduce exactly."""
+
+    def test_tags_match_figure_10a(self, fig5_program):
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 4 * 8)
+        gs = tag_iterations(nest, part)
+        expected = [
+            "101010000000", "010101000000", "001010100000", "000101010000",
+            "000010101000", "000001010100", "000000101010", "000000010101",
+        ]
+        assert [render(g.tag, 12) for g in gs.groups] == expected
+
+    def test_group_sizes_are_k(self, fig5_program):
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 4 * 8)
+        gs = tag_iterations(nest, part)
+        assert all(g.size == 4 for g in gs.groups)
+
+
+class TestTagging:
+    def test_write_and_read_tags(self):
+        prog = compile_source(
+            "array A[16]; array B[16]; parallel for (i=0;i<16;i++) A[i] = B[i];"
+        )
+        nest = prog.nests[0]
+        part = DataBlockPartition(list(prog.arrays.values()), 64)
+        gs = tag_iterations(nest, part)
+        for g in gs.groups:
+            # A blocks are 0..1, B blocks 2..3: writes go to A only.
+            assert g.write_tag and g.write_tag < 4
+            assert g.read_tag >= 4
+
+    def test_tag_is_union_of_read_write(self):
+        prog = compile_source(
+            "array A[32]; parallel for (i=0;i<16;i++) A[i] = A[i + 16];"
+        )
+        nest = prog.nests[0]
+        part = DataBlockPartition(list(prog.arrays.values()), 64)
+        for g in tag_iterations(nest, part).groups:
+            assert g.tag == (g.read_tag | g.write_tag)
+
+    def test_deterministic_group_order(self, fig5_program):
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 32)
+        a = tag_iterations(nest, part)
+        b = tag_iterations(nest, part)
+        assert [g.tag for g in a.groups] == [g.tag for g in b.groups]
+
+    def test_max_groups_guard(self, fig5_program):
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 8)
+        with pytest.raises(BlockingError):
+            tag_iterations(nest, part, max_groups=3)
+
+    def test_no_accesses_rejected(self, fig5_program):
+        from repro.ir.loops import LoopNest
+
+        nest = fig5_program.nests[0]
+        empty = LoopNest("empty", nest.space, [])
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 32)
+        with pytest.raises(BlockingError):
+            tag_iterations(empty, part)
+
+    def test_out_of_bounds_nest_rejected(self):
+        from repro.errors import IRError
+
+        prog = compile_source("array A[8]; parallel for (i=0;i<8;i++) A[i] = 1;")
+        nest = prog.nests[0]
+        # Build a partition for a *smaller* clone of A to force a mismatch
+        # is not possible via the frontend; instead check the validation
+        # path directly with a hand-built nest.
+        from repro.ir.accesses import ArrayAccess
+        from repro.ir.arrays import Array
+        from repro.ir.loops import LoopNest
+        from repro.poly.affine import AffineExpr
+        from repro.poly.intset import IntSet
+
+        arr = Array("A", (4,))
+        bad = LoopNest(
+            "bad",
+            IntSet.box(["i"], [(0, 7)]),
+            [ArrayAccess(arr, ("i",), [AffineExpr.var("i")], is_write=True)],
+        )
+        part = DataBlockPartition([arr], 32)
+        with pytest.raises(IRError):
+            tag_iterations(bad, part)
+
+
+class TestBlockSizeHeuristic:
+    def prog(self, refs=2):
+        body = " + ".join(f"A[i + {k}]" for k in range(refs - 1)) or "1"
+        return compile_source(
+            f"array A[64]; parallel for (i=0;i<32;i++) A[i] = {body};"
+        )
+
+    def test_capped_at_default(self):
+        prog = self.prog()
+        size = choose_block_size(prog, prog.nests[0], l1_capacity=1 << 20)
+        assert size == 2048  # the paper's 2KB default
+
+    def test_shrinks_with_small_l1(self):
+        prog = self.prog(refs=4)
+        size = choose_block_size(prog, prog.nests[0], l1_capacity=1024)
+        assert size * len(prog.nests[0].accesses) <= 1024
+
+    def test_minimum_floor(self):
+        prog = self.prog(refs=4)
+        assert choose_block_size(prog, prog.nests[0], l1_capacity=128) == 64
+
+    def test_power_of_two(self):
+        prog = self.prog(refs=3)
+        size = choose_block_size(prog, prog.nests[0], l1_capacity=5000)
+        assert size & (size - 1) == 0
+
+    def test_invalid_l1(self):
+        prog = self.prog()
+        with pytest.raises(BlockingError):
+            choose_block_size(prog, prog.nests[0], l1_capacity=0)

@@ -1,0 +1,78 @@
+"""Unit tests for tag algebra."""
+
+from hypothesis import given, strategies as st
+
+from repro.blocks.tags import (
+    bitwise_sum,
+    blocks_in,
+    dot,
+    hamming,
+    ones,
+    render,
+    tag_from_blocks,
+)
+
+tags = st.integers(min_value=0, max_value=2**24 - 1)
+
+
+class TestBasics:
+    def test_tag_from_blocks(self):
+        assert tag_from_blocks([0, 2]) == 0b101
+
+    def test_blocks_in(self):
+        assert blocks_in(0b1011) == [0, 1, 3]
+
+    def test_ones(self):
+        assert ones(0b1011) == 3
+
+    def test_dot(self):
+        assert dot(0b1100, 0b0110) == 1
+        assert dot(0b1100, 0b0011) == 0
+
+    def test_bitwise_sum(self):
+        assert bitwise_sum(0b01, 0b10, 0b10) == 0b11
+
+    def test_bitwise_sum_empty(self):
+        assert bitwise_sum() == 0
+
+    def test_hamming(self):
+        assert hamming(0b1100, 0b1010) == 2
+
+    def test_render_paper_style(self):
+        # tau = 1100 means blocks {0, 1} accessed (d0 printed first).
+        assert render(tag_from_blocks([0, 1]), 4) == "1100"
+
+    def test_render_figure10_tag(self):
+        assert render(tag_from_blocks([0, 2, 4]), 12) == "101010000000"
+
+
+class TestProperties:
+    @given(tags, tags)
+    def test_dot_commutes(self, a, b):
+        assert dot(a, b) == dot(b, a)
+
+    @given(tags, tags)
+    def test_dot_bounded_by_ones(self, a, b):
+        assert dot(a, b) <= min(ones(a), ones(b))
+
+    @given(tags)
+    def test_self_dot_is_ones(self, a):
+        assert dot(a, a) == ones(a)
+
+    @given(tags, tags)
+    def test_hamming_triangle_with_zero(self, a, b):
+        assert hamming(a, b) <= hamming(a, 0) + hamming(0, b)
+
+    @given(tags, tags)
+    def test_sum_covers_both(self, a, b):
+        s = bitwise_sum(a, b)
+        assert dot(s, a) == ones(a) and dot(s, b) == ones(b)
+
+    @given(tags, tags)
+    def test_inclusion_exclusion(self, a, b):
+        assert ones(a) + ones(b) == ones(bitwise_sum(a, b)) + dot(a, b)
+
+    @given(st.lists(st.integers(0, 63), max_size=12))
+    def test_roundtrip(self, blocks):
+        tag = tag_from_blocks(blocks)
+        assert blocks_in(tag) == sorted(set(blocks))

@@ -1,0 +1,50 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.charts import bar_chart, figure_chart
+from repro.experiments.harness import FigureResult
+
+
+class TestBarChart:
+    def test_basic(self):
+        chart = bar_chart({"base": 1.0, "ta": 0.7})
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_reference_tick(self):
+        chart = bar_chart({"ta": 0.5}, reference=1.0)
+        assert "|" in chart
+
+    def test_title(self):
+        chart = bar_chart({"a": 1.0}, title="T")
+        assert chart.splitlines()[0] == "T"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            bar_chart({})
+
+    def test_narrow_rejected(self):
+        with pytest.raises(ExperimentError):
+            bar_chart({"a": 1.0}, width=2)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ExperimentError):
+            bar_chart({"a": 0.0}, reference=None)
+
+    def test_values_rendered(self):
+        assert "0.700" in bar_chart({"ta": 0.7})
+
+
+class TestFigureChart:
+    def test_from_figure_result(self):
+        fr = FigureResult("F", ("scheme", "ratio"), (("base", 1.0), ("ta", 0.8)))
+        chart = figure_chart(fr, "ratio")
+        assert "base" in chart and "ta" in chart
+
+    def test_non_numeric_column(self):
+        fr = FigureResult("F", ("scheme", "note"), (("base", "x"),))
+        with pytest.raises(ExperimentError):
+            figure_chart(fr, "note")

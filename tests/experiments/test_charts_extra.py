@@ -1,0 +1,57 @@
+"""Extra chart coverage: label columns, widths, custom fills."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.charts import bar_chart, figure_chart
+from repro.experiments.harness import FigureResult
+
+
+class TestLabelColumn:
+    def test_explicit_label_column(self):
+        fr = FigureResult(
+            "F", ("id", "name", "ratio"),
+            ((1, "base", 1.0), (2, "ta", 0.7)),
+        )
+        chart = figure_chart(fr, "ratio", label_column="name")
+        assert "base" in chart and "ta" in chart
+
+    def test_mixed_numeric_rows_filtered(self):
+        fr = FigureResult(
+            "F", ("name", "ratio"),
+            (("base", 1.0), ("MEAN", "n/a")),
+        )
+        chart = figure_chart(fr, "ratio")
+        assert "base" in chart and "MEAN" not in chart
+
+
+class TestRendering:
+    def test_sequence_input(self):
+        chart = bar_chart([("a", 2.0), ("b", 1.0)], reference=None)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 2 * lines[1].count("#")
+
+    def test_custom_fill(self):
+        assert "*" in bar_chart({"a": 1.0}, fill="*")
+
+    def test_width_respected(self):
+        chart = bar_chart({"a": 1.0}, width=10, reference=None)
+        assert chart.count("#") <= 11
+
+    def test_reference_beyond_max(self):
+        chart = bar_chart({"a": 0.25}, reference=1.0, width=20)
+        # Bar is short, the reference tick sits at the right edge.
+        line = chart.splitlines()[0]
+        assert line.rstrip().endswith("|")
+
+    def test_negative_values_render_empty_bar(self):
+        chart = bar_chart({"a": -1.0, "b": 2.0}, reference=None)
+        first = chart.splitlines()[0]
+        assert "#" not in first.split("  ")[-1]
+
+
+class TestErrorsExtra:
+    def test_all_non_numeric_column(self):
+        fr = FigureResult("F", ("name", "x"), (("a", "u"), ("b", "v")))
+        with pytest.raises(ExperimentError):
+            figure_chart(fr, "x")

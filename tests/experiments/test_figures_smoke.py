@@ -1,0 +1,103 @@
+"""Smoke tests for every figure harness (single small workload).
+
+These catch API regressions in the experiment modules without paying for
+full figure runs; the benchmarks assert the actual shapes on the real
+subsets.  h264 is the smallest workload (14400 iterations).
+"""
+
+import pytest
+
+APP = ("h264",)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    from repro.experiments.harness import clear_cache
+
+    clear_cache()
+    yield
+
+
+class TestTableModules:
+    def test_table1(self):
+        from repro.experiments.tables import table1
+
+        result = table1()
+        assert len(result.rows) == 3
+
+    def test_table2(self):
+        from repro.experiments.tables import table2
+
+        result = table2()
+        assert len(result.rows) == 12
+
+
+class TestFigureModules:
+    def test_fig13(self):
+        from repro.experiments import fig13_main
+
+        result = fig13_main.run(APP)
+        assert result.rows[-1][0] == "MEAN"
+        assert len(result.rows) == 2  # one app + mean
+        assert len(result.headers) == 7
+
+    def test_fig13_misses(self):
+        from repro.experiments import fig13_main
+
+        result = fig13_main.miss_reductions(APP)
+        assert [r[0] for r in result.rows] == ["L1", "L2", "L3"]
+
+    def test_fig15(self):
+        from repro.experiments import fig15_scheduling
+
+        result = fig15_scheduling.run(APP)
+        assert result.headers == ("application", "TopologyAware", "Local", "Combined")
+
+    def test_fig16(self):
+        from repro.experiments import fig16_blocksize
+
+        result = fig16_blocksize.run(APP)
+        assert len(result.rows) == 4
+        assert all(isinstance(r[1], float) for r in result.rows)
+
+    def test_fig17(self):
+        from repro.experiments import fig17_cores
+
+        result = fig17_cores.run(APP)
+        assert [r[0] for r in result.rows] == [12, 18, 24]
+
+    def test_fig18(self):
+        from repro.experiments import fig18_deep_hierarchies
+
+        result = fig18_deep_hierarchies.run(APP)
+        assert len(result.rows) == 3
+
+    def test_fig19(self):
+        from repro.experiments import fig19_small_caches
+
+        result = fig19_small_caches.run(APP)
+        assert [r[0] for r in result.rows] == ["full capacity", "halved capacity"]
+
+    def test_fig20(self):
+        from repro.experiments import fig20_levels_optimal
+
+        result = fig20_levels_optimal.run(APP)
+        assert [r[0] for r in result.rows] == ["L1+L2", "L1+L2+L3", "full", "optimal"]
+
+    def test_ablation_alpha_beta(self):
+        from repro.experiments import ablation_alpha_beta
+
+        result = ablation_alpha_beta.run(APP)
+        assert len(result.rows) == 5
+
+    def test_ablation_compile_time(self):
+        from repro.experiments import ablation_compile_time
+
+        result = ablation_compile_time.run(APP)
+        assert result.rows[0][0] == "h264"
+
+    def test_ablation_dynamic(self):
+        from repro.experiments import ablation_dynamic
+
+        result = ablation_dynamic.run(APP)
+        assert result.rows[-1][0] == "TopologyAware (static)"

@@ -1,0 +1,74 @@
+"""Unit tests for the experiment harness (on the smallest workload)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.harness import (
+    FigureResult,
+    clear_cache,
+    geometric_mean,
+    run_scheme,
+    scheme_cycles,
+    sim_machine,
+)
+from repro.topology.machines import dunnington, harpertown
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return sim_machine(dunnington())
+
+
+class TestSimMachine:
+    def test_capacity_scaled(self):
+        full = dunnington()
+        scaled = sim_machine(full)
+        assert scaled.total_cache_bytes() * 32 == full.total_cache_bytes()
+
+    def test_topology_preserved(self):
+        scaled = sim_machine(harpertown())
+        assert scaled.num_cores == 8
+        assert scaled.clustering_degrees() == harpertown().clustering_degrees()
+
+
+class TestRunScheme:
+    def test_all_schemes_run(self, machine):
+        cycles = scheme_cycles("h264", ("base", "base+", "local", "ta", "ta+s"), machine)
+        assert all(v > 0 for v in cycles.values())
+
+    def test_unknown_scheme(self, machine):
+        with pytest.raises(ExperimentError):
+            run_scheme("h264", "magic", machine)
+
+    def test_memoization(self, machine):
+        a = run_scheme("h264", "base", machine)
+        b = run_scheme("h264", "base", machine)
+        assert a is b
+
+    def test_clear_cache(self, machine):
+        a = run_scheme("h264", "base", machine)
+        clear_cache()
+        b = run_scheme("h264", "base", machine)
+        assert a is not b and a.cycles == b.cycles
+
+
+class TestFigureResult:
+    def test_table_and_column(self):
+        fr = FigureResult("F", ("a", "b"), ((1, 2), (3, 4)), notes="note")
+        assert "note" in fr.table()
+        assert fr.column("b") == [2, 4]
+
+    def test_unknown_column(self):
+        fr = FigureResult("F", ("a",), ((1,),))
+        with pytest.raises(ExperimentError):
+            fr.column("z")
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_is_nan(self):
+        import math
+
+        assert math.isnan(geometric_mean([]))

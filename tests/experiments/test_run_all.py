@@ -1,0 +1,44 @@
+"""Unit tests for the run_all driver (steps monkeypatched for speed)."""
+
+from repro.experiments import run_all
+from repro.experiments.harness import FigureResult
+
+
+def fake_result():
+    return FigureResult("Fake figure", ("scheme", "ratio"), (("base", 1.0), ("ta", 0.8)))
+
+
+class TestMain:
+    def _patch(self, monkeypatch):
+        import repro.experiments.tables as tables
+
+        monkeypatch.setattr(tables, "table1", fake_result)
+        monkeypatch.setattr(tables, "table2", fake_result)
+        for module_name in (
+            "fig02_motivation", "fig13_main", "fig14_cross_machine",
+            "fig15_scheduling", "fig16_blocksize", "fig17_cores",
+            "fig18_deep_hierarchies", "fig19_small_caches",
+            "fig20_levels_optimal", "ablation_alpha_beta",
+            "ablation_compile_time", "ablation_dynamic", "ablation_clustering",
+        ):
+            module = getattr(run_all, module_name)
+            monkeypatch.setattr(module, "run", lambda *a, **k: fake_result())
+        import repro.experiments.fig13_main as f13
+
+        monkeypatch.setattr(f13, "miss_reductions", lambda *a, **k: fake_result())
+
+    def test_runs_all_steps(self, monkeypatch, capsys):
+        self._patch(monkeypatch)
+        assert run_all.main([]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Fake figure") >= 14
+
+    def test_quick_flag(self, monkeypatch, capsys):
+        self._patch(monkeypatch)
+        assert run_all.main(["--quick"]) == 0
+
+    def test_charts_flag(self, monkeypatch, capsys):
+        self._patch(monkeypatch)
+        assert run_all.main(["--charts"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out  # bar chart rendered

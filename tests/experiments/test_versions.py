@@ -1,0 +1,66 @@
+"""Unit tests for cross-machine version machines and plan retargeting."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.versions import retarget_plan, version_machine
+from repro.mapping.baselines import base_plan
+from repro.topology.machines import dunnington, harpertown
+
+
+class TestVersionMachines:
+    def test_harpertown_pattern(self):
+        m = version_machine("harpertown", 12)
+        assert m.num_cores == 12
+        assert m.cache_levels() == ("L1", "L2")
+        assert m.shared_cache(0, 1).spec.level == "L2"
+
+    def test_nehalem_pattern(self):
+        m = version_machine("nehalem", 12)
+        assert m.shared_cache(0, 1).spec.level == "L3"
+        assert m.shared_cache(0, 6) is None
+
+    def test_dunnington_pattern_at_8(self):
+        m = version_machine("dunnington", 8)
+        assert m.shared_cache(0, 1).spec.level == "L2"
+        assert m.shared_cache(0, 2).spec.level == "L3"
+
+    def test_odd_cores_rejected(self):
+        with pytest.raises(ExperimentError):
+            version_machine("harpertown", 7)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ExperimentError):
+            version_machine("zen", 8)
+
+
+class TestRetarget:
+    def test_same_count_identity(self, fig5_program, fig9_machine):
+        plan = base_plan(fig5_program.nests[0], fig9_machine)
+        ported = retarget_plan(plan, fig9_machine)
+        assert ported.rounds == plan.rounds
+
+    def test_fold_surplus(self, fig5_program, fig9_machine, two_core_machine):
+        plan = base_plan(fig5_program.nests[0], fig9_machine)  # 4 cores
+        ported = retarget_plan(plan, two_core_machine)
+        assert len(ported.rounds) == 2
+        ported.verify_complete()
+        # Core 0 inherits plan cores 0 and 2.
+        merged = set(plan.core_iterations(0)) | set(plan.core_iterations(2))
+        assert set(ported.core_iterations(0)) == merged
+
+    def test_pad_with_idle(self, fig5_program, fig9_machine, two_core_machine):
+        plan = base_plan(fig5_program.nests[0], two_core_machine)  # 2 cores
+        ported = retarget_plan(plan, fig9_machine)
+        assert len(ported.rounds) == 4
+        ported.verify_complete()
+        assert ported.core_iterations(2) == []
+
+    def test_fold_preserves_rounds(self, dependent_program, fig9_machine, two_core_machine):
+        from repro.mapping.distribute import TopologyAwareMapper
+
+        mapper = TopologyAwareMapper(fig9_machine, block_size=32)
+        plan = mapper.map_nest(dependent_program, dependent_program.nests[0]).plan()
+        ported = retarget_plan(plan, two_core_machine)
+        assert ported.num_rounds == plan.num_rounds
+        ported.verify_complete()

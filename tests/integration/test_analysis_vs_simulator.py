@@ -1,0 +1,67 @@
+"""Cross-validation: static analysis predictions vs simulator measurements.
+
+The analysis module predicts *why* a mapping should win; the simulator
+measures *that* it wins.  These tests pin the connection: across the
+mirror-style workloads, lower predicted replication / higher sharing
+alignment must co-occur with fewer measured memory accesses.
+"""
+
+import pytest
+
+from repro.analysis import analyze_plan
+from repro.experiments.harness import BALANCE_THRESHOLD, sim_machine
+from repro.mapping import TopologyAwareMapper, base_plan
+from repro.runtime import execute_plan
+from repro.topology.machines import dunnington
+from repro.workloads import workload
+
+MIRROR_APPS = ("namd", "galgel", "bodytrack")
+
+
+@pytest.mark.parametrize("name", MIRROR_APPS)
+def test_predicted_replication_matches_measured_traffic(name):
+    app = workload(name)
+    machine = sim_machine(dunnington())
+    nest = app.nest()
+
+    base = base_plan(nest, machine)
+    mapper = TopologyAwareMapper(
+        machine, block_size=app.block_size(), balance_threshold=BALANCE_THRESHOLD
+    )
+    mapping = mapper.map_nest(app.program(), nest)
+    ta = mapping.plan()
+
+    base_static = analyze_plan(base, mapping.partition)
+    ta_static = analyze_plan(ta, mapping.partition)
+    base_measured = execute_plan(base)
+    ta_measured = execute_plan(ta)
+
+    # Static prediction: TA co-locates sharers (alignment up, L3-level
+    # replication down)...
+    assert ta_static.sharing_alignment >= base_static.sharing_alignment
+    assert ta_static.replication["L3"] <= base_static.replication["L3"] + 1e-9
+    # ...and the simulator confirms the traffic consequence.
+    assert ta_measured.memory_accesses <= base_measured.memory_accesses
+
+
+def test_alignment_orders_the_two_schemes_consistently():
+    """Across the mirror apps, the scheme with better alignment never has
+    more memory traffic."""
+    machine = sim_machine(dunnington())
+    for name in MIRROR_APPS:
+        app = workload(name)
+        nest = app.nest()
+        mapper = TopologyAwareMapper(
+            machine, block_size=app.block_size(), balance_threshold=BALANCE_THRESHOLD
+        )
+        mapping = mapper.map_nest(app.program(), nest)
+        pairs = [
+            (analyze_plan(p, mapping.partition).sharing_alignment,
+             execute_plan(p).memory_accesses)
+            for p in (base_plan(nest, machine), mapping.plan())
+        ]
+        pairs.sort()
+        alignments = [a for a, _ in pairs]
+        traffic = [t for _, t in pairs]
+        if alignments[0] < alignments[1]:
+            assert traffic[0] >= traffic[1]

@@ -1,0 +1,137 @@
+"""Property-based invariants over randomly generated loop nests.
+
+Hypothesis generates small affine kernels (random extents, strides,
+mirror/shift taps); the DESIGN.md invariants must hold on all of them:
+
+* iteration groups partition K;
+* the distribution covers every group exactly once across N cores;
+* schedules are permutations of the assignment;
+* plan completeness and simulator conservation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.blocks.datablocks import DataBlockPartition
+from repro.blocks.tagger import tag_iterations
+from repro.lang import compile_source
+from repro.mapping.clustering import hierarchical_distribute
+from repro.mapping.distribute import TopologyAwareMapper
+from repro.runtime import execute_plan
+from repro.topology.cache import CacheSpec
+from repro.topology.tree import Machine, TopologyNode
+
+
+def small_machine():
+    l1 = CacheSpec("L1", 256, 2, 32, 2)
+    l2 = CacheSpec("L2", 1024, 4, 32, 8)
+    cores = [TopologyNode.core(i) for i in range(4)]
+    l1s = [TopologyNode.cache(l1, [c]) for c in cores]
+    l2s = [TopologyNode.cache(l2, l1s[:2]), TopologyNode.cache(l2, l1s[2:])]
+    return Machine("prop4", 1.0, 40, TopologyNode.memory(l2s), sockets=1)
+
+
+MACHINE = small_machine()
+
+
+@st.composite
+def kernels(draw):
+    """A random 1-D multi-tap kernel over one array."""
+    m = draw(st.integers(24, 96)) * 2
+    tap_kind = draw(st.sampled_from(["mirror", "shift", "both"]))
+    shift = draw(st.integers(1, m // 4))
+    taps = ["B[j]"]
+    if tap_kind in ("mirror", "both"):
+        taps.append(f"B[{m - 1} - j]")
+    if tap_kind in ("shift", "both"):
+        taps.append(f"B[j + {shift}]")
+    lower, upper = 0, m - (shift if tap_kind in ("shift", "both") else 0)
+    body = " + ".join(taps)
+    src = f"""
+    array B[{m}];
+    parallel for (j = {lower}; j < {upper}; j++)
+      B[j] = {body};
+    """
+    block_elems = draw(st.sampled_from([4, 8, 16]))
+    return compile_source(src, name="prop"), block_elems * 8
+
+
+@settings(max_examples=25, deadline=None)
+@given(kernels())
+def test_groups_partition_iteration_space(kernel):
+    program, block_size = kernel
+    nest = program.nests[0]
+    part = DataBlockPartition(list(program.arrays.values()), block_size)
+    gs = tag_iterations(nest, part)
+    gs.verify_partition()
+
+
+@settings(max_examples=25, deadline=None)
+@given(kernels())
+def test_distribution_covers_exactly_once(kernel):
+    program, block_size = kernel
+    nest = program.nests[0]
+    part = DataBlockPartition(list(program.arrays.values()), block_size)
+    gs = tag_iterations(nest, part)
+    assignment = hierarchical_distribute(list(gs.groups), MACHINE, 0.10)
+    assert len(assignment) == MACHINE.num_cores
+    covered = sorted(p for core in assignment for g in core for p in g.iterations)
+    assert covered == sorted(nest.iterations())
+
+
+@settings(max_examples=20, deadline=None)
+@given(kernels(), st.sampled_from([0.02, 0.10, 0.25]))
+def test_balance_threshold_honored(kernel, threshold):
+    program, block_size = kernel
+    nest = program.nests[0]
+    mapper = TopologyAwareMapper(
+        MACHINE, block_size=block_size, balance_threshold=threshold
+    )
+    result = mapper.map_nest(program, nest)
+    sizes = result.assignment_sizes()
+    avg = sum(sizes) / len(sizes)
+    # Balancing is per tree level, so the window compounds across the
+    # levels with fan-out > 1 (two for this machine), plus the +-1
+    # quantization each split can leave behind.
+    levels = sum(1 for d in MACHINE.clustering_degrees() if d > 1)
+    ratio = (1 + threshold) ** levels - 1
+    slack = max(2.0, avg * ratio + 2 * levels)
+    assert max(sizes) <= avg + slack
+    assert min(sizes) >= avg - slack
+
+
+@settings(max_examples=15, deadline=None)
+@given(kernels(), st.booleans())
+def test_plan_complete_and_simulation_conserves(kernel, local_scheduling):
+    program, block_size = kernel
+    nest = program.nests[0]
+    mapper = TopologyAwareMapper(
+        MACHINE, block_size=block_size, local_scheduling=local_scheduling
+    )
+    plan = mapper.map_nest(program, nest).plan()
+    result = execute_plan(plan, verify=True)
+    assert result.total_accesses == nest.iteration_count() * len(nest.accesses)
+
+
+@settings(max_examples=15, deadline=None)
+@given(kernels())
+def test_kl_strategy_preserves_invariants(kernel):
+    program, block_size = kernel
+    nest = program.nests[0]
+    mapper = TopologyAwareMapper(
+        MACHINE, block_size=block_size, cluster_strategy="kl"
+    )
+    plan = mapper.map_nest(program, nest).plan()
+    plan.verify_complete()
+
+
+@settings(max_examples=15, deadline=None)
+@given(kernels())
+def test_mapping_deterministic(kernel):
+    program, block_size = kernel
+    nest = program.nests[0]
+
+    def run():
+        mapper = TopologyAwareMapper(MACHINE, block_size=block_size)
+        return mapper.map_nest(program, nest).plan().rounds
+
+    assert run() == run()

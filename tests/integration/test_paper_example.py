@@ -1,0 +1,77 @@
+"""Integration: the paper's running example (Figures 5, 9, 10, 11).
+
+Source code -> frontend -> tagging -> clustering -> scheduling -> codegen
+-> simulation, checked against what the paper shows at each stage.
+"""
+
+from repro.blocks.datablocks import DataBlockPartition
+from repro.blocks.tagger import tag_iterations
+from repro.blocks.tags import bitwise_sum, dot, render
+from repro.mapping.clustering import hierarchical_distribute
+from repro.mapping.distribute import TopologyAwareMapper
+from repro.mapping.schedule import schedule_groups
+from repro.runtime import execute_plan
+from repro.runtime.codeemit import compile_core
+
+FIG10_TAGS = [
+    "101010000000", "010101000000", "001010100000", "000101010000",
+    "000010101000", "000001010100", "000000101010", "000000010101",
+]
+
+
+class TestFigure10:
+    def test_stage_a_tags(self, fig5_program):
+        """Figure 10(a): eight iteration groups with the published tags."""
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 4 * 8)
+        gs = tag_iterations(nest, part)
+        gs.verify_partition()
+        assert [render(g.tag, 12) for g in gs.groups] == FIG10_TAGS
+
+    def test_stage_b_first_level_split(self, fig5_program, fig9_machine):
+        """Figure 10(b): the L2-level cut separates the two sharing chains
+        (even-block chain vs odd-block chain share no data blocks)."""
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 4 * 8)
+        gs = tag_iterations(nest, part)
+        assignment = hierarchical_distribute(gs.groups, fig9_machine, 0.10)
+        side_a = bitwise_sum(*(g.tag for g in assignment[0] + assignment[1]))
+        side_b = bitwise_sum(*(g.tag for g in assignment[2] + assignment[3]))
+        assert dot(side_a, side_b) == 0
+
+    def test_stage_c_per_core_chains(self, fig5_program, fig9_machine):
+        """Figure 10(c)/11: each core receives two chained groups (their
+        tags share data blocks), the way the paper assigns ΦM2+ΦM4 etc."""
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 4 * 8)
+        gs = tag_iterations(nest, part)
+        assignment = hierarchical_distribute(gs.groups, fig9_machine, 0.10)
+        for groups in assignment:
+            assert len(groups) == 2
+            assert dot(groups[0].tag, groups[1].tag) >= 1
+
+    def test_stage_d_schedule_is_legal_permutation(self, fig5_program, fig9_machine):
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 4 * 8)
+        gs = tag_iterations(nest, part)
+        assignment = hierarchical_distribute(gs.groups, fig9_machine, 0.10)
+        rounds = schedule_groups(assignment, fig9_machine)
+        for core, groups in enumerate(assignment):
+            flat = [g.ident for rnd in rounds[core] for g in rnd]
+            assert sorted(flat) == sorted(g.ident for g in groups)
+
+    def test_stage_e_generated_code_runs(self, fig5_program, fig9_machine):
+        mapper = TopologyAwareMapper(fig9_machine, block_size=4 * 8, local_scheduling=True)
+        plan = mapper.map_nest(fig5_program, fig5_program.nests[0]).plan()
+        covered = []
+        for core in range(4):
+            fn = compile_core(plan, core)
+            covered += [p for kind, p in fn() if kind == "iter"]
+        assert sorted(covered) == sorted(fig5_program.nests[0].iterations())
+
+    def test_stage_f_simulation(self, fig5_program, fig9_machine):
+        mapper = TopologyAwareMapper(fig9_machine, block_size=4 * 8)
+        plan = mapper.map_nest(fig5_program, fig5_program.nests[0]).plan()
+        result = execute_plan(plan, verify=True)
+        result.verify_conservation()
+        assert result.cycles > 0

@@ -1,0 +1,85 @@
+"""Unit tests for array accesses."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.accesses import ArrayAccess
+from repro.ir.arrays import Array
+from repro.poly.affine import AffineExpr
+
+i = AffineExpr.var("i")
+j = AffineExpr.var("j")
+A = Array("A", (10, 10))
+B = Array("B", (64,))
+
+
+class TestConstruction:
+    def test_basic(self):
+        acc = ArrayAccess(A, ("i", "j"), [i + 1, j - 1])
+        assert acc.element((0, 2)) == (1, 1)
+
+    def test_rank_mismatch(self):
+        with pytest.raises(IRError):
+            ArrayAccess(A, ("i",), [i])
+
+    def test_foreign_variable(self):
+        with pytest.raises(IRError):
+            ArrayAccess(B, ("i",), [j])
+
+    def test_coercion(self):
+        acc = ArrayAccess(B, ("i",), ["i"])
+        assert acc.element((5,)) == (5,)
+
+    def test_is_write_flag(self):
+        acc = ArrayAccess(B, ("i",), [i], is_write=True)
+        assert acc.is_write
+
+
+class TestOffsets:
+    def test_element_offset(self):
+        acc = ArrayAccess(A, ("i", "j"), [i, j])
+        assert acc.element_offset((2, 3)) == 23
+
+    def test_offset_form_matches_checked_path(self):
+        acc = ArrayAccess(A, ("i", "j"), [i + 1, j * 2])
+        const, coeffs = acc.offset_form()
+        for point in [(0, 0), (3, 4), (8, 4)]:
+            fast = const + sum(c * x for c, x in zip(coeffs, point))
+            assert fast == acc.element_offset(point)
+
+    def test_offset_form_1d(self):
+        acc = ArrayAccess(B, ("i",), [i * 3 + 2])
+        const, coeffs = acc.offset_form()
+        assert const == 2 and coeffs == (3,)
+
+
+class TestUniformity:
+    def test_uniform_pair(self):
+        a = ArrayAccess(A, ("i", "j"), [i, j])
+        b = ArrayAccess(A, ("i", "j"), [i + 1, j - 1])
+        assert a.is_uniform_with(b)
+
+    def test_non_uniform_pair(self):
+        a = ArrayAccess(A, ("i", "j"), [i, j])
+        b = ArrayAccess(A, ("i", "j"), [j, i])
+        assert not a.is_uniform_with(b)
+
+    def test_different_arrays_not_uniform(self):
+        a = ArrayAccess(A, ("i", "j"), [i, j])
+        b = ArrayAccess(Array("C", (10, 10)), ("i", "j"), [i, j])
+        assert not a.is_uniform_with(b)
+
+
+class TestDunder:
+    def test_equality(self):
+        a = ArrayAccess(B, ("i",), [i], is_write=True)
+        b = ArrayAccess(B, ("i",), [AffineExpr.var("i")], is_write=True)
+        assert a == b and hash(a) == hash(b)
+
+    def test_write_flag_distinguishes(self):
+        a = ArrayAccess(B, ("i",), [i], is_write=True)
+        b = ArrayAccess(B, ("i",), [i], is_write=False)
+        assert a != b
+
+    def test_repr_shows_kind(self):
+        assert repr(ArrayAccess(B, ("i",), [i], is_write=True)).startswith("ArrayAccess(W")

@@ -1,0 +1,92 @@
+"""Unit tests for arrays and data spaces."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.arrays import Array
+
+
+class TestConstruction:
+    def test_basic(self):
+        a = Array("A", (4, 6))
+        assert a.rank == 2 and a.size_elements == 24 and a.size_bytes == 192
+
+    def test_element_size(self):
+        assert Array("A", (4,), element_size=4).size_bytes == 16
+
+    def test_empty_extents_rejected(self):
+        with pytest.raises(IRError):
+            Array("A", ())
+
+    def test_non_positive_extent_rejected(self):
+        with pytest.raises(IRError):
+            Array("A", (4, 0))
+
+    def test_non_positive_element_size(self):
+        with pytest.raises(IRError):
+            Array("A", (4,), element_size=0)
+
+    def test_immutable(self):
+        a = Array("A", (4,))
+        with pytest.raises(AttributeError):
+            a.extents = (5,)
+
+
+class TestLinearization:
+    def test_row_major(self):
+        a = Array("A", (3, 4))
+        assert a.linear_offset((0, 0)) == 0
+        assert a.linear_offset((0, 3)) == 3
+        assert a.linear_offset((1, 0)) == 4
+        assert a.linear_offset((2, 3)) == 11
+
+    def test_roundtrip(self):
+        a = Array("A", (3, 4, 5))
+        for offset in range(a.size_elements):
+            assert a.linear_offset(a.index_of_offset(offset)) == offset
+
+    def test_out_of_bounds(self):
+        a = Array("A", (3, 4))
+        with pytest.raises(IRError):
+            a.linear_offset((3, 0))
+        with pytest.raises(IRError):
+            a.linear_offset((0, -1))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(IRError):
+            Array("A", (3, 4)).linear_offset((1,))
+
+    def test_offset_out_of_range(self):
+        with pytest.raises(IRError):
+            Array("A", (4,)).index_of_offset(4)
+
+
+class TestDataSpace:
+    def test_data_space_count(self):
+        a = Array("A", (3, 4))
+        assert a.data_space().count() == 12
+
+    def test_data_space_custom_names(self):
+        s = Array("A", (2, 2)).data_space(("x", "y"))
+        assert s.dims == ("x", "y")
+
+    def test_data_space_name_arity(self):
+        with pytest.raises(IRError):
+            Array("A", (2, 2)).data_space(("x",))
+
+    def test_contains(self):
+        a = Array("A", (3, 4))
+        assert a.contains((2, 3)) and not a.contains((2, 4)) and not a.contains((1,))
+
+
+class TestDunder:
+    def test_equality(self):
+        assert Array("A", (3,)) == Array("A", (3,))
+        assert Array("A", (3,)) != Array("A", (4,))
+        assert Array("A", (3,)) != Array("B", (3,))
+
+    def test_hash(self):
+        assert hash(Array("A", (3,))) == hash(Array("A", (3,)))
+
+    def test_repr(self):
+        assert "A[3][4]" in repr(Array("A", (3, 4)))

@@ -1,0 +1,94 @@
+"""Unit tests for loop nests and programs."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.accesses import ArrayAccess
+from repro.ir.arrays import Array
+from repro.ir.loops import LoopNest, Program
+from repro.poly.affine import AffineExpr
+from repro.poly.intset import IntSet
+
+i = AffineExpr.var("i")
+j = AffineExpr.var("j")
+
+
+def simple_nest(extent=8, name="n"):
+    arr = Array("A", (extent,))
+    space = IntSet.box(["i"], [(0, extent - 1)])
+    return LoopNest(name, space, [ArrayAccess(arr, ("i",), [i], is_write=True)])
+
+
+class TestLoopNest:
+    def test_basic(self):
+        nest = simple_nest()
+        assert nest.depth == 1 and nest.iteration_count() == 8
+
+    def test_access_dim_mismatch(self):
+        arr = Array("A", (4,))
+        space = IntSet.box(["i"], [(0, 3)])
+        access = ArrayAccess(arr, ("x",), [AffineExpr.var("x")])
+        with pytest.raises(IRError):
+            LoopNest("bad", space, [access])
+
+    def test_reads_writes(self, fig5_program):
+        nest = fig5_program.nests[0]
+        assert len(nest.writes()) == 1 and len(nest.reads()) == 3
+
+    def test_arrays_dedup(self, fig5_program):
+        nest = fig5_program.nests[0]
+        assert [a.name for a in nest.arrays()] == ["B"]
+
+    def test_touched_elements(self, fig4_program):
+        nest = fig4_program.nests[0]
+        touched = nest.touched_elements((1, 3))
+        assert ("A", (2, 2), True) in touched
+
+    def test_immutable(self):
+        nest = simple_nest()
+        with pytest.raises(AttributeError):
+            nest.name = "other"
+
+
+class TestBoundsValidation:
+    def test_in_bounds_passes(self, fig4_program):
+        fig4_program.nests[0].validate_access_bounds()
+
+    def test_out_of_bounds_raises(self):
+        arr = Array("A", (4,))
+        space = IntSet.box(["i"], [(0, 4)])  # i=4 touches A[4]
+        nest = LoopNest("oob", space, [ArrayAccess(arr, ("i",), [i], is_write=True)])
+        with pytest.raises(IRError):
+            nest.validate_access_bounds()
+
+    def test_negative_subscript_raises(self):
+        arr = Array("A", (8,))
+        space = IntSet.box(["i"], [(0, 3)])
+        nest = LoopNest("neg", space, [ArrayAccess(arr, ("i",), [i - 1])])
+        with pytest.raises(IRError):
+            nest.validate_access_bounds()
+
+
+class TestProgram:
+    def test_lookup(self, fig5_program):
+        assert fig5_program.nest("fig5").name == "fig5"
+        with pytest.raises(IRError):
+            fig5_program.nest("nope")
+
+    def test_total_data_bytes(self, fig5_program):
+        assert fig5_program.total_data_bytes() == 48 * 8
+
+    def test_duplicate_arrays_rejected(self):
+        arr = Array("A", (4,))
+        with pytest.raises(IRError):
+            Program("p", [arr, Array("A", (4,))], [])
+
+    def test_undeclared_array_rejected(self):
+        nest = simple_nest()
+        with pytest.raises(IRError):
+            Program("p", [Array("B", (4,))], [nest])
+
+    def test_declaration_mismatch_rejected(self):
+        nest = simple_nest(extent=8)
+        with pytest.raises(IRError):
+            Program("p", [Array("A", (9,))], [nest])

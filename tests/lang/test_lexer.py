@@ -1,0 +1,102 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenType
+
+
+def types(source):
+    return [t.type for t in tokenize(source)]
+
+
+class TestBasics:
+    def test_empty_input_gives_eof(self):
+        assert types("") == [TokenType.EOF]
+
+    def test_number(self):
+        tok = tokenize("42")[0]
+        assert tok.type is TokenType.NUMBER and tok.value == 42
+
+    def test_identifier(self):
+        tok = tokenize("foo_1")[0]
+        assert tok.type is TokenType.IDENT and tok.text == "foo_1"
+
+    def test_keywords(self):
+        assert types("param array for parallel")[:-1] == [
+            TokenType.PARAM,
+            TokenType.ARRAY,
+            TokenType.FOR,
+            TokenType.PARALLEL,
+        ]
+
+    def test_int_keyword_is_array(self):
+        assert tokenize("int")[0].type is TokenType.ARRAY
+
+    def test_keyword_prefix_is_ident(self):
+        assert tokenize("formula")[0].type is TokenType.IDENT
+
+
+class TestOperators:
+    def test_maximal_munch_increment(self):
+        assert types("i++")[:-1] == [TokenType.IDENT, TokenType.INCREMENT]
+
+    def test_maximal_munch_le(self):
+        assert types("i<=j")[:-1] == [TokenType.IDENT, TokenType.LE, TokenType.IDENT]
+
+    def test_plus_assign(self):
+        assert TokenType.PLUS_ASSIGN in types("i += 2")
+
+    def test_eq_vs_assign(self):
+        assert types("a == b = c")[:-1] == [
+            TokenType.IDENT, TokenType.EQ, TokenType.IDENT,
+            TokenType.ASSIGN, TokenType.IDENT,
+        ]
+
+    def test_brackets(self):
+        assert types("A[i][j]")[:-1] == [
+            TokenType.IDENT, TokenType.LBRACKET, TokenType.IDENT, TokenType.RBRACKET,
+            TokenType.LBRACKET, TokenType.IDENT, TokenType.RBRACKET,
+        ]
+
+
+class TestCommentsWhitespace:
+    def test_line_comment(self):
+        assert types("a // comment\n b")[:-1] == [TokenType.IDENT, TokenType.IDENT]
+
+    def test_block_comment(self):
+        assert types("a /* x\ny */ b")[:-1] == [TokenType.IDENT, TokenType.IDENT]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n  c")
+        assert [t.line for t in toks[:-1]] == [1, 2, 3]
+        assert toks[2].column == 3
+
+    def test_block_comment_advances_lines(self):
+        toks = tokenize("/* a\nb */ x")
+        assert toks[0].line == 2
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_number_followed_by_letter(self):
+        with pytest.raises(LexError):
+            tokenize("12abc")
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("\n  @")
+        assert exc.value.line == 2
+
+    def test_value_of_non_number(self):
+        tok = tokenize("x")[0]
+        with pytest.raises(ValueError):
+            tok.value

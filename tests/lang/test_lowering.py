@@ -1,0 +1,102 @@
+"""Unit tests for AST -> IR lowering."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang import compile_source
+
+
+class TestBasicLowering:
+    def test_fig4(self, fig4_program):
+        nest = fig4_program.nests[0]
+        assert nest.dims == ("i1", "i2")
+        assert nest.iteration_count() == 4 * 6
+        assert nest.parallel
+
+    def test_access_mapping(self, fig4_program):
+        nest = fig4_program.nests[0]
+        # A[i1+1][i2-1] at iteration (0, 2) touches A[1][1].
+        assert nest.accesses[0].element((0, 2)) == (1, 1)
+
+    def test_write_read_split(self, fig4_program):
+        nest = fig4_program.nests[0]
+        assert len(nest.writes()) == 1
+        assert len(nest.reads()) == 1
+
+    def test_compound_assign_adds_read(self):
+        prog = compile_source("array A[4]; for (i=0;i<4;i++) A[i] += 1;")
+        nest = prog.nests[0]
+        assert len(nest.writes()) == 1 and len(nest.reads()) == 1
+
+    def test_plain_assign_no_self_read(self):
+        prog = compile_source("array A[4]; array B[4]; for (i=0;i<4;i++) A[i] = B[i];")
+        nest = prog.nests[0]
+        assert len(nest.reads()) == 1
+        assert nest.reads()[0].array.name == "B"
+
+    def test_multiple_nests(self):
+        prog = compile_source(
+            "array A[4]; array B[4];"
+            "for (i=0;i<4;i++) A[i] = 1;"
+            "for (j=0;j<4;j++) B[j] = 2;",
+            name="two",
+        )
+        assert len(prog.nests) == 2
+        assert prog.nests[0].name == "two_nest0"
+
+    def test_params_recorded(self):
+        prog = compile_source("param N = 6; array A[6]; for (i=0;i<N;i++) A[i] = 1;")
+        assert prog.params == {"N": 6}
+
+
+class TestStrideNormalization:
+    def test_strided_elements(self):
+        prog = compile_source("array C[30]; for (i = 4; i < 20; i += 3) C[i] = 1;")
+        nest = prog.nests[0]
+        elems = [nest.accesses[0].element(p)[0] for p in nest.iterations()]
+        assert elems == [4, 7, 10, 13, 16, 19]
+
+    def test_strided_le_bound(self):
+        prog = compile_source("array C[30]; for (i = 0; i <= 10; i += 5) C[i] = 1;")
+        nest = prog.nests[0]
+        elems = [nest.accesses[0].element(p)[0] for p in nest.iterations()]
+        assert elems == [0, 5, 10]
+
+    def test_strided_inner_loop_bound_sees_source_value(self):
+        # Inner bound references the *source* value of the outer strided var.
+        prog = compile_source(
+            "array A[40][40];"
+            "for (i = 0; i < 12; i += 4) for (j = 0; j < i + 1; j++) A[i][j] = 1;"
+        )
+        nest = prog.nests[0]
+        pts = list(nest.iterations())
+        elems = [nest.accesses[0].element(p) for p in pts]
+        assert (0, 0) in elems and (8, 8) in elems and (8, 9) not in elems
+
+
+class TestShapeRestrictions:
+    def test_imperfect_nest_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source(
+                "array A[4][4];"
+                "for (i=0;i<4;i++) { A[i][0] = 1; for (j=0;j<4;j++) A[i][j] = 2; }"
+            )
+
+    def test_sibling_loops_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source(
+                "array A[4][4];"
+                "for (i=0;i<4;i++) { for (j=0;j<4;j++) A[i][j] = 1;"
+                " for (k=0;k<4;k++) A[i][k] = 2; }"
+            )
+
+    def test_multiple_statements_innermost_ok(self):
+        prog = compile_source(
+            "array A[4]; array B[4];"
+            "for (i=0;i<4;i++) { A[i] = 1; B[i] = A[i]; }"
+        )
+        assert len(prog.nests[0].accesses) == 3
+
+    def test_element_size(self):
+        prog = compile_source("array A[4]; for (i=0;i<4;i++) A[i] = 1;", element_size=4)
+        assert prog.arrays["A"].element_size == 4

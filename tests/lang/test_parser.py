@@ -1,0 +1,156 @@
+"""Unit tests for the parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.ast_nodes import ArrayRef, Assign, BinOp, ForLoop, Num
+from repro.lang.parser import parse
+
+
+def single_loop(body="A[i] = A[i] + 1;", header="for (i = 0; i < 10; i++)"):
+    return parse(f"array A[10];\n{header} {body}")
+
+
+class TestDeclarations:
+    def test_param(self):
+        prog = parse("param N = 4; array A[4]; for (i=0;i<N;i++) A[i] = 1;")
+        assert prog.params[0].name == "N"
+
+    def test_param_expression(self):
+        prog = parse("param N = 2 * 3 + 1; array A[7];")
+        assert isinstance(prog.params[0].value, BinOp)
+
+    def test_array_multi_dim(self):
+        prog = parse("array A[4][5][6];")
+        assert len(prog.arrays[0].extents) == 3
+
+    def test_int_keyword(self):
+        prog = parse("int A[4];")
+        assert prog.arrays[0].name == "A"
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("param N = 4")
+
+
+class TestForLoops:
+    def test_basic(self):
+        loop = single_loop().loops[0]
+        assert loop.var == "i" and loop.step == 1 and loop.upper_strict
+
+    def test_le_condition(self):
+        loop = single_loop(header="for (i = 0; i <= 9; i++)").loops[0]
+        assert not loop.upper_strict
+
+    def test_step(self):
+        loop = single_loop(header="for (i = 0; i < 10; i += 3)").loops[0]
+        assert loop.step == 3
+
+    def test_parallel(self):
+        prog = parse("array A[4]; parallel for (i=0;i<4;i++) A[i] = 1;")
+        assert prog.loops[0].parallel
+
+    def test_nested(self):
+        prog = parse(
+            "array A[4][4]; for (i=0;i<4;i++) for (j=0;j<4;j++) A[i][j] = 1;"
+        )
+        inner = prog.loops[0].body[0]
+        assert isinstance(inner, ForLoop) and inner.var == "j"
+
+    def test_braced_body(self):
+        prog = parse(
+            "array A[4]; for (i=0;i<4;i++) { A[i] = 1; A[i] = A[i] + 1; }"
+        )
+        assert len(prog.loops[0].body) == 2
+
+    def test_condition_var_mismatch(self):
+        with pytest.raises(ParseError):
+            parse("array A[4]; for (i=0; j<4; i++) A[i] = 1;")
+
+    def test_increment_var_mismatch(self):
+        with pytest.raises(ParseError):
+            parse("array A[4]; for (i=0; i<4; j++) A[i] = 1;")
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ParseError):
+            parse("array A[4]; for (i=0; i<4; i += 0) A[i] = 1;")
+
+    def test_wrong_comparison(self):
+        with pytest.raises(ParseError):
+            parse("array A[4]; for (i=0; i>4; i++) A[i] = 1;")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("array A[4]; for (i=0;i<4;i++) { A[i] = 1;")
+
+    def test_top_level_assignment_rejected(self):
+        with pytest.raises(ParseError):
+            parse("array A[4]; A[0] = 1;")
+
+
+class TestAssignments:
+    def test_plain(self):
+        stmt = single_loop().loops[0].body[0]
+        assert isinstance(stmt, Assign) and stmt.op == "="
+
+    def test_compound_plus(self):
+        stmt = single_loop(body="A[i] += 2;").loops[0].body[0]
+        assert stmt.op == "+="
+
+    def test_compound_minus(self):
+        stmt = single_loop(body="A[i] -= 2;").loops[0].body[0]
+        assert stmt.op == "-="
+
+    def test_target_is_array_ref(self):
+        stmt = single_loop().loops[0].body[0]
+        assert isinstance(stmt.target, ArrayRef)
+
+    def test_missing_operator(self):
+        with pytest.raises(ParseError):
+            parse("array A[4]; for (i=0;i<4;i++) A[i] 1;")
+
+
+class TestExpressions:
+    def expr(self, text):
+        prog = parse(f"array A[100]; for (i=0;i<10;i++) A[i] = {text};")
+        return prog.loops[0].body[0].value
+
+    def test_precedence(self):
+        e = self.expr("1 + 2 * 3")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.right, BinOp) and e.right.op == "*"
+
+    def test_parentheses(self):
+        e = self.expr("(1 + 2) * 3")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_unary_minus(self):
+        e = self.expr("-i + 1")
+        assert e.op == "+"
+
+    def test_left_associativity(self):
+        e = self.expr("10 - 3 - 2")
+        assert e.op == "-" and isinstance(e.left, BinOp)
+
+    def test_array_ref_in_expr(self):
+        e = self.expr("A[i + 1] + 1")
+        assert isinstance(e.left, ArrayRef)
+
+    def test_nested_subscript(self):
+        e = self.expr("A[2 * i + 1]")
+        assert isinstance(e, ArrayRef) and isinstance(e.subscripts[0], BinOp)
+
+    def test_number(self):
+        assert isinstance(self.expr("7"), Num)
+
+    def test_unexpected_token(self):
+        with pytest.raises(ParseError):
+            parse("array A[4]; for (i=0;i<4;i++) A[i] = ;")
+
+
+class TestRendering:
+    def test_program_str_roundtrips_through_parser(self):
+        src = "param N = 4;\narray A[8];\nfor (i = 0; i < N; i++) A[i + 1] = A[i] + 1;"
+        prog = parse(src)
+        reparsed = parse(str(prog))
+        assert str(reparsed) == str(prog)

@@ -1,0 +1,65 @@
+"""Unit tests for AST rendering (the `__str__` printers)."""
+
+from repro.lang.ast_nodes import (
+    ArrayDeclNode,
+    ArrayRef,
+    Assign,
+    BinOp,
+    ForLoop,
+    Name,
+    Num,
+    ParamDecl,
+    UnaryOp,
+)
+from repro.lang.parser import parse
+
+
+class TestExpressionPrinting:
+    def test_binop(self):
+        e = BinOp(1, "+", Num(1, 2), Name(1, "i"))
+        assert str(e) == "(2 + i)"
+
+    def test_unary(self):
+        assert str(UnaryOp(1, "-", Name(1, "i"))) == "(-i)"
+
+    def test_array_ref(self):
+        ref = ArrayRef(1, "A", (Num(1, 0), Name(1, "j")))
+        assert str(ref) == "A[0][j]"
+
+
+class TestStatementPrinting:
+    def test_assign(self):
+        ref = ArrayRef(1, "A", (Name(1, "i"),))
+        stmt = Assign(1, ref, Num(1, 1), "+=")
+        assert str(stmt) == "A[i] += 1;"
+
+    def test_for_strict(self):
+        ref = ArrayRef(1, "A", (Name(1, "i"),))
+        loop = ForLoop(1, "i", Num(1, 0), Num(1, 8), True, 1,
+                       (Assign(1, ref, Num(1, 1)),), parallel=True)
+        text = str(loop)
+        assert text.startswith("parallel for (i = 0; i < 8; i++)")
+
+    def test_for_step(self):
+        ref = ArrayRef(1, "A", (Name(1, "i"),))
+        loop = ForLoop(1, "i", Num(1, 0), Num(1, 8), False, 2,
+                       (Assign(1, ref, Num(1, 1)),))
+        assert "i <= 8; i += 2" in str(loop)
+
+    def test_decls(self):
+        assert str(ParamDecl(1, "N", Num(1, 4))) == "param N = 4;"
+        assert str(ArrayDeclNode(1, "A", (Num(1, 4), Num(1, 5)))) == "array A[4][5];"
+
+
+class TestRoundtrip:
+    SOURCES = [
+        "param N = 8;\narray A[8];\nfor (i = 0; i < N; i++) A[i] = A[i] + 1;",
+        "array B[16];\nparallel for (j = 2; j <= 14; j += 3) B[j] -= 2;",
+        "array C[4][4];\nfor (i = 0; i < 4; i++) for (j = 0; j < i + 1; j++) C[i][j] = C[j][i];",
+    ]
+
+    def test_print_parse_fixpoint(self):
+        for source in self.SOURCES:
+            once = str(parse(source))
+            twice = str(parse(once))
+            assert once == twice

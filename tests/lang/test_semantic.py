@@ -1,0 +1,140 @@
+"""Unit tests for static semantics."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.parser import parse
+from repro.lang.semantic import analyze, to_affine
+from repro.lang.ast_nodes import Num
+from repro.poly.affine import AffineExpr
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+class TestParams:
+    def test_param_binding(self):
+        info = check("param N = 4; param M = N * 2; array A[8];")
+        assert info.params == {"N": 4, "M": 8}
+
+    def test_duplicate_param(self):
+        with pytest.raises(SemanticError):
+            check("param N = 1; param N = 2;")
+
+    def test_param_must_be_constant(self):
+        with pytest.raises(SemanticError):
+            check("param N = M;")
+
+    def test_param_division(self):
+        info = check("param N = 7 / 2; array A[3];")
+        assert info.params["N"] == 3
+
+
+class TestArrays:
+    def test_extents_folded(self):
+        info = check("param N = 3; array A[N + 1][2 * N];")
+        assert info.array_extents["A"] == (4, 6)
+
+    def test_duplicate_array(self):
+        with pytest.raises(SemanticError):
+            check("array A[4]; array A[5];")
+
+    def test_non_positive_extent(self):
+        with pytest.raises(SemanticError):
+            check("param N = 0; array A[N];")
+
+    def test_array_shadows_param(self):
+        with pytest.raises(SemanticError):
+            check("param A = 4; array A[4];")
+
+
+class TestLoops:
+    def test_loop_var_shadows_outer(self):
+        with pytest.raises(SemanticError):
+            check("array A[4][4]; for (i=0;i<4;i++) for (i=0;i<4;i++) A[i][i] = 1;")
+
+    def test_loop_var_shadows_param(self):
+        with pytest.raises(SemanticError):
+            check("param i = 4; array A[4]; for (i=0;i<4;i++) A[i] = 1;")
+
+    def test_loop_var_shadows_array(self):
+        with pytest.raises(SemanticError):
+            check("array A[4]; for (A=0;A<4;A++) A[A] = 1;")
+
+    def test_bound_uses_inner_var(self):
+        with pytest.raises(SemanticError):
+            check("array A[4][4]; for (i=0;i<j;i++) for (j=0;j<4;j++) A[i][j] = 1;")
+
+    def test_bound_uses_outer_var_ok(self):
+        info = check("array A[8][8]; for (i=0;i<8;i++) for (j=0;j<i+1;j++) A[i][j] = 1;")
+        assert info.loop_vars[0] == ("i", "j")
+
+    def test_parallel_only_outermost(self):
+        with pytest.raises(SemanticError):
+            check(
+                "array A[4][4]; for (i=0;i<4;i++) parallel for (j=0;j<4;j++) A[i][j] = 1;"
+            )
+
+
+class TestReferences:
+    def test_undeclared_array(self):
+        with pytest.raises(SemanticError):
+            check("array A[4]; for (i=0;i<4;i++) B[i] = 1;")
+
+    def test_rank_mismatch(self):
+        with pytest.raises(SemanticError):
+            check("array A[4][4]; for (i=0;i<4;i++) A[i] = 1;")
+
+    def test_rhs_refs_checked(self):
+        with pytest.raises(SemanticError):
+            check("array A[4]; for (i=0;i<4;i++) A[i] = C[i];")
+
+    def test_subscript_undeclared_name(self):
+        with pytest.raises(SemanticError):
+            check("array A[4]; for (i=0;i<4;i++) A[z] = 1;")
+
+
+class TestToAffine:
+    def make(self, text):
+        prog = parse(f"array A[100]; for (i=0;i<10;i++) A[{text}] = 1;")
+        return prog.loops[0].body[0].target.subscripts[0]
+
+    def test_linear(self):
+        e = to_affine(self.make("2 * i + 3"), {}, {"i"})
+        assert e == AffineExpr({"i": 2}, 3)
+
+    def test_param_folded(self):
+        e = to_affine(self.make("i + N"), {"N": 5}, {"i"})
+        assert e == AffineExpr({"i": 1}, 5)
+
+    def test_nonlinear_product(self):
+        with pytest.raises(SemanticError):
+            to_affine(self.make("i * i"), {}, {"i"})
+
+    def test_symbolic_division(self):
+        with pytest.raises(SemanticError):
+            to_affine(self.make("i / 2"), {}, {"i"})
+
+    def test_constant_division(self):
+        e = to_affine(self.make("7 / 2"), {}, set())
+        assert e == AffineExpr.const(3)
+
+    def test_constant_modulo(self):
+        e = to_affine(self.make("7 % 3"), {}, set())
+        assert e == AffineExpr.const(1)
+
+    def test_division_by_zero(self):
+        with pytest.raises(SemanticError):
+            to_affine(self.make("4 / 0"), {}, set())
+
+    def test_array_ref_in_affine_position(self):
+        with pytest.raises(SemanticError):
+            to_affine(self.make("A[i]"), {}, {"i"})
+
+    def test_unary_minus(self):
+        e = to_affine(self.make("-i"), {}, {"i"})
+        assert e == AffineExpr({"i": -1})
+
+    def test_error_on_number_node_ok(self):
+        assert to_affine(Num(1, 9), {}, set()) == AffineExpr.const(9)

@@ -1,0 +1,38 @@
+"""Unit tests for the affinity graph."""
+
+from repro.blocks.groups import IterationGroup
+from repro.mapping.affinity_graph import AffinityGraph
+
+
+def group(tag, n=1):
+    return IterationGroup(tag, [(k,) for k in range(n)])
+
+
+class TestAffinityGraph:
+    def test_weight_is_common_ones(self):
+        g = AffinityGraph([group(0b1100), group(0b0110)])
+        assert g.weight(g.groups[0], g.groups[1]) == 1
+
+    def test_edges_filter_by_weight(self):
+        graph = AffinityGraph([group(0b11), group(0b10), group(0b100)])
+        edges = list(graph.edges(min_weight=1))
+        assert len(edges) == 1
+        assert edges[0][2] == 1
+
+    def test_neighbors(self):
+        a, b, c = group(0b111), group(0b100), group(0b1000)
+        graph = AffinityGraph([a, b, c])
+        neighbors = graph.neighbors(a)
+        assert [n.ident for n, _ in neighbors] == [b.ident]
+
+    def test_total_sharing(self):
+        graph = AffinityGraph([group(0b11), group(0b11), group(0b11)])
+        # 3 pairs, each sharing 2 blocks.
+        assert graph.total_sharing() == 6
+
+    def test_disconnected(self):
+        graph = AffinityGraph([group(0b1), group(0b10)])
+        assert graph.total_sharing() == 0
+
+    def test_len(self):
+        assert len(AffinityGraph([group(1), group(2)])) == 2

@@ -1,0 +1,50 @@
+"""Unit tests for the simulation-guided autotuner."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping.autotune import autotune_block_size
+
+
+class TestAutotune:
+    def test_picks_minimum_cycles(self, fig5_program, fig9_machine):
+        result = autotune_block_size(
+            fig5_program, fig5_program.nests[0], fig9_machine,
+            candidates=(32, 64, 96),
+        )
+        assert result.best.cycles == min(t.cycles for t in result.trials)
+        assert len(result.trials) == 3
+
+    def test_weights_swept(self, fig5_program, fig9_machine):
+        result = autotune_block_size(
+            fig5_program, fig5_program.nests[0], fig9_machine,
+            candidates=(32,),
+            weights=((1.0, 0.0), (0.0, 1.0)),
+            local_scheduling=True,
+        )
+        assert len(result.trials) == 2
+        assert {(t.alpha, t.beta) for t in result.trials} == {(1.0, 0.0), (0.0, 1.0)}
+
+    def test_empty_candidates(self, fig5_program, fig9_machine):
+        with pytest.raises(MappingError):
+            autotune_block_size(
+                fig5_program, fig5_program.nests[0], fig9_machine, candidates=()
+            )
+
+    def test_invalid_candidate(self, fig5_program, fig9_machine):
+        with pytest.raises(MappingError):
+            autotune_block_size(
+                fig5_program, fig5_program.nests[0], fig9_machine, candidates=(0,)
+            )
+
+    def test_table_renders(self, fig5_program, fig9_machine):
+        result = autotune_block_size(
+            fig5_program, fig5_program.nests[0], fig9_machine, candidates=(32, 64)
+        )
+        assert "best" in result.table()
+
+    def test_deterministic(self, fig5_program, fig9_machine):
+        run = lambda: autotune_block_size(
+            fig5_program, fig5_program.nests[0], fig9_machine, candidates=(32, 64)
+        ).best
+        assert run() == run()

@@ -1,0 +1,98 @@
+"""Unit tests for cluster load balancing."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.blocks.groups import IterationGroup
+from repro.mapping.balance import Cluster, balance_clusters, balance_limits, verify_balance
+
+
+def group(tag, size, start=0):
+    return IterationGroup(tag, [(start + k,) for k in range(size)])
+
+
+class TestCluster:
+    def test_add_remove(self):
+        c = Cluster()
+        g = group(0b11, 4)
+        c.add(g)
+        assert c.size == 4 and c.tag == 0b11
+        c.remove(g)
+        assert c.size == 0 and c.tag == 0
+
+    def test_tag_recomputed_on_remove(self):
+        a, b = group(0b01, 2), group(0b10, 2, start=10)
+        c = Cluster([a, b])
+        c.remove(b)
+        assert c.tag == 0b01
+
+
+class TestLimits:
+    def test_window(self):
+        low, up = balance_limits(100, 4, 0.10)
+        assert low == pytest.approx(22.5) and up == pytest.approx(27.5)
+
+    def test_bad_threshold(self):
+        with pytest.raises(MappingError):
+            balance_limits(100, 4, 1.5)
+
+    def test_bad_k(self):
+        with pytest.raises(MappingError):
+            balance_limits(100, 0, 0.1)
+
+
+class TestBalancing:
+    def test_whole_group_moves(self):
+        clusters = [
+            Cluster([group(0b1, 10, 0), group(0b1, 10, 100)]),
+            Cluster([group(0b1, 2, 200)]),
+        ]
+        balance_clusters(clusters, threshold=0.10)
+        assert verify_balance(clusters, 0.10)
+
+    def test_split_when_needed(self):
+        # One giant group must be split to balance.
+        clusters = [Cluster([group(0b1, 100)]), Cluster([group(0b10, 2, 500)])]
+        balance_clusters(clusters, threshold=0.10)
+        assert verify_balance(clusters, 0.10)
+        total = sum(c.size for c in clusters)
+        assert total == 102
+
+    def test_preserves_total_iterations(self):
+        clusters = [
+            Cluster([group(0b1, 33)]),
+            Cluster([group(0b10, 5, 100)]),
+            Cluster([group(0b100, 7, 200)]),
+        ]
+        balance_clusters(clusters, threshold=0.05)
+        assert sum(c.size for c in clusters) == 45
+
+    def test_already_balanced_untouched(self):
+        a = group(0b1, 10)
+        b = group(0b10, 10, 100)
+        clusters = [Cluster([a]), Cluster([b])]
+        balance_clusters(clusters, threshold=0.10)
+        assert clusters[0].groups == [a] and clusters[1].groups == [b]
+
+    def test_single_cluster_noop(self):
+        clusters = [Cluster([group(0b1, 5)])]
+        balance_clusters(clusters, threshold=0.10)
+        assert clusters[0].size == 5
+
+    def test_dot_product_preference(self):
+        # Donor has two movable groups; recipient shares blocks with one.
+        donor = Cluster([group(0b001, 10, 0), group(0b110, 10, 100)])
+        recipient = Cluster([group(0b100, 2, 200)])
+        balance_clusters([donor, recipient], threshold=0.10)
+        # The 0b110 group shares a block with the recipient's 0b100.
+        assert any(g.tag == 0b110 for g in recipient.groups)
+
+    def test_tight_threshold(self):
+        clusters = [
+            Cluster([group(0b1, 50)]),
+            Cluster([group(0b10, 1, 100)]),
+            Cluster([group(0b100, 1, 200)]),
+        ]
+        balance_clusters(clusters, threshold=0.01)
+        sizes = sorted(c.size for c in clusters)
+        assert sizes[-1] - sizes[0] <= 2

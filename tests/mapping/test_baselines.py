@@ -1,0 +1,85 @@
+"""Unit tests for Base / Base+ / Local plans."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.blocks.datablocks import DataBlockPartition
+from repro.mapping.baselines import base_plan, base_plus_plan, chunk_iterations, local_plan
+
+
+class TestChunking:
+    def test_balanced_chunks(self, fig5_program):
+        chunks = chunk_iterations(fig5_program.nests[0], 4)
+        sizes = [len(c) for c in chunks]
+        assert sum(sizes) == 32 and max(sizes) - min(sizes) <= 1
+
+    def test_remainder_distribution(self, fig4_program):
+        chunks = chunk_iterations(fig4_program.nests[0], 5)
+        sizes = [len(c) for c in chunks]
+        assert sum(sizes) == 24 and max(sizes) - min(sizes) <= 1
+
+    def test_contiguous_lexicographic(self, fig5_program):
+        chunks = chunk_iterations(fig5_program.nests[0], 4)
+        flat = [p for c in chunks for p in c]
+        assert flat == sorted(flat)
+
+    def test_zero_cores(self, fig5_program):
+        with pytest.raises(MappingError):
+            chunk_iterations(fig5_program.nests[0], 0)
+
+
+class TestBase:
+    def test_complete(self, fig5_program, fig9_machine):
+        plan = base_plan(fig5_program.nests[0], fig9_machine)
+        plan.verify_complete()
+        assert plan.label == "base"
+
+    def test_single_round(self, fig5_program, fig9_machine):
+        plan = base_plan(fig5_program.nests[0], fig9_machine)
+        assert plan.num_rounds == 1
+
+    def test_original_order_within_core(self, fig5_program, fig9_machine):
+        plan = base_plan(fig5_program.nests[0], fig9_machine)
+        for core in range(4):
+            pts = plan.core_iterations(core)
+            assert pts == sorted(pts)
+
+
+class TestBasePlus:
+    def test_complete_same_distribution(self, stencil_program, fig9_machine):
+        nest = stencil_program.nests[0]
+        base = base_plan(nest, fig9_machine)
+        plus = base_plus_plan(nest, fig9_machine)
+        plus.verify_complete()
+        for core in range(4):
+            assert set(plus.core_iterations(core)) == set(base.core_iterations(core))
+
+    def test_explicit_tile_sizes(self, stencil_program, fig9_machine):
+        nest = stencil_program.nests[0]
+        plan = base_plus_plan(nest, fig9_machine, tile_sizes=(4, 4))
+        plan.verify_complete()
+
+    def test_label(self, stencil_program, fig9_machine):
+        assert base_plus_plan(stencil_program.nests[0], fig9_machine).label == "base+"
+
+
+class TestLocal:
+    def test_complete_same_distribution(self, fig5_program, fig9_machine):
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 32)
+        base = base_plan(nest, fig9_machine)
+        local = local_plan(nest, fig9_machine, part)
+        local.verify_complete()
+        for core in range(4):
+            assert set(local.core_iterations(core)) == set(base.core_iterations(core))
+
+    def test_dependent_nest(self, dependent_program, two_core_machine):
+        nest = dependent_program.nests[0]
+        part = DataBlockPartition(list(dependent_program.arrays.values()), 32)
+        plan = local_plan(nest, two_core_machine, part)
+        plan.verify_complete()
+
+    def test_label(self, fig5_program, fig9_machine):
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 32)
+        assert local_plan(nest, fig9_machine, part).label == "local"

@@ -1,0 +1,103 @@
+"""Unit tests for hierarchical clustering (Figure 6)."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.blocks.datablocks import DataBlockPartition
+from repro.blocks.groups import IterationGroup
+from repro.blocks.tagger import tag_iterations
+from repro.blocks.tags import bitwise_sum, dot
+from repro.mapping.clustering import cluster_one_level, hierarchical_distribute
+
+
+def group(tag, size=4, start=0):
+    return IterationGroup(tag, [(start + k,) for k in range(size)])
+
+
+class TestClusterOneLevel:
+    def test_count(self):
+        groups = [group(1 << k, start=10 * k) for k in range(8)]
+        clusters = cluster_one_level(groups, 3, 0.10)
+        assert len(clusters) == 3
+
+    def test_sharers_merge_first(self):
+        # Two pairs of sharers; clustering into 2 must keep pairs together.
+        a1, a2 = group(0b0011, start=0), group(0b0011, start=10)
+        b1, b2 = group(0b1100, start=20), group(0b1100, start=30)
+        clusters = cluster_one_level([a1, b1, a2, b2], 2, 0.10)
+        tags = sorted(c.tag for c in clusters)
+        assert tags == [0b0011, 0b1100]
+
+    def test_split_single_group(self):
+        clusters = cluster_one_level([group(0b1, size=20)], 2, 0.10)
+        assert len(clusters) == 2
+        assert sum(c.size for c in clusters) == 20
+
+    def test_split_indivisible_rejected(self):
+        with pytest.raises(MappingError):
+            cluster_one_level([group(0b1, size=1)], 2, 0.10)
+
+    def test_invalid_k(self):
+        with pytest.raises(MappingError):
+            cluster_one_level([group(0b1)], 0, 0.10)
+
+    def test_zero_affinity_fallback_packs_by_size(self):
+        groups = [group(1 << k, size=2 + k, start=100 * k) for k in range(4)]
+        clusters = cluster_one_level(groups, 2, 0.25)
+        assert len(clusters) == 2
+        assert sum(c.size for c in clusters) == sum(g.size for g in groups)
+
+    def test_power_of_two_bisection(self):
+        # 8 chain groups into 4 clusters: chain neighbors share a block.
+        groups = [group(0b11 << k, start=10 * k) for k in range(8)]
+        clusters = cluster_one_level(groups, 4, 0.10)
+        assert len(clusters) == 4
+
+    def test_deterministic(self):
+        def build():
+            groups = [group((1 << k) | 1, start=10 * k) for k in range(6)]
+            return [sorted(g.iterations[0] for g in c.groups)
+                    for c in cluster_one_level(groups, 3, 0.10)]
+
+        assert build() == build()
+
+
+class TestHierarchicalDistribute:
+    def test_paper_example_assignment(self, fig5_program, fig9_machine):
+        """Figure 10(b)/(c): even-tag and odd-tag chains split across L2s."""
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 4 * 8)
+        gs = tag_iterations(nest, part)
+        assignment = hierarchical_distribute(gs.groups, fig9_machine, 0.10)
+        assert len(assignment) == 4
+        # Cores 0 and 1 share an L2; their groups' tags must not straddle
+        # the even/odd chain boundary (the two chains share no blocks).
+        left = bitwise_sum(*(g.tag for g in assignment[0] + assignment[1]))
+        right = bitwise_sum(*(g.tag for g in assignment[2] + assignment[3]))
+        assert dot(left, right) == 0
+
+    def test_covers_all_groups(self, fig5_program, fig9_machine):
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 32)
+        gs = tag_iterations(nest, part)
+        assignment = hierarchical_distribute(gs.groups, fig9_machine, 0.10)
+        total = sum(g.size for core in assignment for g in core)
+        assert total == nest.iteration_count()
+
+    def test_balanced(self, fig5_program, fig9_machine):
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 32)
+        gs = tag_iterations(nest, part)
+        assignment = hierarchical_distribute(gs.groups, fig9_machine, 0.10)
+        sizes = [sum(g.size for g in core) for core in assignment]
+        avg = sum(sizes) / len(sizes)
+        assert max(sizes) <= avg * 1.1 + 2 and min(sizes) >= avg * 0.9 - 2
+
+    def test_empty_groups_rejected(self, fig9_machine):
+        with pytest.raises(MappingError):
+            hierarchical_distribute([], fig9_machine, 0.10)
+
+    def test_one_cluster_per_core(self, fig9_machine):
+        groups = [group(1 << k, size=6, start=10 * k) for k in range(12)]
+        assignment = hierarchical_distribute(groups, fig9_machine, 0.10)
+        assert len(assignment) == fig9_machine.num_cores

@@ -1,0 +1,119 @@
+"""Unit tests for the group dependence graph (Section 3.5.2)."""
+
+import pytest
+
+from repro.blocks.datablocks import DataBlockPartition
+from repro.blocks.groups import IterationGroup
+from repro.blocks.tagger import tag_iterations
+from repro.mapping.dependence import (
+    GroupDependenceGraph,
+    build_group_dependence_graph,
+    merge_dependent_groups,
+)
+
+
+def groups_of(program, block_size=32):
+    nest = program.nests[0]
+    part = DataBlockPartition(list(program.arrays.values()), block_size)
+    return nest, list(tag_iterations(nest, part).groups)
+
+
+class TestGraphBasics:
+    def test_no_dependences_for_parallel(self, fig4_program):
+        nest = fig4_program.nests[0]
+        part = DataBlockPartition(list(fig4_program.arrays.values()), 80)
+        groups = list(tag_iterations(nest, part).groups)
+        graph = build_group_dependence_graph(nest, groups)
+        assert graph.num_edges == 0
+
+    def test_banded_dependences_found(self, dependent_program):
+        nest, groups = groups_of(dependent_program)
+        graph = build_group_dependence_graph(nest, groups)
+        assert graph.num_edges > 0
+
+    def test_self_edges_dropped(self):
+        g = GroupDependenceGraph([1, 2], [(1, 1), (1, 2)])
+        assert g.num_edges == 1
+
+    def test_foreign_edges_ignored(self):
+        g = GroupDependenceGraph([1], [(1, 99)])
+        assert g.num_edges == 0
+
+
+class TestSccMerging:
+    def test_acyclic_graph_unchanged(self):
+        a = IterationGroup(0b01, [(0,)])
+        b = IterationGroup(0b10, [(1,)])
+        graph = GroupDependenceGraph([a.ident, b.ident], [(a.ident, b.ident)])
+        merged, dag = graph.acyclified([a, b])
+        assert {g.ident for g in merged} == {a.ident, b.ident}
+        assert dag.num_edges == 1
+
+    def test_cycle_merges(self):
+        a = IterationGroup(0b01, [(0,)])
+        b = IterationGroup(0b10, [(1,)])
+        graph = GroupDependenceGraph(
+            [a.ident, b.ident], [(a.ident, b.ident), (b.ident, a.ident)]
+        )
+        merged, dag = graph.acyclified([a, b])
+        assert len(merged) == 1
+        assert merged[0].tag == 0b11
+        assert merged[0].size == 2
+        assert dag.num_edges == 0
+
+    def test_chain_with_back_edge(self):
+        a = IterationGroup(0b001, [(0,)])
+        b = IterationGroup(0b010, [(1,)])
+        c = IterationGroup(0b100, [(2,)])
+        edges = [(a.ident, b.ident), (b.ident, a.ident), (b.ident, c.ident)]
+        graph = GroupDependenceGraph([a.ident, b.ident, c.ident], edges)
+        merged, dag = graph.acyclified([a, b, c])
+        assert len(merged) == 2
+        assert not dag.has_cycle()
+
+    def test_has_cycle(self):
+        g = GroupDependenceGraph([1, 2], [(1, 2), (2, 1)])
+        assert g.has_cycle()
+        assert not GroupDependenceGraph([1, 2], [(1, 2)]).has_cycle()
+
+
+class TestTopologicalOrder:
+    def test_order_respects_edges(self):
+        g = GroupDependenceGraph([1, 2, 3], [(3, 2), (2, 1)])
+        order = g.topological_order()
+        assert order.index(3) < order.index(2) < order.index(1)
+
+    def test_cycle_raises(self):
+        from repro.errors import ScheduleError
+
+        g = GroupDependenceGraph([1, 2], [(1, 2), (2, 1)])
+        with pytest.raises(ScheduleError):
+            g.topological_order()
+
+
+class TestCoClusterPolicy:
+    def test_connected_components_merge(self):
+        a = IterationGroup(0b001, [(0,)])
+        b = IterationGroup(0b010, [(1,)])
+        c = IterationGroup(0b100, [(2,)])
+        graph = GroupDependenceGraph(
+            [a.ident, b.ident, c.ident], [(a.ident, b.ident)]
+        )
+        merged = merge_dependent_groups([a, b, c], graph)
+        assert len(merged) == 2
+        sizes = sorted(g.size for g in merged)
+        assert sizes == [1, 2]
+
+    def test_no_edges_identity(self):
+        a = IterationGroup(0b01, [(0,)])
+        b = IterationGroup(0b10, [(1,)])
+        graph = GroupDependenceGraph([a.ident, b.ident], [])
+        merged = merge_dependent_groups([a, b], graph)
+        assert {g.ident for g in merged} == {a.ident, b.ident}
+
+    def test_dependences_internal_after_merge(self, dependent_program):
+        nest, groups = groups_of(dependent_program)
+        graph = build_group_dependence_graph(nest, groups)
+        merged = merge_dependent_groups(groups, graph)
+        regraph = build_group_dependence_graph(nest, merged)
+        assert regraph.num_edges == 0

@@ -1,0 +1,56 @@
+"""Mapper options: clustering strategy selection and validation."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping.clustering import hierarchical_distribute
+from repro.mapping.distribute import TopologyAwareMapper
+
+
+class TestStrategyOption:
+    def test_unknown_strategy_rejected(self, fig9_machine):
+        with pytest.raises(MappingError):
+            TopologyAwareMapper(fig9_machine, cluster_strategy="spectral")
+
+    def test_distribute_unknown_strategy(self, fig9_machine, fig5_program):
+        from repro.blocks.datablocks import DataBlockPartition
+        from repro.blocks.tagger import tag_iterations
+
+        nest = fig5_program.nests[0]
+        part = DataBlockPartition(list(fig5_program.arrays.values()), 32)
+        groups = list(tag_iterations(nest, part).groups)
+        with pytest.raises(MappingError):
+            hierarchical_distribute(groups, fig9_machine, 0.1, "magic")
+
+    def test_kl_covers_iterations(self, fig9_machine, fig5_program):
+        mapper = TopologyAwareMapper(
+            fig9_machine, block_size=32, cluster_strategy="kl"
+        )
+        result = mapper.map_nest(fig5_program, fig5_program.nests[0])
+        result.plan().verify_complete()
+
+    def test_kl_keeps_chain_separation(self, fig9_machine, fig5_program):
+        """The Figure 10(b) property must survive KL refinement: the two
+        sharing chains stay on opposite L2s."""
+        from repro.blocks.tags import bitwise_sum, dot
+
+        mapper = TopologyAwareMapper(
+            fig9_machine, block_size=32, cluster_strategy="kl"
+        )
+        result = mapper.map_nest(fig5_program, fig5_program.nests[0])
+        left = bitwise_sum(*(g.tag for g in result.assignments[0] + result.assignments[1]))
+        right = bitwise_sum(*(g.tag for g in result.assignments[2] + result.assignments[3]))
+        assert dot(left, right) == 0
+
+    def test_strategies_comparable_quality(self, fig9_machine, fig5_program):
+        from repro.mapping.optimal import sharing_cost
+
+        costs = {}
+        for strategy in ("greedy", "kl"):
+            mapper = TopologyAwareMapper(
+                fig9_machine, block_size=32, cluster_strategy=strategy
+            )
+            result = mapper.map_nest(fig5_program, fig5_program.nests[0])
+            costs[strategy] = sharing_cost(result.assignments, fig9_machine)
+        # KL never materially worse on the paper's example.
+        assert costs["kl"] <= costs["greedy"] * 1.05

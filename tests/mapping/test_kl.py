@@ -1,0 +1,71 @@
+"""Unit tests for Kernighan-Lin bipartition refinement."""
+
+from repro.blocks.groups import IterationGroup
+from repro.mapping.kl import cluster_one_level_kl, cut_weight, kl_bipartition
+
+
+def group(tag, size=2, start=0):
+    return IterationGroup(tag, [(start + k,) for k in range(size)])
+
+
+class TestCutWeight:
+    def test_zero_cut(self):
+        assert cut_weight([group(0b1)], [group(0b10, start=10)]) == 0
+
+    def test_counts_shared_bits(self):
+        assert cut_weight([group(0b11)], [group(0b110, start=10)]) == 1
+
+
+class TestKlBipartition:
+    def test_fixes_crossed_pairs(self):
+        a1, a2 = group(0b0011, start=0), group(0b0011, start=10)
+        b1, b2 = group(0b1100, start=20), group(0b1100, start=30)
+        # Start from the worst cut: one of each pair on each side.
+        left, right = kl_bipartition([a1, b1], [a2, b2])
+        assert cut_weight(left, right) == 0
+
+    def test_never_worsens(self):
+        groups_a = [group(0b101 << k, start=20 * k) for k in range(4)]
+        groups_b = [group(0b11 << k, start=300 + 20 * k) for k in range(4)]
+        before = cut_weight(groups_a, groups_b)
+        left, right = kl_bipartition(list(groups_a), list(groups_b))
+        assert cut_weight(left, right) <= before
+
+    def test_preserves_groups(self):
+        a = [group(1 << k, start=10 * k) for k in range(3)]
+        b = [group(1 << k, start=200 + 10 * k) for k in range(3)]
+        left, right = kl_bipartition(list(a), list(b))
+        assert sorted(g.ident for g in left + right) == sorted(
+            g.ident for g in a + b
+        )
+
+    def test_size_tolerance_blocks_lopsided_swaps(self):
+        big = group(0b11, size=50, start=0)
+        small = group(0b11, size=1, start=100)
+        other = group(0b1100, size=50, start=200)
+        left, right = kl_bipartition([big], [small, other], size_tolerance=0.05)
+        sizes = (sum(g.size for g in left), sum(g.size for g in right))
+        assert abs(sizes[0] - sizes[1]) <= 60  # no swap made things extreme
+
+    def test_empty_side(self):
+        a, b = kl_bipartition([], [group(0b1)])
+        assert a == [] and len(b) == 1
+
+
+class TestClusterOneLevel:
+    def test_produces_balanced_pair(self):
+        groups = [group((0b11 << (k % 4)), size=3, start=20 * k) for k in range(8)]
+        clusters = cluster_one_level_kl(groups, threshold=0.10)
+        assert len(clusters) == 2
+        sizes = [c.size for c in clusters]
+        assert abs(sizes[0] - sizes[1]) <= 4
+
+    def test_no_worse_than_greedy(self):
+        from repro.mapping.clustering import cluster_one_level
+
+        groups = [group((0b10101 << (k % 3)), size=2, start=20 * k) for k in range(10)]
+        greedy = cluster_one_level(list(groups), 2, 0.10)
+        kl = cluster_one_level_kl(list(groups), 0.10)
+        assert cut_weight(kl[0].groups, kl[1].groups) <= cut_weight(
+            greedy[0].groups, greedy[1].groups
+        ) + 1

@@ -1,0 +1,99 @@
+"""Unit tests for the optimal-mapping search."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.blocks.groups import IterationGroup
+from repro.mapping.optimal import (
+    anneal_assignment,
+    exhaustive_assignment,
+    optimal_assignment,
+    sharing_cost,
+)
+
+
+def group(tag, size=2, start=0):
+    return IterationGroup(tag, [(start + k,) for k in range(size)])
+
+
+class TestSharingCost:
+    def test_colocated_sharers_cheaper(self, two_core_machine):
+        a = group(0b11, start=0)
+        b = group(0b11, start=10)
+        c = group(0b1100, start=20)
+        d = group(0b1100, start=30)
+        together = sharing_cost([[a, b], [c, d]], two_core_machine)
+        apart = sharing_cost([[a, c], [b, d]], two_core_machine)
+        assert together < apart
+
+    def test_imbalance_penalized(self, two_core_machine):
+        a = group(0b01, size=10, start=0)
+        b = group(0b10, size=10, start=100)
+        balanced = sharing_cost([[a], [b]], two_core_machine)
+        skewed = sharing_cost([[a, b], []], two_core_machine)
+        assert skewed > balanced * 0.99  # replication saved, imbalance paid
+
+    def test_empty_cores_allowed(self, two_core_machine):
+        assert sharing_cost([[], []], two_core_machine) == 0.0
+
+
+class TestExhaustive:
+    def test_finds_colocated_optimum(self, two_core_machine):
+        a, b = group(0b11, start=0), group(0b11, start=10)
+        c, d = group(0b1100, start=20), group(0b1100, start=30)
+        best = exhaustive_assignment([a, b, c, d], two_core_machine)
+        tags = sorted(
+            tuple(sorted(g.tag for g in core)) for core in best if core
+        )
+        assert tags == [(0b11, 0b11), (0b1100, 0b1100)]
+
+    def test_cap_enforced(self, fig9_machine):
+        groups = [group(1 << k, start=10 * k) for k in range(12)]
+        with pytest.raises(MappingError):
+            exhaustive_assignment(groups, fig9_machine, max_states=100)
+
+    def test_at_least_as_good_as_any_manual(self, two_core_machine):
+        groups = [group(0b11, start=0), group(0b110, start=10), group(0b1100, start=20)]
+        best = exhaustive_assignment(groups, two_core_machine)
+        manual = [[groups[0], groups[2]], [groups[1]]]
+        assert sharing_cost(best, two_core_machine) <= sharing_cost(manual, two_core_machine)
+
+
+class TestAnnealing:
+    def test_never_worse_than_start(self, fig9_machine):
+        groups = [group((0b11 << (k % 4)), start=10 * k) for k in range(8)]
+        start = [groups[0:2], groups[2:4], groups[4:6], groups[6:8]]
+        result = anneal_assignment(groups, fig9_machine, start=start, iterations=500)
+        assert sharing_cost(result, fig9_machine) <= sharing_cost(start, fig9_machine)
+
+    def test_deterministic_given_seed(self, fig9_machine):
+        groups = [group(0b101 << k, start=10 * k) for k in range(6)]
+        a = anneal_assignment(groups, fig9_machine, iterations=300, seed=7)
+        b = anneal_assignment(groups, fig9_machine, iterations=300, seed=7)
+        assert [[g.ident for g in core] for core in a] == [
+            [g.ident for g in core] for core in b
+        ]
+
+    def test_preserves_group_multiset(self, fig9_machine):
+        groups = [group(1 << k, start=10 * k) for k in range(8)]
+        result = anneal_assignment(groups, fig9_machine, iterations=200)
+        flat = sorted(g.ident for core in result for g in core)
+        assert flat == sorted(g.ident for g in groups)
+
+    def test_wrong_start_shape(self, fig9_machine):
+        with pytest.raises(MappingError):
+            anneal_assignment([group(1)], fig9_machine, start=[[]])
+
+
+class TestDispatch:
+    def test_small_goes_exhaustive(self, two_core_machine):
+        groups = [group(0b11, start=0), group(0b11, start=10)]
+        result = optimal_assignment(groups, two_core_machine)
+        assert sharing_cost(result, two_core_machine) <= sharing_cost(
+            [[groups[0]], [groups[1]]], two_core_machine
+        )
+
+    def test_large_goes_annealing(self, fig9_machine):
+        groups = [group(1 << (k % 6), start=10 * k) for k in range(20)]
+        result = optimal_assignment(groups, fig9_machine, exhaustive_cap=10)
+        assert sum(len(c) for c in result) == 20

@@ -1,0 +1,55 @@
+"""Unit tests for assignment refinement."""
+
+from repro.blocks.groups import IterationGroup
+from repro.mapping.optimal import sharing_cost
+from repro.mapping.refine import refine_assignment
+
+
+def group(tag, size=4, start=0):
+    return IterationGroup(tag, [(start + k,) for k in range(size)])
+
+
+class TestRefinement:
+    def test_separated_sharers_reunited(self, two_core_machine):
+        a, b = group(0b11, start=0), group(0b11, start=10)
+        c, d = group(0b1100, start=20), group(0b1100, start=30)
+        bad = [[a, c], [b, d]]
+        refined = refine_assignment(bad, two_core_machine, balance_threshold=0.10)
+        tags = sorted(tuple(sorted(g.tag for g in core)) for core in refined)
+        assert tags == [(0b11, 0b11), (0b1100, 0b1100)]
+
+    def test_never_increases_cost(self, fig9_machine):
+        groups = [group((0b11 << (k % 5)), start=10 * k) for k in range(12)]
+        start = [groups[0:3], groups[3:6], groups[6:9], groups[9:12]]
+        refined = refine_assignment(start, fig9_machine, balance_threshold=0.10)
+        assert sharing_cost(refined, fig9_machine) <= sharing_cost(start, fig9_machine) + 1e-9
+
+    def test_preserves_groups(self, fig9_machine):
+        groups = [group(1 << k, start=10 * k) for k in range(8)]
+        start = [groups[0:2], groups[2:4], groups[4:6], groups[6:8]]
+        refined = refine_assignment(start, fig9_machine)
+        flat = sorted(g.ident for core in refined for g in core)
+        assert flat == sorted(g.ident for g in groups)
+
+    def test_respects_balance_window(self, two_core_machine):
+        a, b = group(0b11, size=10, start=0), group(0b11, size=10, start=100)
+        # Perfectly sharing pair, but moving either would empty a core.
+        refined = refine_assignment([[a], [b]], two_core_machine, balance_threshold=0.10)
+        sizes = sorted(sum(g.size for g in core) for core in refined)
+        assert sizes == [10, 10]
+
+    def test_input_not_mutated(self, two_core_machine):
+        a, b = group(0b11, start=0), group(0b11, start=10)
+        start = [[a], [b]]
+        refine_assignment(start, two_core_machine, balance_threshold=0.9)
+        assert start == [[a], [b]]
+
+    def test_single_core_noop(self):
+        from repro.topology.cache import CacheSpec
+        from repro.topology.tree import Machine, TopologyNode
+
+        l1 = CacheSpec("L1", 512, 2, 32, 2)
+        m = Machine("one", 1.0, 10,
+                    TopologyNode.cache(l1, [TopologyNode.core(0)]), sockets=1)
+        start = [[group(0b1)]]
+        assert refine_assignment(start, m) == start

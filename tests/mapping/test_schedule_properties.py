@@ -1,0 +1,89 @@
+"""Property tests: the scheduler on random assignments and random DAGs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.blocks.groups import IterationGroup
+from repro.mapping.dependence import GroupDependenceGraph
+from repro.mapping.schedule import schedule_groups
+from repro.topology.cache import CacheSpec
+from repro.topology.tree import Machine, TopologyNode
+
+
+def make_machine() -> Machine:
+    l1 = CacheSpec("L1", 256, 2, 32, 2)
+    l2 = CacheSpec("L2", 1024, 4, 32, 8)
+    cores = [TopologyNode.core(i) for i in range(4)]
+    l1s = [TopologyNode.cache(l1, [c]) for c in cores]
+    l2s = [TopologyNode.cache(l2, l1s[:2]), TopologyNode.cache(l2, l1s[2:])]
+    return Machine("prop4s", 1.0, 40, TopologyNode.memory(l2s), sockets=1)
+
+
+MACHINE = make_machine()
+
+
+@st.composite
+def assignments_with_dag(draw):
+    """Random groups spread over 4 cores plus a random DAG over them."""
+    n = draw(st.integers(2, 14))
+    groups = []
+    start = 0
+    for k in range(n):
+        size = draw(st.integers(1, 5))
+        tag = draw(st.integers(1, 255))
+        groups.append(IterationGroup(tag, [(start + j,) for j in range(size)]))
+        start += size + 1
+    cores: list[list[IterationGroup]] = [[], [], [], []]
+    for g in groups:
+        cores[draw(st.integers(0, 3))].append(g)
+    # Random forward edges (i -> j with i < j) keep the graph acyclic.
+    edges = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()) and draw(st.booleans()):
+                edges.append((groups[i].ident, groups[j].ident))
+    graph = GroupDependenceGraph([g.ident for g in groups], edges)
+    return cores, graph, groups
+
+
+@settings(max_examples=40, deadline=None)
+@given(assignments_with_dag(), st.floats(0, 1), st.floats(0, 1))
+def test_schedule_is_permutation(data, alpha, beta):
+    cores, graph, groups = data
+    rounds = schedule_groups([list(c) for c in cores], MACHINE, graph, alpha, beta)
+    for core_index, assigned in enumerate(cores):
+        flat = [g.ident for rnd in rounds[core_index] for g in rnd]
+        assert sorted(flat) == sorted(g.ident for g in assigned)
+
+
+@settings(max_examples=40, deadline=None)
+@given(assignments_with_dag())
+def test_schedule_respects_dag(data):
+    cores, graph, groups = data
+    rounds = schedule_groups([list(c) for c in cores], MACHINE, graph)
+    round_of = {}
+    core_of = {}
+    position = {}
+    for core_index, core_rounds in enumerate(rounds):
+        order = 0
+        for rnd_index, rnd in enumerate(core_rounds):
+            for g in rnd:
+                round_of[g.ident] = rnd_index
+                core_of[g.ident] = core_index
+                position[g.ident] = order
+                order += 1
+    for a in graph.nodes:
+        for b in graph.succs[a]:
+            if core_of[a] == core_of[b]:
+                # Same core: program order suffices.
+                assert (round_of[a], position[a]) < (round_of[b], position[b])
+            else:
+                # Cross-core: the barrier between rounds must separate them.
+                assert round_of[a] < round_of[b]
+
+
+@settings(max_examples=30, deadline=None)
+@given(assignments_with_dag())
+def test_round_structure_aligned(data):
+    cores, graph, _ = data
+    rounds = schedule_groups([list(c) for c in cores], MACHINE, graph)
+    assert len({len(core_rounds) for core_rounds in rounds}) == 1

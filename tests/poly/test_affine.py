@@ -1,0 +1,139 @@
+"""Unit tests for affine expressions."""
+
+import pytest
+
+from repro.errors import PolyhedralError
+from repro.poly.affine import AffineExpr
+
+
+class TestConstruction:
+    def test_var(self):
+        e = AffineExpr.var("i")
+        assert e.coeff("i") == 1
+        assert e.constant == 0
+
+    def test_const(self):
+        e = AffineExpr.const(7)
+        assert e.is_constant()
+        assert e.constant == 7
+
+    def test_zero_coefficients_dropped(self):
+        e = AffineExpr({"i": 0, "j": 2})
+        assert e.variables() == frozenset({"j"})
+
+    def test_coerce_int(self):
+        assert AffineExpr.coerce(5) == AffineExpr.const(5)
+
+    def test_coerce_str(self):
+        assert AffineExpr.coerce("x") == AffineExpr.var("x")
+
+    def test_coerce_passthrough(self):
+        e = AffineExpr.var("i")
+        assert AffineExpr.coerce(e) is e
+
+    def test_coerce_rejects_float(self):
+        with pytest.raises(PolyhedralError):
+            AffineExpr.coerce(1.5)
+
+    def test_non_int_coefficient_rejected(self):
+        with pytest.raises(PolyhedralError):
+            AffineExpr({"i": 1.5})
+
+    def test_non_int_constant_rejected(self):
+        with pytest.raises(PolyhedralError):
+            AffineExpr({}, 2.5)
+
+    def test_immutable(self):
+        e = AffineExpr.var("i")
+        with pytest.raises(AttributeError):
+            e.constant = 3
+
+
+class TestArithmetic:
+    def test_add(self):
+        e = AffineExpr.var("i") + AffineExpr.var("j") + 3
+        assert e.coeff("i") == 1 and e.coeff("j") == 1 and e.constant == 3
+
+    def test_add_cancels(self):
+        e = AffineExpr.var("i") - AffineExpr.var("i")
+        assert e == AffineExpr.const(0)
+
+    def test_radd(self):
+        e = 5 + AffineExpr.var("i")
+        assert e.constant == 5
+
+    def test_sub(self):
+        e = AffineExpr.var("i") * 3 - AffineExpr.var("i")
+        assert e.coeff("i") == 2
+
+    def test_rsub(self):
+        e = 10 - AffineExpr.var("i")
+        assert e.coeff("i") == -1 and e.constant == 10
+
+    def test_neg(self):
+        e = -(AffineExpr.var("i") + 2)
+        assert e.coeff("i") == -1 and e.constant == -2
+
+    def test_mul(self):
+        e = (AffineExpr.var("i") + 1) * 4
+        assert e.coeff("i") == 4 and e.constant == 4
+
+    def test_mul_by_zero(self):
+        assert (AffineExpr.var("i") * 0) == AffineExpr.const(0)
+
+    def test_rmul(self):
+        assert 3 * AffineExpr.var("i") == AffineExpr({"i": 3})
+
+    def test_mul_non_int_rejected(self):
+        with pytest.raises(PolyhedralError):
+            AffineExpr.var("i") * 0.5
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        e = AffineExpr({"i": 2, "j": -1}, 5)
+        assert e.evaluate({"i": 3, "j": 4}) == 2 * 3 - 4 + 5
+
+    def test_evaluate_missing_var(self):
+        with pytest.raises(PolyhedralError):
+            AffineExpr.var("i").evaluate({})
+
+    def test_evaluate_extra_env_entries_ok(self):
+        assert AffineExpr.var("i").evaluate({"i": 1, "z": 9}) == 1
+
+
+class TestSubstitution:
+    def test_substitute_var_with_expr(self):
+        e = AffineExpr({"i": 2}, 1)
+        result = e.substitute({"i": AffineExpr.var("t") + 3})
+        assert result == AffineExpr({"t": 2}, 7)
+
+    def test_substitute_with_int(self):
+        e = AffineExpr({"i": 2, "j": 1})
+        assert e.substitute({"i": 5}) == AffineExpr({"j": 1}, 10)
+
+    def test_substitute_simultaneous(self):
+        # i -> j and j -> i must swap, not chain.
+        e = AffineExpr({"i": 1, "j": 2})
+        result = e.substitute({"i": AffineExpr.var("j"), "j": AffineExpr.var("i")})
+        assert result == AffineExpr({"j": 1, "i": 2})
+
+    def test_rename(self):
+        e = AffineExpr({"i": 2}, 3)
+        assert e.rename({"i": "x"}) == AffineExpr({"x": 2}, 3)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = AffineExpr({"i": 1}, 2)
+        b = AffineExpr.var("i") + 2
+        assert a == b and hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert AffineExpr.var("i") != AffineExpr.var("j")
+
+    def test_str_renders(self):
+        assert "i" in str(AffineExpr({"i": 2}, -1))
+
+    def test_str_constant_only(self):
+        assert str(AffineExpr.const(0)) == "0"

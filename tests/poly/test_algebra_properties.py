@@ -1,0 +1,75 @@
+"""Algebraic law property tests for maps, renames and unions."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.poly.affine import AffineExpr
+from repro.poly.codegen import compile_enumerator, generate_loop_nest
+from repro.poly.intset import IntSet
+from repro.poly.relation import AffineMap
+from repro.poly.unions import UnionSet
+
+coeffs = st.integers(-3, 3)
+consts = st.integers(-6, 6)
+
+
+@st.composite
+def maps_1d(draw):
+    return AffineMap(
+        ["t"], [draw(st.sampled_from(["u", "v", "w"]))],
+        [AffineExpr({"t": draw(coeffs)}, draw(consts))],
+    )
+
+
+class TestCompositionLaws:
+    @settings(max_examples=50, deadline=None)
+    @given(maps_1d(), st.integers(-10, 10))
+    def test_identity_is_neutral(self, m, x):
+        ident = AffineMap.identity(["t"], ["t'"])
+        renamed = AffineMap(["t'"], m.out_dims, [e.rename({"t": "t'"}) for e in m.exprs])
+        assert renamed.compose(ident).apply((x,)) == m.apply((x,))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(-3, 3), st.integers(-6, 6), st.integers(-3, 3),
+           st.integers(-6, 6), st.integers(-10, 10))
+    def test_composition_is_function_composition(self, a1, b1, a2, b2, x):
+        inner = AffineMap(["t"], ["u"], [AffineExpr({"t": a1}, b1)])
+        outer = AffineMap(["u"], ["v"], [AffineExpr({"u": a2}, b2)])
+        composed = outer.compose(inner)
+        assert composed.apply((x,)) == outer.apply(inner.apply((x,)))
+
+
+class TestRenameLaws:
+    @settings(max_examples=50, deadline=None)
+    @given(st.dictionaries(st.sampled_from(["i", "j"]), coeffs), consts)
+    def test_rename_roundtrip(self, cs, c):
+        e = AffineExpr(cs, c)
+        there = e.rename({"i": "x", "j": "y"})
+        back = there.rename({"x": "i", "y": "j"})
+        assert back == e
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 5), st.integers(6, 12))
+    def test_set_rename_preserves_count(self, lo, hi):
+        s = IntSet.box(["i", "j"], [(lo, hi), (0, 3)])
+        renamed = s.rename_dims({"i": "a", "j": "b"})
+        assert renamed.count() == s.count()
+
+
+class TestUnionCodegenOverlap:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 4), st.integers(2, 6), st.integers(0, 4), st.integers(2, 6))
+    def test_overlapping_2d_pieces_dedup(self, ax, aw, bx, bw):
+        a = IntSet.box(["i", "j"], [(ax, ax + aw), (0, 2)])
+        b = IntSet.box(["i", "j"], [(bx, bx + bw), (1, 3)])
+        union = UnionSet.from_set(a).union(b)
+        fn = compile_enumerator(generate_loop_nest(union))
+        produced = list(fn())
+        assert len(produced) == len(set(produced))
+        assert set(produced) == set(union.points())
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 4)), min_size=1, max_size=4))
+    def test_union_count_never_exceeds_sum(self, boxes):
+        pieces = [IntSet.box(["i"], [(lo, lo + w)]) for lo, w in boxes]
+        union = UnionSet(("i",), pieces)
+        assert union.count() <= sum(p.count() for p in pieces)

@@ -1,0 +1,105 @@
+"""Unit tests for loop-nest code generation (the Omega codegen analogue)."""
+
+import pytest
+
+from repro.errors import PolyhedralError
+from repro.poly.affine import AffineExpr
+from repro.poly.codegen import (
+    compile_enumerator,
+    generate_loop_nest,
+    generate_point_list_enumerator,
+)
+from repro.poly.constraints import Constraint
+from repro.poly.intset import IntSet
+from repro.poly.unions import UnionSet
+
+i = AffineExpr.var("i")
+j = AffineExpr.var("j")
+
+
+def roundtrip(space):
+    return list(compile_enumerator(generate_loop_nest(space))())
+
+
+class TestConvex:
+    def test_box(self):
+        s = IntSet.box(["i", "j"], [(0, 3), (1, 2)])
+        assert roundtrip(s) == list(s.points())
+
+    def test_triangle(self):
+        s = IntSet(
+            ["i", "j"],
+            [Constraint.ge(i, 0), Constraint.le(i, 6), Constraint.ge(j, 0), Constraint.le(j, i)],
+        )
+        assert roundtrip(s) == list(s.points())
+
+    def test_single_dim_tuple_shape(self):
+        s = IntSet.box(["i"], [(2, 4)])
+        assert roundtrip(s) == [(2,), (3,), (4,)]
+
+    def test_coefficient_bounds_use_ceil_floor(self):
+        # 2 <= 3i <= 14  =>  i in {1, ..., 4}.
+        s = IntSet(["i"], [Constraint.ge(i * 3, 2), Constraint.le(i * 3, 14)])
+        assert roundtrip(s) == [(1,), (2,), (3,), (4,)]
+
+    def test_equality_generates_divisibility_check(self):
+        s = IntSet(
+            ["i", "j"],
+            [Constraint.ge(i, 0), Constraint.le(i, 9), Constraint.eq(j * 3, i),
+             Constraint.ge(j, 0), Constraint.le(j, 3)],
+        )
+        assert roundtrip(s) == [(0, 0), (3, 1), (6, 2), (9, 3)]
+
+    def test_empty_range(self):
+        s = IntSet(["i"], [Constraint.ge(i, 5), Constraint.le(i, 3)])
+        assert roundtrip(s) == []
+
+    def test_zero_dims(self):
+        s = IntSet.universe([])
+        assert roundtrip(s) == [()]
+
+    def test_unbounded_raises(self):
+        s = IntSet(["i"], [Constraint.ge(i, 0)])
+        with pytest.raises(PolyhedralError):
+            generate_loop_nest(s)
+
+    def test_generated_source_is_self_contained(self):
+        source = generate_loop_nest(IntSet.box(["i"], [(0, 2)]))
+        namespace = {}
+        exec(source, namespace)  # no imports needed
+        assert list(namespace["enumerate_points"]()) == [(0,), (1,), (2,)]
+
+
+class TestUnion:
+    def test_union_dedup(self):
+        a = IntSet.box(["i"], [(0, 4)])
+        b = IntSet.box(["i"], [(3, 7)])
+        u = UnionSet.from_set(a).union(b)
+        got = roundtrip(u)
+        assert sorted(got) == [(v,) for v in range(8)]
+        assert len(got) == len(set(got))
+
+    def test_empty_union(self):
+        u = UnionSet(["i"])
+        assert roundtrip(u) == []
+
+
+class TestPointList:
+    def test_point_list(self):
+        pts = [(3, 1), (0, 0), (2, 2)]
+        fn = compile_enumerator(generate_point_list_enumerator(pts))
+        assert list(fn()) == pts
+
+    def test_empty_point_list(self):
+        fn = compile_enumerator(generate_point_list_enumerator([]))
+        assert list(fn()) == []
+
+
+class TestCompile:
+    def test_missing_function_name(self):
+        with pytest.raises(PolyhedralError):
+            compile_enumerator("x = 1\n", "nope")
+
+    def test_custom_name(self):
+        src = generate_loop_nest(IntSet.box(["i"], [(0, 0)]), func_name="enum0")
+        assert list(compile_enumerator(src, "enum0")()) == [(0,)]

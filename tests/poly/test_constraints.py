@@ -1,0 +1,93 @@
+"""Unit tests for constraints and their normalization."""
+
+import pytest
+
+from repro.errors import PolyhedralError
+from repro.poly.affine import AffineExpr
+from repro.poly.constraints import Constraint
+
+i = AffineExpr.var("i")
+j = AffineExpr.var("j")
+
+
+class TestConstructors:
+    def test_ge(self):
+        c = Constraint.ge(i, 3)
+        assert c.satisfied_by({"i": 3}) and not c.satisfied_by({"i": 2})
+
+    def test_le(self):
+        c = Constraint.le(i, 3)
+        assert c.satisfied_by({"i": 3}) and not c.satisfied_by({"i": 4})
+
+    def test_lt_is_integer_strict(self):
+        c = Constraint.lt(i, 3)
+        assert c.satisfied_by({"i": 2}) and not c.satisfied_by({"i": 3})
+
+    def test_gt_is_integer_strict(self):
+        c = Constraint.gt(i, 3)
+        assert c.satisfied_by({"i": 4}) and not c.satisfied_by({"i": 3})
+
+    def test_eq(self):
+        c = Constraint.eq(i + j, 5)
+        assert c.satisfied_by({"i": 2, "j": 3})
+        assert not c.satisfied_by({"i": 2, "j": 4})
+
+    def test_unknown_kind(self):
+        with pytest.raises(PolyhedralError):
+            Constraint(i, "<=")
+
+    def test_immutable(self):
+        c = Constraint.ge(i, 0)
+        with pytest.raises(AttributeError):
+            c.kind = "=="
+
+
+class TestNormalization:
+    def test_gcd_divided_out(self):
+        assert Constraint.ge(i * 4, 8) == Constraint.ge(i, 2)
+
+    def test_ge_constant_floors_to_feasible_side(self):
+        # 2i - 3 >= 0  <=>  i >= 2 over the integers (i >= 1.5 rounded up).
+        c = Constraint.ge(i * 2, 3)
+        assert not c.satisfied_by({"i": 1})
+        assert c.satisfied_by({"i": 2})
+
+    def test_eq_indivisible_is_contradiction(self):
+        c = Constraint.eq(i * 2, 3)
+        assert c.is_contradiction()
+
+    def test_eq_divisible_normalizes(self):
+        assert Constraint.eq(i * 2, 4) == Constraint.eq(i, 2)
+
+    def test_tautology(self):
+        assert Constraint.ge(AffineExpr.const(1), 0).is_tautology()
+        assert Constraint.eq(AffineExpr.const(0), 0).is_tautology()
+
+    def test_contradiction(self):
+        assert Constraint.ge(AffineExpr.const(-1), 0).is_contradiction()
+        assert Constraint.eq(AffineExpr.const(1), 0).is_contradiction()
+
+    def test_non_constant_is_neither(self):
+        c = Constraint.ge(i, 0)
+        assert not c.is_tautology() and not c.is_contradiction()
+
+
+class TestOperations:
+    def test_variables(self):
+        assert Constraint.ge(i + j * 2, 1).variables() == frozenset({"i", "j"})
+
+    def test_substitute(self):
+        c = Constraint.ge(i, 2).substitute({"i": AffineExpr.var("t") + 1})
+        assert c.satisfied_by({"t": 1}) and not c.satisfied_by({"t": 0})
+
+    def test_rename(self):
+        c = Constraint.ge(i, 0).rename({"i": "x"})
+        assert c.variables() == frozenset({"x"})
+
+    def test_equality_hash(self):
+        a = Constraint.ge(i * 2, 4)
+        b = Constraint.ge(i, 2)
+        assert a == b and hash(a) == hash(b)
+
+    def test_str(self):
+        assert ">= 0" in str(Constraint.ge(i, 1))

@@ -1,0 +1,89 @@
+"""Unit + property tests for box decomposition."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PolyhedralError
+from repro.poly.decompose import (
+    boxes_from_points,
+    cover_is_exact,
+    runs_1d,
+    union_from_points,
+)
+
+
+class TestRuns:
+    def test_single_run(self):
+        assert runs_1d([3, 1, 2]) == [(1, 3)]
+
+    def test_multiple_runs(self):
+        assert runs_1d([0, 1, 5, 7, 8]) == [(0, 1), (5, 5), (7, 8)]
+
+    def test_duplicates_collapse(self):
+        assert runs_1d([2, 2, 3]) == [(2, 3)]
+
+    def test_empty(self):
+        assert runs_1d([]) == []
+
+
+class TestBoxes:
+    def test_1d(self):
+        boxes = boxes_from_points([(0,), (1,), (2,), (9,)])
+        assert boxes == [((0, 2),), ((9, 9),)]
+
+    def test_perfect_rectangle(self):
+        pts = [(i, j) for i in range(3) for j in range(4)]
+        assert boxes_from_points(pts) == [((0, 2), (0, 3))]
+
+    def test_two_stacked_rectangles(self):
+        pts = [(i, j) for i in range(2) for j in range(4)]
+        pts += [(i, j) for i in range(2, 4) for j in range(2)]
+        boxes = boxes_from_points(pts)
+        assert cover_is_exact(pts, boxes)
+        assert len(boxes) == 2
+
+    def test_l_shape(self):
+        pts = [(0, 0), (0, 1), (0, 2), (1, 0)]
+        boxes = boxes_from_points(pts)
+        assert cover_is_exact(pts, boxes)
+        assert len(boxes) == 2
+
+    def test_empty(self):
+        assert boxes_from_points([]) == []
+
+    def test_3d(self):
+        pts = [(i, j, k) for i in range(2) for j in range(2) for k in range(3)]
+        assert boxes_from_points(pts) == [((0, 1), (0, 1), (0, 2))]
+
+    def test_mixed_dims_rejected(self):
+        with pytest.raises(PolyhedralError):
+            boxes_from_points([(0,), (0, 1)])
+
+    def test_deterministic(self):
+        pts = [(1, 1), (0, 0), (1, 0), (3, 3)]
+        assert boxes_from_points(pts) == boxes_from_points(list(reversed(pts)))
+
+
+class TestUnion:
+    def test_union_matches_points(self):
+        pts = [(0, 0), (0, 1), (2, 0), (2, 1), (2, 2)]
+        union = union_from_points(("i", "j"), pts)
+        assert list(union.points()) == sorted(pts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sets(st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=24))
+def test_cover_exact_property(point_set):
+    pts = sorted(point_set)
+    boxes = boxes_from_points(pts)
+    assert cover_is_exact(pts, boxes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.integers(0, 40), max_size=20))
+def test_1d_cover_is_minimal(values):
+    pts = [(v,) for v in sorted(values)]
+    boxes = boxes_from_points(pts)
+    # For 1-D the greedy cover is the run decomposition, which is minimal.
+    assert len(boxes) == len(runs_1d(sorted(values)))
+    assert cover_is_exact(pts, boxes)

@@ -1,0 +1,69 @@
+"""Direct tests of the per-level bound extraction (codegen's backbone)."""
+
+import pytest
+
+from repro.errors import UnboundedSetError
+from repro.poly.affine import AffineExpr
+from repro.poly.constraints import Constraint
+from repro.poly.intset import IntSet
+
+i = AffineExpr.var("i")
+j = AffineExpr.var("j")
+
+
+class TestLevelBounds:
+    def test_box_levels(self):
+        s = IntSet.box(["i", "j"], [(0, 4), (2, 6)])
+        levels = s.level_bounds()
+        assert levels[0].dim == "i" and levels[1].dim == "j"
+        assert levels[0].range_for({}) == (0, 4)
+        assert levels[1].range_for({"i": 0}) == (2, 6)
+
+    def test_dependent_inner_bound(self):
+        s = IntSet(
+            ["i", "j"],
+            [Constraint.ge(i, 0), Constraint.le(i, 5),
+             Constraint.ge(j, 0), Constraint.le(j, i)],
+        )
+        levels = s.level_bounds()
+        assert levels[1].range_for({"i": 3}) == (0, 3)
+
+    def test_equality_pins(self):
+        s = IntSet(["i"], [Constraint.eq(i * 3, 9)])
+        levels = s.level_bounds()
+        assert levels[0].range_for({}) == (3, 3)
+
+    def test_equality_indivisible_returns_none(self):
+        s = IntSet(
+            ["i", "j"],
+            [Constraint.ge(i, 0), Constraint.le(i, 4), Constraint.eq(j * 2, i),
+             Constraint.ge(j, 0), Constraint.le(j, 4)],
+        )
+        levels = s.level_bounds()
+        assert levels[1].range_for({"i": 3}) is None
+        assert levels[1].range_for({"i": 2}) == (1, 1)
+
+    def test_unbounded_raises(self):
+        s = IntSet(["i"], [Constraint.ge(i, 0)])
+        with pytest.raises(UnboundedSetError):
+            s.level_bounds()[0].range_for({})
+
+    def test_coefficient_bounds(self):
+        # 1 <= 3i <= 10  ->  ceil(1/3)=1 .. floor(10/3)=3.
+        s = IntSet(["i"], [Constraint.ge(i * 3, 1), Constraint.le(i * 3, 10)])
+        assert s.level_bounds()[0].range_for({}) == (1, 3)
+
+    def test_fm_prunes_outer_level(self):
+        # j constraints imply 2 <= i <= 3 even though i is only bounded
+        # through j: enumeration must not scan the whole i axis.
+        s = IntSet(
+            ["i", "j"],
+            [Constraint.ge(j, 2), Constraint.le(j, 3), Constraint.eq(j, i)],
+        )
+        levels = s.level_bounds()
+        lo, hi = levels[0].range_for({})
+        assert lo >= 2 and hi <= 3
+
+    def test_cached(self):
+        s = IntSet.box(["i"], [(0, 1)])
+        assert s.level_bounds() is s.level_bounds()

@@ -1,0 +1,101 @@
+"""Unit tests for affine maps (access relations)."""
+
+import pytest
+
+from repro.errors import PolyhedralError
+from repro.poly.affine import AffineExpr
+from repro.poly.intset import IntSet
+from repro.poly.relation import AffineMap
+
+i = AffineExpr.var("i")
+j = AffineExpr.var("j")
+
+
+class TestConstruction:
+    def test_paper_example(self):
+        # R = {(i1,i2) -> (d1,d2) | d1 = i1+1, d2 = i2-1} from Section 3.2.
+        m = AffineMap(["i1", "i2"], ["d1", "d2"],
+                      [AffineExpr.var("i1") + 1, AffineExpr.var("i2") - 1])
+        assert m.apply((0, 2)) == (1, 1)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(PolyhedralError):
+            AffineMap(["i"], ["d1", "d2"], [i])
+
+    def test_foreign_variable(self):
+        with pytest.raises(PolyhedralError):
+            AffineMap(["i"], ["d"], [j])
+
+    def test_coercion(self):
+        m = AffineMap(["i"], ["d"], [5])
+        assert m.apply((99,)) == (5,)
+
+    def test_identity(self):
+        m = AffineMap.identity(["i", "j"], ["a", "b"])
+        assert m.apply((3, 4)) == (3, 4)
+
+    def test_immutable(self):
+        m = AffineMap.identity(["i"], ["o"])
+        with pytest.raises(AttributeError):
+            m.exprs = ()
+
+
+class TestApply:
+    def test_apply_mapping(self):
+        m = AffineMap(["i"], ["d"], [i * 2 + 1])
+        assert m.apply({"i": 3}) == (7,)
+
+    def test_apply_wrong_arity(self):
+        m = AffineMap(["i", "j"], ["d"], [i + j])
+        with pytest.raises(PolyhedralError):
+            m.apply((1,))
+
+
+class TestCompose:
+    def test_compose(self):
+        inner = AffineMap(["t"], ["i"], [AffineExpr.var("t") * 2])
+        outer = AffineMap(["i"], ["d"], [i + 1])
+        composed = outer.compose(inner)
+        assert composed.apply((3,)) == (7,)
+
+    def test_compose_dim_mismatch(self):
+        inner = AffineMap(["t"], ["x"], [AffineExpr.var("t")])
+        outer = AffineMap(["i"], ["d"], [i])
+        with pytest.raises(PolyhedralError):
+            outer.compose(inner)
+
+
+class TestImage:
+    def test_image_contains_applied_points(self):
+        domain = IntSet.box(["i"], [(0, 5)])
+        m = AffineMap(["i"], ["d"], [i * 3])
+        img = m.image(domain)
+        for p in domain.points():
+            assert img.contains(m.apply(p))
+
+    def test_image_domain_mismatch(self):
+        m = AffineMap(["i"], ["d"], [i])
+        with pytest.raises(PolyhedralError):
+            m.image(IntSet.box(["x"], [(0, 1)]))
+
+    def test_image_dim_clash(self):
+        m = AffineMap(["i"], ["i"], [i])
+        with pytest.raises(PolyhedralError):
+            m.image(IntSet.box(["i"], [(0, 1)]))
+
+    def test_graph_set(self):
+        domain = IntSet.box(["i"], [(0, 3)])
+        m = AffineMap(["i"], ["d"], [i + 10])
+        graph = m.as_graph_set(domain)
+        assert graph.contains((2, 12))
+        assert not graph.contains((2, 11))
+
+
+class TestDunder:
+    def test_equality(self):
+        a = AffineMap(["i"], ["d"], [i + 1])
+        b = AffineMap(["i"], ["d"], [AffineExpr.var("i") + 1])
+        assert a == b and hash(a) == hash(b)
+
+    def test_repr(self):
+        assert "->" in repr(AffineMap(["i"], ["d"], [i]))

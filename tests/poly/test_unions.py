@@ -1,0 +1,60 @@
+"""Unit tests for unions of convex sets."""
+
+import pytest
+
+from repro.errors import PolyhedralError
+from repro.poly.intset import IntSet
+from repro.poly.unions import UnionSet
+
+
+def box(lo, hi):
+    return IntSet.box(["i"], [(lo, hi)])
+
+
+class TestConstruction:
+    def test_dim_mismatch(self):
+        with pytest.raises(PolyhedralError):
+            UnionSet(["i"], [IntSet.box(["j"], [(0, 1)])])
+
+    def test_from_set(self):
+        u = UnionSet.from_set(box(0, 3))
+        assert u.count() == 4
+
+
+class TestOperations:
+    def test_union_disjoint(self):
+        u = UnionSet.from_set(box(0, 2)).union(box(5, 6))
+        assert u.count() == 5
+
+    def test_union_overlapping_dedups(self):
+        u = UnionSet.from_set(box(0, 4)).union(box(3, 6))
+        assert u.count() == 7
+
+    def test_points_sorted(self):
+        u = UnionSet.from_set(box(4, 6)).union(box(0, 2))
+        pts = list(u.points())
+        assert pts == sorted(pts)
+
+    def test_contains(self):
+        u = UnionSet.from_set(box(0, 1)).union(box(9, 9))
+        assert u.contains((9,)) and not u.contains((5,))
+
+    def test_union_with_unionset(self):
+        u = UnionSet.from_set(box(0, 0)).union(UnionSet.from_set(box(2, 2)))
+        assert u.count() == 2
+
+    def test_union_dim_mismatch(self):
+        with pytest.raises(PolyhedralError):
+            UnionSet.from_set(box(0, 1)).union(IntSet.box(["j"], [(0, 1)]))
+
+    def test_is_empty(self):
+        assert UnionSet(["i"], [IntSet.empty(["i"])]).is_empty()
+        assert not UnionSet.from_set(box(0, 0)).is_empty()
+
+    def test_empty_union_no_pieces(self):
+        assert UnionSet(["i"]).is_empty()
+
+    def test_equality(self):
+        a = UnionSet.from_set(box(0, 1)).union(box(3, 4))
+        b = UnionSet.from_set(box(3, 4)).union(box(0, 1))
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,30 @@
+"""Unit tests for the one-call executor."""
+
+from repro.mapping.baselines import base_plan
+from repro.mapping.distribute import TopologyAwareMapper
+from repro.runtime import execute_plan
+from repro.sim.engine import SimConfig
+
+
+class TestExecutor:
+    def test_runs_and_verifies(self, fig5_program, fig9_machine):
+        plan = base_plan(fig5_program.nests[0], fig9_machine)
+        result = execute_plan(plan, verify=True)
+        assert result.cycles > 0
+
+    def test_machine_override(self, fig5_program, fig9_machine, two_core_machine):
+        plan = base_plan(fig5_program.nests[0], two_core_machine)
+        result = execute_plan(plan, machine=fig9_machine)
+        assert result.machine_name == "fig9"
+
+    def test_config_passthrough(self, fig5_program, fig9_machine):
+        plan = base_plan(fig5_program.nests[0], fig9_machine)
+        cheap = execute_plan(plan, config=SimConfig(issue_cycles=0))
+        costly = execute_plan(plan, config=SimConfig(issue_cycles=10))
+        assert costly.cycles > cheap.cycles
+
+    def test_topology_aware_end_to_end(self, fig5_program, fig9_machine):
+        mapper = TopologyAwareMapper(fig9_machine, block_size=32)
+        plan = mapper.map_nest(fig5_program, fig5_program.nests[0]).plan()
+        result = execute_plan(plan, verify=True)
+        result.verify_conservation()

@@ -1,0 +1,88 @@
+"""Unit tests for a single cache component."""
+
+import pytest
+
+from repro.sim.cachesim import SetAssociativeCache
+from repro.topology.cache import CacheSpec
+
+
+def cache(size=256, ways=2, line=32, latency=2):
+    return SetAssociativeCache(CacheSpec("L1", size, ways, line, latency))
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = cache()
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_geometry(self):
+        c = cache(size=256, ways=2, line=32)
+        assert c.num_sets == 4 and c.ways == 2
+
+    def test_set_indexing(self):
+        c = cache()
+        c.access(0)
+        # Line 4 maps to set 0 too (4 sets); line 1 maps to set 1.
+        assert not c.access(1)
+        assert c.contains(0) and c.contains(1)
+
+    def test_contains_no_side_effects(self):
+        c = cache()
+        c.access(0)
+        hits, misses = c.hits, c.misses
+        assert c.contains(0)
+        assert (c.hits, c.misses) == (hits, misses)
+
+
+class TestLru:
+    def test_eviction_order(self):
+        c = cache(size=128, ways=2, line=32)  # 2 sets, 2 ways
+        c.access(0)
+        c.access(2)  # same set 0 (line % 2)
+        c.access(4)  # evicts line 0
+        assert not c.contains(0)
+        assert c.contains(2) and c.contains(4)
+
+    def test_touch_refreshes(self):
+        c = cache(size=128, ways=2, line=32)
+        c.access(0)
+        c.access(2)
+        c.access(0)  # 0 now MRU
+        c.access(4)  # evicts 2
+        assert c.contains(0) and not c.contains(2)
+
+    def test_evictions_counted(self):
+        c = cache(size=128, ways=2, line=32)
+        for line in (0, 2, 4, 6):
+            c.access(line)
+        assert c.evictions == 2
+
+    def test_occupancy_bounded(self):
+        c = cache(size=256, ways=2, line=32)
+        for line in range(100):
+            c.access(line)
+        assert c.occupancy() <= c.num_sets * c.ways
+
+
+class TestMaintenance:
+    def test_reset_stats_keeps_contents(self):
+        c = cache()
+        c.access(5)
+        c.reset_stats()
+        assert c.hits == 0 and c.misses == 0
+        assert c.contains(5)
+
+    def test_flush_keeps_stats(self):
+        c = cache()
+        c.access(5)
+        c.flush()
+        assert not c.contains(5)
+        assert c.misses == 1
+
+    def test_accesses_property(self):
+        c = cache()
+        c.access(0)
+        c.access(0)
+        assert c.accesses == 2

@@ -1,0 +1,53 @@
+"""Unit tests for dynamic self-scheduling simulation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.dynamic import simulate_dynamic
+from repro.sim.engine import SimConfig
+
+
+class TestDynamic:
+    def test_processes_every_access(self, fig5_program, fig9_machine):
+        nest = fig5_program.nests[0]
+        result = simulate_dynamic(nest, fig9_machine, chunk_iterations=4)
+        assert result.total_accesses == nest.iteration_count() * len(nest.accesses)
+        result.verify_conservation()
+
+    def test_dispatch_overhead_costs(self, fig5_program, fig9_machine):
+        nest = fig5_program.nests[0]
+        cheap = simulate_dynamic(nest, fig9_machine, chunk_iterations=4, dispatch_overhead=0)
+        costly = simulate_dynamic(nest, fig9_machine, chunk_iterations=4, dispatch_overhead=1000)
+        assert costly.cycles > cheap.cycles
+
+    def test_smaller_chunks_more_overhead(self, stencil_program, fig9_machine):
+        nest = stencil_program.nests[0]
+        fine = simulate_dynamic(nest, fig9_machine, chunk_iterations=2, dispatch_overhead=500)
+        coarse = simulate_dynamic(nest, fig9_machine, chunk_iterations=64, dispatch_overhead=500)
+        assert fine.cycles > coarse.cycles
+
+    def test_invalid_args(self, fig5_program, fig9_machine):
+        nest = fig5_program.nests[0]
+        with pytest.raises(SimulationError):
+            simulate_dynamic(nest, fig9_machine, chunk_iterations=0)
+        with pytest.raises(SimulationError):
+            simulate_dynamic(nest, fig9_machine, dispatch_overhead=-1)
+
+    def test_deterministic(self, fig5_program, fig9_machine):
+        nest = fig5_program.nests[0]
+        a = simulate_dynamic(nest, fig9_machine, chunk_iterations=4)
+        b = simulate_dynamic(nest, fig9_machine, chunk_iterations=4)
+        assert a.cycles == b.cycles
+
+    def test_config_issue_cycles(self, fig5_program, fig9_machine):
+        nest = fig5_program.nests[0]
+        slow = simulate_dynamic(
+            nest, fig9_machine, config=SimConfig(issue_cycles=10)
+        )
+        fast = simulate_dynamic(
+            nest, fig9_machine, config=SimConfig(issue_cycles=0)
+        )
+        assert slow.cycles > fast.cycles
+
+    def test_label(self, fig5_program, fig9_machine):
+        assert simulate_dynamic(fig5_program.nests[0], fig9_machine).label == "dynamic"

@@ -1,0 +1,55 @@
+"""Additional engine coverage: level ordering, deep machines, reuse of sims."""
+
+from repro.mapping.baselines import base_plan
+from repro.sim.engine import SimConfig, simulate_plan
+from repro.sim.hierarchy import MachineSim
+
+
+class TestDeepMachines:
+    def test_four_level_ordering(self, fig5_program):
+        from repro.experiments.harness import sim_machine
+        from repro.topology.machines import arch_i
+
+        machine = sim_machine(arch_i())
+        plan = base_plan(fig5_program.nests[0], machine)
+        result = simulate_plan(plan)
+        assert [s.level for s in result.levels] == ["L1", "L2", "L3", "L4"]
+        result.verify_conservation()
+
+    def test_idle_cores_allowed(self, fig5_program, fig9_machine, two_core_machine):
+        # A 2-core plan on a 4-core machine: extra cores idle.
+        plan = base_plan(fig5_program.nests[0], two_core_machine)
+        result = simulate_plan(plan, machine=fig9_machine)
+        assert result.cycles > 0
+
+
+class TestWarmSimReuse:
+    def test_second_run_hits_warm_caches(self, fig5_program, fig9_machine):
+        nest = fig5_program.nests[0]
+        plan = base_plan(nest, fig9_machine)
+        shared = MachineSim(fig9_machine)
+        cold = simulate_plan(plan, machine_sim=shared)
+        shared.reset_stats()
+        warm = simulate_plan(plan, machine_sim=shared)
+        assert warm.memory_accesses <= cold.memory_accesses
+        assert warm.cycles <= cold.cycles
+
+    def test_fresh_sim_each_call_by_default(self, fig5_program, fig9_machine):
+        nest = fig5_program.nests[0]
+        plan = base_plan(nest, fig9_machine)
+        a = simulate_plan(plan)
+        b = simulate_plan(plan)
+        assert a.memory_accesses == b.memory_accesses
+
+
+class TestBarrierAccounting:
+    def test_barrier_cycles_counted(self, dependent_program, two_core_machine):
+        from repro.mapping.distribute import TopologyAwareMapper
+
+        mapper = TopologyAwareMapper(two_core_machine, block_size=32)
+        plan = mapper.map_nest(dependent_program, dependent_program.nests[0]).plan()
+        if plan.num_rounds > 1:
+            result = simulate_plan(plan, config=SimConfig(barrier_overhead=0))
+            # barrier_cycles counts wait time only (slowest minus each).
+            assert result.barrier_cycles >= 0
+            assert result.barriers == plan.num_rounds - 1

@@ -1,0 +1,80 @@
+"""Unit tests for the machine-level cache instantiation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.hierarchy import MachineSim
+from repro.topology.cache import CacheSpec
+from repro.topology.tree import Machine, TopologyNode
+
+
+class TestWiring:
+    def test_one_component_per_cache_node(self, fig9_machine):
+        sim = MachineSim(fig9_machine)
+        assert len(sim.components) == 4 + 2 + 1
+
+    def test_shared_component_is_same_object(self, fig9_machine):
+        sim = MachineSim(fig9_machine)
+        l2_of_0 = sim.core_paths[0][1][0]
+        l2_of_1 = sim.core_paths[1][1][0]
+        l2_of_2 = sim.core_paths[2][1][0]
+        assert l2_of_0 is l2_of_1
+        assert l2_of_0 is not l2_of_2
+
+    def test_path_latencies(self, fig9_machine):
+        sim = MachineSim(fig9_machine)
+        assert [entry[1] for entry in sim.core_paths[0]] == [2, 8, 20]
+
+    def test_shared_flags(self, fig9_machine):
+        sim = MachineSim(fig9_machine)
+        # L1 private, L2 and L3 shared.
+        assert [entry[3] for entry in sim.core_paths[0]] == [False, True, True]
+
+    def test_mixed_line_sizes_rejected(self):
+        l1 = CacheSpec("L1", 512, 2, 32, 2)
+        l2 = CacheSpec("L2", 2048, 4, 64, 8)
+        core = TopologyNode.core(0)
+        root = TopologyNode.cache(l2, [TopologyNode.cache(l1, [core])])
+        machine = Machine("mixed", 1.0, 50, root, sockets=1)
+        with pytest.raises(SimulationError):
+            MachineSim(machine)
+
+
+class TestAccessSemantics:
+    def test_fill_path(self, fig9_machine):
+        sim = MachineSim(fig9_machine)
+        assert sim.access(0, 0) == fig9_machine.memory_latency
+        # Second access hits L1.
+        assert sim.access(0, 0) == 2
+
+    def test_sibling_hits_shared_l2(self, fig9_machine):
+        sim = MachineSim(fig9_machine)
+        sim.access(0, 7)
+        # Core 1 misses its L1 but hits the shared L2.
+        assert sim.access(1, 7) == 8
+
+    def test_non_sibling_hits_l3(self, fig9_machine):
+        sim = MachineSim(fig9_machine)
+        sim.access(0, 7)
+        assert sim.access(2, 7) == 20
+
+    def test_line_of(self, fig9_machine):
+        sim = MachineSim(fig9_machine)
+        assert sim.line_of(0) == 0
+        assert sim.line_of(31) == 0
+        assert sim.line_of(32) == 1
+
+    def test_level_components(self, fig9_machine):
+        sim = MachineSim(fig9_machine)
+        by_level = sim.level_components()
+        assert len(by_level["L1"]) == 4
+        assert len(by_level["L2"]) == 2
+        assert len(by_level["L3"]) == 1
+
+    def test_flush_and_reset(self, fig9_machine):
+        sim = MachineSim(fig9_machine)
+        sim.access(0, 0)
+        sim.flush()
+        assert sim.access(0, 0) == fig9_machine.memory_latency
+        sim.reset_stats()
+        assert all(c.accesses == 0 for c in sim.components.values())

@@ -1,0 +1,80 @@
+"""Unit tests for result accounting and conservation invariants."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.stats import LevelStats, SimResult
+
+
+def make_result(levels, total=100, memory=None):
+    memory = memory if memory is not None else levels[-1].misses
+    return SimResult(
+        label="t",
+        machine_name="m",
+        cycles=1000,
+        core_cycles=(1000,),
+        levels=tuple(levels),
+        memory_accesses=memory,
+        total_accesses=total,
+        barriers=0,
+        barrier_cycles=0,
+    )
+
+
+class TestLevelStats:
+    def test_miss_rate(self):
+        stats = LevelStats("L1", hits=75, misses=25)
+        assert stats.accesses == 100 and stats.miss_rate == 0.25
+
+    def test_zero_accesses(self):
+        assert LevelStats("L1", 0, 0).miss_rate == 0.0
+
+    def test_str(self):
+        assert "L1" in str(LevelStats("L1", 1, 1))
+
+
+class TestConservation:
+    def test_valid_chain(self):
+        result = make_result(
+            [LevelStats("L1", 80, 20), LevelStats("L2", 5, 15)], total=100
+        )
+        result.verify_conservation()
+
+    def test_l1_mismatch(self):
+        result = make_result([LevelStats("L1", 80, 20)], total=99)
+        with pytest.raises(SimulationError):
+            result.verify_conservation()
+
+    def test_inter_level_mismatch(self):
+        result = make_result(
+            [LevelStats("L1", 80, 20), LevelStats("L2", 5, 14)], total=100
+        )
+        with pytest.raises(SimulationError):
+            result.verify_conservation()
+
+    def test_memory_mismatch(self):
+        result = make_result(
+            [LevelStats("L1", 80, 20), LevelStats("L2", 5, 15)],
+            total=100,
+            memory=14,
+        )
+        with pytest.raises(SimulationError):
+            result.verify_conservation()
+
+    def test_empty_levels_ok(self):
+        make_result([LevelStats("L1", 0, 0)], total=0).verify_conservation()
+
+
+class TestLookup:
+    def test_level(self):
+        result = make_result([LevelStats("L1", 1, 0), LevelStats("L2", 0, 0)], total=1)
+        assert result.level("L2").level == "L2"
+
+    def test_unknown_level(self):
+        result = make_result([LevelStats("L1", 1, 0)], total=1)
+        with pytest.raises(SimulationError):
+            result.level("L9")
+
+    def test_summary(self):
+        result = make_result([LevelStats("L1", 1, 0)], total=1)
+        assert "cycles" in result.summary()

@@ -1,0 +1,76 @@
+"""Unit tests for memory layout and trace generation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ir.arrays import Array
+from repro.mapping.baselines import base_plan
+from repro.sim.trace import MemoryLayout, build_traces
+
+
+class TestLayout:
+    def test_line_aligned_bases(self):
+        layout = MemoryLayout([Array("A", (10,), 8), Array("B", (4,), 8)], 64)
+        assert layout.bases["A"] == 0
+        assert layout.bases["B"] % 64 == 0
+        assert layout.bases["B"] >= 80
+
+    def test_no_overlap(self):
+        arrays = [Array("A", (100,), 8), Array("B", (100,), 8)]
+        layout = MemoryLayout(arrays, 64)
+        assert layout.bases["B"] >= layout.bases["A"] + 800
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SimulationError):
+            MemoryLayout([Array("A", (4,)), Array("A", (4,))], 64)
+
+    def test_bad_line_size(self):
+        with pytest.raises(SimulationError):
+            MemoryLayout([Array("A", (4,))], 48)
+
+    def test_address_of(self):
+        layout = MemoryLayout([Array("A", (10,), 8)], 64)
+        assert layout.address_of(Array("A", (10,), 8), 3) == 24
+
+    def test_start_offset(self):
+        layout = MemoryLayout([Array("A", (4,), 8)], 64, start=100)
+        assert layout.bases["A"] == 128
+
+
+class TestTraces:
+    def test_trace_shape(self, fig5_program, fig9_machine):
+        nest = fig5_program.nests[0]
+        plan = base_plan(nest, fig9_machine)
+        layout = MemoryLayout.for_nest(nest, 32)
+        traces = build_traces(plan, layout, 5)
+        assert len(traces) == 4
+        total = sum(len(lines) for core in traces for lines in core)
+        assert total == nest.iteration_count() * len(nest.accesses)
+
+    def test_addresses_match_accesses(self, fig4_program, fig9_machine):
+        nest = fig4_program.nests[0]
+        plan = base_plan(nest, fig9_machine)
+        layout = MemoryLayout.for_nest(nest, 32)
+        traces = build_traces(plan, layout, 5)
+        # Reconstruct expected line for the first iteration of core 0.
+        first = plan.core_iterations(0)[0]
+        array = nest.accesses[0].array
+        expected = (
+            layout.bases[array.name]
+            + nest.accesses[0].element_offset(first) * array.element_size
+        ) >> 5
+        assert traces[0][0][0] == expected
+
+    def test_program_order_within_iteration(self, fig5_program, fig9_machine):
+        nest = fig5_program.nests[0]
+        plan = base_plan(nest, fig9_machine)
+        layout = MemoryLayout.for_nest(nest, 32)
+        traces = build_traces(plan, layout, 5)
+        refs = len(nest.accesses)
+        first = plan.core_iterations(0)[0]
+        got = traces[0][0][:refs]
+        expected = [
+            (layout.bases["B"] + a.element_offset(first) * 8) >> 5
+            for a in nest.accesses
+        ]
+        assert got == expected

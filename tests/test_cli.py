@@ -1,0 +1,95 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+param m = 256;
+array Q[256];
+array F[256];
+parallel for (j = 0; j < m; j++)
+  F[j] = F[j] + Q[j] + Q[m - 1 - j];
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "demo.loop"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestSubcommands:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "harpertown" in out and "dunnington" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        assert "galgel" in capsys.readouterr().out
+
+    def test_map(self, program_file, capsys):
+        code = main(["map", program_file, "--block-size", "256", "--scale", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "iteration groups" in out and "core" in out
+
+    def test_map_with_schedule(self, program_file, capsys):
+        code = main([
+            "map", program_file, "--block-size", "256", "--schedule",
+            "--machine", "harpertown",
+        ])
+        assert code == 0
+        assert "schedule" in capsys.readouterr().out
+
+    def test_simulate(self, program_file, capsys):
+        code = main([
+            "simulate", program_file, "--block-size", "256",
+            "--scheme", "ta", "--scale", "64",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ta vs base" in out and "speedup" in out
+
+    def test_simulate_base_only(self, program_file, capsys):
+        code = main(["simulate", program_file, "--scheme", "base", "--block-size", "256"])
+        assert code == 0
+        assert "base" in capsys.readouterr().out
+
+
+class TestTune:
+    def test_tune(self, program_file, capsys):
+        code = main([
+            "tune", program_file, "--candidates", "256,512", "--scale", "64",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best block size" in out
+
+    def test_tune_with_topology_file(self, program_file, tmp_path, capsys):
+        topo = tmp_path / "machine.topo"
+        topo.write_text("cores=4; mem=80; L1:1K/2/64@2; L2:8K/4/64@8 per 2")
+        code = main([
+            "tune", program_file, "--topology", str(topo),
+            "--candidates", "256", "--scale", "1",
+        ])
+        assert code == 0
+        assert "best block size" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["map", "/nonexistent.loop"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_machine(self, program_file, capsys):
+        assert main(["map", program_file, "--machine", "epyc"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_source(self, tmp_path, capsys):
+        path = tmp_path / "bad.loop"
+        path.write_text("for for for")
+        assert main(["map", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err

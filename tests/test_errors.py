@@ -1,0 +1,57 @@
+"""Unit tests for the exception taxonomy and top-level API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_frontend_errors_carry_position(self):
+        err = errors.ParseError("boom", line=3, column=7)
+        assert "line 3" in str(err) and "col 7" in str(err)
+        assert err.line == 3 and err.column == 7
+
+    def test_frontend_error_without_position(self):
+        err = errors.LexError("boom")
+        assert str(err) == "boom" and err.line is None
+
+    def test_catch_all_boundary(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ScheduleError("cycle")
+
+    def test_specific_subclassing(self):
+        assert issubclass(errors.ScheduleError, errors.MappingError)
+        assert issubclass(errors.EmptySetError, errors.PolyhedralError)
+        assert issubclass(errors.SemanticError, errors.FrontendError)
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_exports(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_compile_and_map_through_top_level(self):
+        from repro.topology.cache import CacheSpec
+        from repro.topology.tree import Machine, TopologyNode
+
+        program = repro.compile_source(
+            "array A[64]; parallel for (i=0;i<64;i++) A[i] = A[63 - i];"
+        )
+        l1 = CacheSpec("L1", 512, 2, 32, 2)
+        cores = [TopologyNode.core(0), TopologyNode.core(1)]
+        l1s = [TopologyNode.cache(l1, [c]) for c in cores]
+        machine = Machine("t2", 1.0, 40, TopologyNode.memory(l1s), sockets=1)
+        mapper = repro.TopologyAwareMapper(machine, block_size=64)
+        plan = mapper.map_nest(program, program.nests[0]).plan()
+        result = repro.execute_plan(plan, verify=True)
+        assert result.cycles > 0

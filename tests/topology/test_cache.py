@@ -1,0 +1,58 @@
+"""Unit tests for cache specs."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.cache import CacheSpec
+
+
+class TestValidation:
+    def test_basic(self):
+        spec = CacheSpec("L1", 32 * 1024, 8, 64, 4)
+        assert spec.num_lines == 512 and spec.num_sets == 64
+
+    def test_non_positive_size(self):
+        with pytest.raises(TopologyError):
+            CacheSpec("L1", 0, 8, 64, 4)
+
+    def test_non_power_of_two_line(self):
+        with pytest.raises(TopologyError):
+            CacheSpec("L1", 1024, 4, 48, 4)
+
+    def test_size_not_multiple_of_line(self):
+        with pytest.raises(TopologyError):
+            CacheSpec("L1", 1000, 4, 64, 4)
+
+    def test_lines_not_divisible_by_ways(self):
+        with pytest.raises(TopologyError):
+            CacheSpec("L1", 64 * 10, 3, 64, 4)
+
+    def test_non_positive_latency(self):
+        with pytest.raises(TopologyError):
+            CacheSpec("L1", 1024, 4, 64, 0)
+
+
+class TestScaling:
+    def test_half(self):
+        spec = CacheSpec("L2", 6 * 1024 * 1024, 24, 64, 15)
+        half = spec.scaled(0.5)
+        assert half.size_bytes == 3 * 1024 * 1024
+        assert half.associativity == 24 and half.line_size == 64
+
+    def test_floor_never_below_one_chunk(self):
+        spec = CacheSpec("L1", 2048, 4, 64, 4)
+        tiny = spec.scaled(0.001)
+        assert tiny.size_bytes == 4 * 64  # one full set
+
+    def test_scaled_is_valid_spec(self):
+        spec = CacheSpec("L3", 12 * 1024 * 1024, 16, 64, 36)
+        scaled = spec.scaled(1 / 32)
+        assert scaled.num_sets > 0
+
+
+class TestRendering:
+    def test_mb(self):
+        assert "6MB" in str(CacheSpec("L2", 6 * 1024 * 1024, 24, 64, 15))
+
+    def test_kb(self):
+        assert "32KB" in str(CacheSpec("L1", 32 * 1024, 8, 64, 4))

@@ -1,0 +1,94 @@
+"""Unit tests for the concrete machine descriptions (Table 1, Figure 12)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.machines import (
+    arch_i,
+    arch_ii,
+    commercial_machines,
+    dunnington,
+    dunnington_scaled,
+    halve_caches,
+    harpertown,
+    machine_by_name,
+    nehalem,
+)
+
+
+class TestTable1:
+    def test_harpertown(self):
+        m = harpertown()
+        assert m.num_cores == 8
+        assert m.cache_levels() == ("L1", "L2")
+        # L2 shared per core pair; no cache shared across pairs.
+        assert m.shared_cache(0, 1).spec.level == "L2"
+        assert m.shared_cache(0, 2) is None
+        assert m.memory_latency == 320  # ~100ns at 3.2GHz
+
+    def test_nehalem(self):
+        m = nehalem()
+        assert m.num_cores == 8
+        assert m.cache_levels() == ("L1", "L2", "L3")
+        # Private L2, socket-shared L3.
+        assert m.shared_cache(0, 1).spec.level == "L3"
+        assert m.shared_cache(0, 4) is None
+
+    def test_dunnington(self):
+        m = dunnington()
+        assert m.num_cores == 12
+        assert m.shared_cache(0, 1).spec.level == "L2"
+        assert m.shared_cache(0, 2).spec.level == "L3"
+        assert m.shared_cache(0, 6) is None
+
+    def test_latencies_ordered(self):
+        for m in commercial_machines():
+            levels = [n.spec for n in m.cache_path(0)]
+            lats = [s.latency for s in levels]
+            assert lats == sorted(lats)
+            assert m.memory_latency > lats[-1]
+
+    def test_line_size_uniform(self):
+        for m in commercial_machines():
+            assert {n.spec.line_size for n in m.cache_nodes()} == {64}
+
+
+class TestScaledAndDeep:
+    def test_dunnington_scaling(self):
+        for cores in (12, 18, 24):
+            m = dunnington_scaled(cores)
+            assert m.num_cores == cores
+            assert m.sockets == cores // 6
+
+    def test_dunnington_scaling_rejects_odd(self):
+        with pytest.raises(TopologyError):
+            dunnington_scaled(13)
+
+    def test_arch_i_depth(self):
+        assert arch_i().cache_levels() == ("L1", "L2", "L3", "L4")
+        assert arch_i().num_cores == 16
+
+    def test_arch_ii_depth(self):
+        assert arch_ii().cache_levels() == ("L1", "L2", "L3", "L4", "L5")
+        assert arch_ii().num_cores == 32
+
+    def test_clustering_degrees_product_equals_cores(self):
+        for m in (harpertown(), nehalem(), dunnington(), arch_i(), arch_ii()):
+            product = 1
+            for d in m.clustering_degrees():
+                product *= d
+            assert product == m.num_cores
+
+    def test_halved_capacities(self):
+        full = dunnington()
+        half = halve_caches(full)
+        assert half.total_cache_bytes() * 2 == full.total_cache_bytes()
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert machine_by_name("dunnington").num_cores == 12
+
+    def test_unknown(self):
+        with pytest.raises(TopologyError):
+            machine_by_name("skylake")

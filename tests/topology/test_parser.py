@@ -1,0 +1,68 @@
+"""Unit tests for the topology spec parser."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.parser import parse_topology
+
+NEHALEM_SPEC = (
+    "name=neh; cores=8; clock=2.9; mem=174; "
+    "L1:32K/8/64@4 per 1; L2:256K/8/64@10 per 1; L3:8M/16/64@35 per 4"
+)
+
+
+class TestParsing:
+    def test_nehalem_equivalent(self):
+        machine = parse_topology(NEHALEM_SPEC)
+        assert machine.name == "neh"
+        assert machine.num_cores == 8
+        assert machine.memory_latency == 174
+        assert machine.cache_levels() == ("L1", "L2", "L3")
+        assert machine.shared_cache(0, 1).spec.level == "L3"
+
+    def test_matches_builtin(self):
+        from repro.topology.machines import nehalem
+
+        parsed = parse_topology(NEHALEM_SPEC)
+        built = nehalem()
+        assert parsed.clustering_degrees() == built.clustering_degrees()
+        assert parsed.total_cache_bytes() == built.total_cache_bytes()
+
+    def test_multiline(self):
+        spec = "cores=4\nmem=100\nL1:1K/2/32@2\nL2:4K/4/32@8 per 2"
+        machine = parse_topology(spec)
+        assert machine.first_shared_level_groups() == ((0, 1), (2, 3))
+
+    def test_default_per_is_private(self):
+        machine = parse_topology("cores=2; mem=50; L1:1K/2/32@2")
+        assert machine.shared_cache(0, 1) is None
+
+    def test_size_units(self):
+        machine = parse_topology("cores=2; mem=50; L1:2048/2/32@2 per 2")
+        assert machine.cache_nodes()[0].spec.size_bytes == 2048
+
+
+class TestErrors:
+    def test_missing_cores(self):
+        with pytest.raises(TopologyError):
+            parse_topology("mem=50; L1:1K/2/32@2")
+
+    def test_missing_mem(self):
+        with pytest.raises(TopologyError):
+            parse_topology("cores=2; L1:1K/2/32@2")
+
+    def test_no_caches(self):
+        with pytest.raises(TopologyError):
+            parse_topology("cores=2; mem=50")
+
+    def test_garbage_clause(self):
+        with pytest.raises(TopologyError):
+            parse_topology("cores=2; mem=50; L1=1K")
+
+    def test_non_divisible_per(self):
+        with pytest.raises(TopologyError):
+            parse_topology("cores=6; mem=50; L1:1K/2/32@2 per 4")
+
+    def test_wrong_level_order(self):
+        with pytest.raises(TopologyError):
+            parse_topology("cores=4; mem=50; L2:4K/4/32@8 per 4; L1:1K/2/32@2 per 1")

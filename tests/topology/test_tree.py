@@ -1,0 +1,125 @@
+"""Unit tests for the cache hierarchy tree and machine queries."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.cache import CacheSpec
+from repro.topology.tree import Machine, TopologyNode
+
+L1 = CacheSpec("L1", 1024, 2, 32, 2)
+L2 = CacheSpec("L2", 4096, 4, 32, 8)
+
+
+class TestNodes:
+    def test_core_leaf(self):
+        node = TopologyNode.core(3)
+        assert node.cores_below() == (3,)
+
+    def test_cache_requires_spec(self):
+        with pytest.raises(TopologyError):
+            TopologyNode("cache", children=(TopologyNode.core(0),))
+
+    def test_core_requires_id(self):
+        with pytest.raises(TopologyError):
+            TopologyNode("core")
+
+    def test_cache_requires_children(self):
+        with pytest.raises(TopologyError):
+            TopologyNode("cache", spec=L1)
+
+    def test_unknown_kind(self):
+        with pytest.raises(TopologyError):
+            TopologyNode("gpu", core_id=0)
+
+    def test_unique_uids(self):
+        a = TopologyNode.core(0)
+        b = TopologyNode.core(0)
+        assert a.uid != b.uid
+
+    def test_walk_preorder(self):
+        leaf = TopologyNode.core(0)
+        l1 = TopologyNode.cache(L1, [leaf])
+        assert [n.kind for n in l1.walk()] == ["cache", "core"]
+
+
+class TestMachineQueries:
+    def test_core_ids(self, fig9_machine):
+        assert fig9_machine.core_ids() == (0, 1, 2, 3)
+
+    def test_cache_levels(self, fig9_machine):
+        assert fig9_machine.cache_levels() == ("L1", "L2", "L3")
+
+    def test_cache_path(self, fig9_machine):
+        path = fig9_machine.cache_path(0)
+        assert [n.spec.level for n in path] == ["L1", "L2", "L3"]
+
+    def test_bad_core_id(self, fig9_machine):
+        with pytest.raises(TopologyError):
+            fig9_machine.cache_path(9)
+
+    def test_non_contiguous_cores_rejected(self):
+        root = TopologyNode.cache(L1, [TopologyNode.core(1)])
+        with pytest.raises(TopologyError):
+            Machine("bad", 1.0, 10, root)
+
+    def test_total_cache_bytes(self, two_core_machine):
+        assert two_core_machine.total_cache_bytes() == 2 * 512 + 2048
+
+
+class TestAffinity:
+    def test_pair_affinity(self, fig9_machine):
+        assert fig9_machine.shared_cache(0, 1).spec.level == "L2"
+        assert fig9_machine.shared_cache(0, 2).spec.level == "L3"
+
+    def test_affinity_level_latency(self, fig9_machine):
+        assert fig9_machine.affinity_level(0, 1) == 8
+        assert fig9_machine.affinity_level(0, 3) == 20
+
+    def test_self_affinity_is_l1(self, fig9_machine):
+        assert fig9_machine.shared_cache(2, 2).spec.level == "L1"
+
+    def test_no_shared_cache(self):
+        # Two cores with only memory in common.
+        l1a = TopologyNode.cache(L1, [TopologyNode.core(0)])
+        l1b = TopologyNode.cache(L1, [TopologyNode.core(1)])
+        m = Machine("split", 1.0, 10, TopologyNode.memory([l1a, l1b]))
+        assert m.shared_cache(0, 1) is None
+        assert not m.have_affinity(0, 1)
+
+    def test_have_affinity(self, fig9_machine):
+        assert fig9_machine.have_affinity(0, 3)
+
+
+class TestClusteringSupport:
+    def test_degrees(self, fig9_machine):
+        assert fig9_machine.clustering_degrees() == (2, 2, 1)
+
+    def test_first_shared_groups(self, fig9_machine):
+        assert fig9_machine.first_shared_level_groups() == ((0, 1), (2, 3))
+
+    def test_first_shared_groups_private_only(self):
+        l1a = TopologyNode.cache(L1, [TopologyNode.core(0)])
+        l1b = TopologyNode.cache(L1, [TopologyNode.core(1)])
+        m = Machine("split", 1.0, 10, TopologyNode.memory([l1a, l1b]))
+        assert m.first_shared_level_groups() == ((0,), (1,))
+
+
+class TestDerivedMachines:
+    def test_truncated_drops_levels(self, fig9_machine):
+        t = fig9_machine.truncated(2)
+        assert t.cache_levels() == ("L1", "L2")
+        assert t.num_cores == fig9_machine.num_cores
+
+    def test_truncated_to_one_level(self, fig9_machine):
+        t = fig9_machine.truncated(1)
+        assert t.cache_levels() == ("L1",)
+        assert t.clustering_degrees()[0] == 4
+
+    def test_scaled_caches(self, fig9_machine):
+        s = fig9_machine.with_scaled_caches(0.5)
+        assert s.total_cache_bytes() < fig9_machine.total_cache_bytes()
+        assert s.num_cores == fig9_machine.num_cores
+
+    def test_describe(self, fig9_machine):
+        text = fig9_machine.describe()
+        assert "4 cores" in text and "L3" in text

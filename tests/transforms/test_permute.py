@@ -1,0 +1,96 @@
+"""Unit tests for locality-driven permutation."""
+
+from repro.lang import compile_source
+from repro.transforms.permute import (
+    best_locality_permutation,
+    dimension_stride,
+    permutation_cost,
+    permuted_order,
+)
+
+
+class TestStride:
+    def test_row_major_strides(self):
+        prog = compile_source(
+            "array A[16][16]; parallel for (i=0;i<16;i++) for (j=0;j<16;j++)"
+            " A[i][j] = 1;"
+        )
+        nest = prog.nests[0]
+        assert dimension_stride(nest, "j") == 1
+        assert dimension_stride(nest, "i") == 16
+
+    def test_transposed_access(self):
+        prog = compile_source(
+            "array A[16][16]; parallel for (i=0;i<16;i++) for (j=0;j<16;j++)"
+            " A[j][i] = 1;"
+        )
+        nest = prog.nests[0]
+        assert dimension_stride(nest, "j") == 16
+        assert dimension_stride(nest, "i") == 1
+
+    def test_absent_dim_zero_stride(self):
+        prog = compile_source(
+            "array A[16]; parallel for (i=0;i<16;i++) for (j=0;j<16;j++)"
+            " A[i] = A[i] + 1;"
+        )
+        assert dimension_stride(prog.nests[0], "j") == 0
+
+
+class TestBestPermutation:
+    def test_column_scan_gets_interchanged(self):
+        prog = compile_source(
+            "array A[16][16]; parallel for (i=0;i<16;i++) for (j=0;j<16;j++)"
+            " A[j][i] = 1;"
+        )
+        assert best_locality_permutation(prog.nests[0]) == (1, 0)
+
+    def test_row_scan_stays(self):
+        prog = compile_source(
+            "array A[16][16]; parallel for (i=0;i<16;i++) for (j=0;j<16;j++)"
+            " A[i][j] = 1;"
+        )
+        assert best_locality_permutation(prog.nests[0]) == (0, 1)
+
+    def test_dependence_blocks_interchange(self):
+        # Column-friendly access but an interchange-hostile dependence.
+        prog = compile_source(
+            "array A[16][16]; for (i=1;i<15;i++) for (j=1;j<15;j++)"
+            " A[j][i] = A[j+1][i-1] + 1;"
+        )
+        perm = best_locality_permutation(prog.nests[0])
+        from repro.transforms.unimodular import distance_vectors, is_legal_permutation
+
+        assert is_legal_permutation(perm, distance_vectors(prog.nests[0]))
+
+    def test_depth_one(self):
+        prog = compile_source("array A[8]; for (i=0;i<8;i++) A[i] = 1;")
+        assert best_locality_permutation(prog.nests[0]) == (0,)
+
+    def test_cost_prefers_unit_stride_inner(self):
+        prog = compile_source(
+            "array A[16][16]; parallel for (i=0;i<16;i++) for (j=0;j<16;j++)"
+            " A[i][j] = 1;"
+        )
+        nest = prog.nests[0]
+        assert permutation_cost(nest, (0, 1)) < permutation_cost(nest, (1, 0))
+
+
+class TestPermutedOrder:
+    def test_reorders_lexicographically_in_permuted_dims(self):
+        pts = [(0, 1), (1, 0), (0, 0), (1, 1)]
+        assert permuted_order(pts, (1, 0)) == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_identity(self):
+        pts = [(1, 1), (0, 0)]
+        assert permuted_order(pts, (0, 1)) == [(0, 0), (1, 1)]
+
+    def test_empty(self):
+        assert permuted_order([], (0, 1)) == []
+
+    def test_arity_mismatch(self):
+        import pytest
+
+        from repro.errors import TransformError
+
+        with pytest.raises(TransformError):
+            permuted_order([(0, 1)], (0,))

@@ -1,0 +1,77 @@
+"""Unit tests for tiling."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.lang import compile_source
+from repro.transforms.tiling import select_tile_sizes, tile_footprint_bytes, tiled_order
+
+
+class TestTiledOrder:
+    def test_tile_by_tile(self):
+        pts = [(i, j) for i in range(4) for j in range(4)]
+        ordered = tiled_order(pts, (2, 2))
+        # First tile: (0..1, 0..1) fully before any point of the next tile.
+        first_four = ordered[:4]
+        assert set(first_four) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_preserves_multiset(self):
+        pts = [(i, j) for i in range(5) for j in range(3)]
+        assert sorted(tiled_order(pts, (2, 2))) == sorted(pts)
+
+    def test_tile_larger_than_space_is_identity(self):
+        pts = [(i,) for i in range(6)]
+        assert tiled_order(pts, (100,)) == pts
+
+    def test_permuted_tiling(self):
+        pts = [(i, j) for i in range(2) for j in range(4)]
+        ordered = tiled_order(pts, (1, 2), perm=(1, 0))
+        # Column-tile-major: j-tiles outermost.
+        assert ordered[0] == (0, 0) and ordered[1] == (0, 1)
+        assert ordered[2] == (1, 0)
+
+    def test_empty(self):
+        assert tiled_order([], (2, 2)) == []
+
+    def test_bad_tile_sizes(self):
+        with pytest.raises(TransformError):
+            tiled_order([(0, 0)], (2,))
+        with pytest.raises(TransformError):
+            tiled_order([(0, 0)], (0, 2))
+
+
+class TestFootprint:
+    def nest(self):
+        return compile_source(
+            "array A[32][32]; parallel for (i=0;i<31;i++) for (j=0;j<31;j++)"
+            " A[i][j] = A[i+1][j] + 1;"
+        ).nests[0]
+
+    def test_monotone_in_tile_size(self):
+        nest = self.nest()
+        assert tile_footprint_bytes(nest, (4, 4)) < tile_footprint_bytes(nest, (8, 8))
+
+    def test_clipped_at_array_extent(self):
+        nest = self.nest()
+        assert tile_footprint_bytes(nest, (1000, 1000)) <= 3 * 32 * 32 * 8
+
+    def test_arity_checked(self):
+        with pytest.raises(TransformError):
+            tile_footprint_bytes(self.nest(), (4,))
+
+
+class TestSelection:
+    def test_selection_fits(self):
+        nest = compile_source(
+            "array A[64][64]; parallel for (i=0;i<64;i++) for (j=0;j<64;j++)"
+            " A[i][j] = 1;"
+        ).nests[0]
+        small = select_tile_sizes(nest, 1024)
+        large = select_tile_sizes(nest, 64 * 1024)
+        assert tile_footprint_bytes(nest, small) <= 1024 or small == (4, 4)
+        assert large >= small
+
+    def test_invalid_cache(self):
+        nest = compile_source("array A[8]; for (i=0;i<8;i++) A[i] = 1;").nests[0]
+        with pytest.raises(TransformError):
+            select_tile_sizes(nest, 0)

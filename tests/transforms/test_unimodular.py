@@ -1,0 +1,53 @@
+"""Unit tests for legality machinery."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.lang import compile_source
+from repro.transforms.unimodular import (
+    direction_vectors,
+    distance_vectors,
+    is_legal_permutation,
+)
+
+
+class TestDistanceVectors:
+    def test_uniform_stencil(self):
+        prog = compile_source(
+            "array A[10][10]; for (i=1;i<9;i++) for (j=1;j<9;j++)"
+            " A[i][j] = A[i-1][j] + 1;"
+        )
+        assert (1, 0) in distance_vectors(prog.nests[0])
+
+    def test_parallel_nest_empty(self, fig4_program):
+        assert distance_vectors(fig4_program.nests[0]) == set()
+
+    def test_direction_vectors_signs(self):
+        prog = compile_source(
+            "array A[10][10]; for (i=1;i<9;i++) for (j=1;j<9;j++)"
+            " A[i][j] = A[i-1][j+1] + 1;"
+        )
+        assert (1, -1) in direction_vectors(prog.nests[0])
+
+
+class TestPermutationLegality:
+    def test_empty_distances_all_legal(self):
+        assert is_legal_permutation((1, 0), [])
+
+    def test_interchange_illegal_with_negative_inner(self):
+        # Distance (1, -1): interchange makes it (-1, 1), lex negative.
+        assert is_legal_permutation((0, 1), [(1, -1)])
+        assert not is_legal_permutation((1, 0), [(1, -1)])
+
+    def test_interchange_legal_with_nonneg(self):
+        assert is_legal_permutation((1, 0), [(1, 0)])
+        assert is_legal_permutation((1, 0), [(1, 1)])
+
+    def test_arity_mismatch(self):
+        with pytest.raises(TransformError):
+            is_legal_permutation((0,), [(1, 0)])
+
+    def test_zero_vector_is_not_positive(self):
+        # A zero distance is not loop-carried; treated as illegal input
+        # (must stay lex-positive), guarding against bogus callers.
+        assert not is_legal_permutation((0, 1), [(0, 0)])

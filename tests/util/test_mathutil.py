@@ -1,0 +1,56 @@
+"""Unit tests for integer math helpers."""
+
+import pytest
+
+from repro.util.mathutil import ceil_div, floor_div, gcd_list, lcm_list, sign
+
+
+class TestDivision:
+    def test_ceil_div_positive(self):
+        assert ceil_div(7, 2) == 4
+
+    def test_ceil_div_negative(self):
+        assert ceil_div(-7, 2) == -3
+
+    def test_ceil_div_exact(self):
+        assert ceil_div(8, 2) == 4
+
+    def test_floor_div(self):
+        assert floor_div(7, 2) == 3
+        assert floor_div(-7, 2) == -4
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            ceil_div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            floor_div(1, 0)
+
+    def test_ceil_floor_relation(self):
+        for a in range(-10, 11):
+            for b in (1, 2, 3, 7):
+                assert ceil_div(a, b) == -floor_div(-a, b)
+
+
+class TestGcdLcm:
+    def test_gcd_list(self):
+        assert gcd_list([12, 18, 24]) == 6
+
+    def test_gcd_empty(self):
+        assert gcd_list([]) == 0
+
+    def test_gcd_with_negatives(self):
+        assert gcd_list([-4, 6]) == 2
+
+    def test_lcm_list(self):
+        assert lcm_list([4, 6]) == 12
+
+    def test_lcm_empty(self):
+        assert lcm_list([]) == 1
+
+    def test_lcm_with_zero(self):
+        assert lcm_list([3, 0]) == 0
+
+
+class TestSign:
+    def test_values(self):
+        assert sign(5) == 1 and sign(-5) == -1 and sign(0) == 0

@@ -1,0 +1,37 @@
+"""Unit tests for the table renderer."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic(self):
+        text = format_table(["a", "b"], [[1, "x"], [22, "yy"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "-" in lines[1]
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_numeric_right_aligned(self):
+        text = format_table(["col"], [[1], [100]])
+        rows = text.splitlines()[-2:]
+        assert rows[0].endswith("  1")
+
+    def test_explicit_align(self):
+        text = format_table(["col"], [["x"]], align="c")
+        assert text  # smoke: no error
+
+    def test_align_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1, 2]], align=["l"])
+
+    def test_row_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        assert "0.500" in format_table(["x"], [[0.5]])

@@ -1,0 +1,29 @@
+"""Extra table renderer coverage."""
+
+from repro.util.tables import format_table
+
+
+class TestAlignment:
+    def test_per_column_align(self):
+        text = format_table(["a", "b"], [["x", 1]], align=["c", "l"])
+        assert "x" in text
+
+    def test_right_alignment_of_percentages(self):
+        text = format_table(["v"], [["50%"], ["100%"]])
+        lines = text.splitlines()
+        assert lines[-1].endswith("100%")
+        assert lines[-2].endswith(" 50%")
+
+    def test_mixed_column_left_aligned(self):
+        text = format_table(["v"], [["abc"], [123]])
+        body = text.splitlines()[-2:]
+        assert body[0].startswith("abc")
+
+    def test_wide_headers_win_width(self):
+        text = format_table(["a_very_long_header"], [[1]])
+        sep = text.splitlines()[1]
+        assert len(sep) >= len("a_very_long_header")
+
+    def test_multiplier_suffix_numeric(self):
+        text = format_table(["f"], [["2.0x"], ["10.5x"]])
+        assert text.splitlines()[-1].endswith("10.5x")

@@ -1,0 +1,38 @@
+"""Workload sizing invariants: the data-to-cache regime of the paper."""
+
+import pytest
+
+from repro.experiments.harness import sim_machine
+from repro.topology.machines import commercial_machines
+from repro.workloads import all_workloads
+
+
+class TestSizingRegime:
+    @pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.name)
+    def test_data_exceeds_every_llc(self, workload):
+        """The paper's regime: working sets exceed the aggregate LLC, so
+        placement decides what lives on-chip."""
+        data = workload.data_bytes()
+        for machine in commercial_machines():
+            scaled = sim_machine(machine)
+            level = scaled.cache_levels()[-1]
+            llc_total = sum(
+                n.spec.size_bytes
+                for n in scaled.cache_nodes()
+                if n.spec.level == level
+            )
+            assert data > llc_total * 0.8, (
+                f"{workload.name} data {data} too small vs {machine.name} "
+                f"LLC {llc_total}"
+            )
+
+    @pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.name)
+    def test_data_not_absurdly_large(self, workload):
+        """Simulation tractability: bounded iteration and access counts."""
+        nest = workload.nest()
+        accesses = nest.iteration_count() * len(nest.accesses)
+        assert accesses <= 600_000
+
+    @pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.name)
+    def test_tag_width_manageable(self, workload):
+        assert workload.data_bytes() // workload.block_size() <= 256

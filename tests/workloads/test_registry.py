@@ -1,0 +1,68 @@
+"""Unit tests for the workload registry (Table 2)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import all_workloads, application_table, workload
+
+PAPER_APPS = {
+    "applu", "galgel", "equake", "cg", "sp", "bodytrack",
+    "facesim", "freqmine", "namd", "povray", "mesa", "h264",
+}
+
+
+class TestRegistry:
+    def test_twelve_applications(self):
+        assert {w.name for w in all_workloads()} == PAPER_APPS
+
+    def test_lookup(self):
+        assert workload("galgel").suite == "SpecOMP"
+
+    def test_unknown(self):
+        with pytest.raises(WorkloadError):
+            workload("linpack")
+
+    def test_suites_match_paper(self):
+        suites = {w.name: w.suite for w in all_workloads()}
+        assert suites["cg"] == "NAS" and suites["sp"] == "NAS"
+        assert suites["bodytrack"] == "Parsec"
+        assert suites["namd"] == "Spec2006"
+        assert suites["mesa"] == "local" and suites["h264"] == "local"
+
+    def test_four_sequential_origin(self):
+        # Table 2: namd, povray, mesa, H.264 arrive sequential.
+        seq = {w.name for w in all_workloads() if w.kind == "sequential"}
+        assert seq == {"namd", "povray", "mesa", "h264"}
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", sorted(PAPER_APPS))
+    def test_compiles(self, name):
+        w = workload(name)
+        nest = w.nest()
+        assert nest.iteration_count() > 0
+        assert nest.accesses
+
+    @pytest.mark.parametrize("name", sorted(PAPER_APPS))
+    def test_in_bounds(self, name):
+        workload(name).nest().validate_access_bounds()
+
+    @pytest.mark.parametrize("name", sorted(PAPER_APPS))
+    def test_fully_parallel_as_declared(self, name):
+        assert workload(name).nest().parallel
+
+    @pytest.mark.parametrize("name", sorted(PAPER_APPS))
+    def test_block_size_sane(self, name):
+        w = workload(name)
+        bs = w.block_size()
+        assert bs % 64 == 0
+        assert 16 <= w.data_bytes() // bs <= 256
+
+    def test_program_cached(self):
+        w = workload("applu")
+        assert w.program() is w.program()
+
+    def test_table_renders(self):
+        text = application_table()
+        for name in PAPER_APPS:
+            assert name in text

@@ -1,0 +1,31 @@
+"""Frontend round-trips and structural checks of the workload sources."""
+
+import pytest
+
+from repro.lang.parser import parse
+from repro.workloads import all_workloads
+
+
+@pytest.mark.parametrize("w", all_workloads(), ids=lambda w: w.name)
+class TestWorkloadSources:
+    def test_printer_fixpoint(self, w):
+        once = str(parse(w.source))
+        assert str(parse(once)) == once
+
+    def test_single_top_level_nest(self, w):
+        assert len(parse(w.source).loops) == 1
+
+    def test_outermost_is_parallel(self, w):
+        assert parse(w.source).loops[0].parallel
+
+    def test_kernel_has_comment_header(self, w):
+        assert f"// {w.name}" in w.source
+
+    def test_write_target_is_distinct_or_accumulating(self, w):
+        """Every kernel writes exactly one array reference per statement."""
+        nest = w.nest()
+        assert len(nest.writes()) >= 1
+
+    def test_elements_are_doubles(self, w):
+        for array in w.program().arrays.values():
+            assert array.element_size == 8
