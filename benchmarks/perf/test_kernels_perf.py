@@ -1,0 +1,60 @@
+"""Kernel-layer microbenchmarks (the BENCH_kernels.json producer).
+
+Marked ``perf``: excluded from tier-1 runs (``pytest -q -m "not perf"``
+— or just ``pytest`` from the repo root, whose testpaths don't include
+``benchmarks/``).  Run explicitly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q -m perf
+
+The tiny-config smoke variant that *does* run under tier-1 lives in
+``tests/kernels/test_bench_smoke.py``.
+"""
+
+import pathlib
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.kernels.bench import TAGGING_CONFIGS, run_suite, write_report
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_suite(repeats=7)
+
+
+def test_tagging_speedup_meets_floor(report):
+    """>= 5x numpy-over-scalar tagging on some >= 64x64 two-array nest.
+
+    Every config in TAGGING_CONFIGS is a two-array nest of at least
+    64x64 iterations, so the floor may be met by any of them; taking the
+    max keeps the assertion robust to machine-load noise on any single
+    size.
+    """
+    tagging = [e for e in report["entries"] if e["kernel"] == "tagging"]
+    assert len(tagging) == len(TAGGING_CONFIGS)
+    assert all(e["iterations"] >= 64 * 64 for e in tagging)
+    best = max(e["speedup"] for e in tagging)
+    assert best >= 5.0, f"tagging speedups too low: {tagging}"
+
+
+def test_vectorized_never_pathologically_slow(report):
+    """No kernel may regress the pipeline: the numpy path must stay
+    within 2x of scalar even where vectorization pays least."""
+    for entry in report["entries"]:
+        assert entry["speedup"] >= 0.5, entry
+
+
+def test_report_written(report):
+    out = REPO_ROOT / "BENCH_kernels.json"
+    write_report(report, str(out))
+    assert out.exists()
+    import json
+
+    loaded = json.loads(out.read_text())
+    assert loaded["entries"] == report["entries"]

@@ -13,6 +13,8 @@ collectively cover the iteration space K).
 
 from __future__ import annotations
 
+import itertools
+import threading
 from collections.abc import Iterator, Sequence
 
 from repro.errors import BlockingError
@@ -21,13 +23,21 @@ from repro.blocks.tags import render
 from repro.ir.loops import LoopNest
 from repro.poly.codegen import generate_point_list_enumerator
 
+_SETATTR = object.__setattr__
+
 
 class IterationGroup:
     """All iterations of a nest sharing one data-block tag."""
 
     __slots__ = ("tag", "iterations", "write_tag", "read_tag", "ident")
 
-    _next_ident = 0
+    # Idents come from an itertools counter, not a hand-incremented class
+    # attribute: ``next()`` on it is a single C call, hence atomic under
+    # the GIL and safe for future parallel tagging.  Tests (and any other
+    # caller needing order-independent idents) rewind it with
+    # :meth:`reset_idents`.
+    _ident_counter = itertools.count()
+    _ident_lock = threading.Lock()
 
     def __init__(
         self,
@@ -39,12 +49,24 @@ class IterationGroup:
         iterations = tuple(sorted(iterations))
         if not iterations:
             raise BlockingError("iteration group cannot be empty")
-        object.__setattr__(self, "tag", tag)
-        object.__setattr__(self, "iterations", iterations)
-        object.__setattr__(self, "write_tag", write_tag)
-        object.__setattr__(self, "read_tag", read_tag)
-        object.__setattr__(self, "ident", IterationGroup._next_ident)
-        IterationGroup._next_ident += 1
+        _SETATTR(self, "tag", tag)
+        _SETATTR(self, "iterations", iterations)
+        _SETATTR(self, "write_tag", write_tag)
+        _SETATTR(self, "read_tag", read_tag)
+        _SETATTR(self, "ident", next(IterationGroup._ident_counter))
+
+    @classmethod
+    def reset_idents(cls, start: int = 0) -> None:
+        """Rewind the ident sequence (test isolation / reproducibility).
+
+        Idents are only guaranteed unique among groups created since the
+        last reset, so callers must not mix groups from both sides of a
+        reset in one mapping pipeline.  The autouse fixture in
+        ``tests/conftest.py`` resets before every test, making ident
+        assignment independent of test execution order.
+        """
+        with cls._ident_lock:
+            cls._ident_counter = itertools.count(start)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("IterationGroup is immutable")

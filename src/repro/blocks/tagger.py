@@ -6,6 +6,14 @@ iterations by tag.  :func:`choose_block_size` implements the paper's
 heuristic for picking the block size: the data touched by the most
 aggressive iteration group (one whose iterations touch the maximum number
 of distinct blocks a single iteration can touch) must fit in L1.
+
+Tagging is the hottest path of the whole pass (O(K * references) work),
+so it is backed by the vectorized kernel layer: ``backend="auto"`` (the
+default) uses :func:`repro.kernels.tagging.tag_iterations_numpy` when
+NumPy is available, falling back to the scalar reference below for
+non-rectangular spaces or tags beyond the lane budget.  The scalar code
+is the oracle — the differential tests in ``tests/kernels/`` pin the two
+backends to bit-identical :class:`~repro.blocks.groups.GroupSet`\\ s.
 """
 
 from __future__ import annotations
@@ -14,12 +22,29 @@ from repro.errors import BlockingError
 from repro.blocks.datablocks import DataBlockPartition
 from repro.blocks.groups import GroupSet, IterationGroup
 from repro.ir.loops import LoopNest, Program
+from repro.kernels import resolve_backend
+
+#: (constant, coeffs, first_block, elems_per_block, is_write) per access.
+ResolvedAccess = tuple[int, tuple[int, ...], int, int, bool]
+
+
+def resolve_accesses(nest: LoopNest, partition: DataBlockPartition) -> list[ResolvedAccess]:
+    """Pre-resolve per-access metadata out of the hot loop: the linear
+    offset form plus the array's block geometry."""
+    resolved = []
+    for access in nest.accesses:
+        constant, coeffs = access.offset_form()
+        first = partition.blocks_of_array(access.array.name).start
+        per_block = partition.elements_per_block(access.array.name)
+        resolved.append((constant, coeffs, first, per_block, access.is_write))
+    return resolved
 
 
 def tag_iterations(
     nest: LoopNest,
     partition: DataBlockPartition,
     max_groups: int | None = None,
+    backend: str = "auto",
 ) -> GroupSet:
     """Partition a nest's iterations into iteration groups by tag.
 
@@ -28,20 +53,30 @@ def tag_iterations(
     writes).  Write and read tags are tracked separately for the group
     dependence graph.  ``max_groups`` guards against block sizes so small
     that the group count explodes (the compile-time cliff the paper
-    reports when moving from 2KB to 256-byte blocks).
+    reports when moving from 2KB to 256-byte blocks).  ``backend``
+    selects the kernel implementation (see :mod:`repro.kernels`); every
+    backend produces the identical ``GroupSet``.
     """
-    accesses = nest.accesses
-    if not accesses:
+    if not nest.accesses:
         raise BlockingError(f"nest {nest.name!r} has no array accesses to tag")
     nest.validate_access_bounds()
-    # Pre-resolve per-access metadata out of the hot loop: the linear
-    # offset form plus the array's block geometry.
-    resolved = []
-    for access in accesses:
-        constant, coeffs = access.offset_form()
-        first = partition.blocks_of_array(access.array.name).start
-        per_block = partition.elements_per_block(access.array.name)
-        resolved.append((constant, coeffs, first, per_block, access.is_write))
+    resolved = resolve_accesses(nest, partition)
+    if resolve_backend(backend) == "numpy":
+        from repro.kernels.tagging import tag_iterations_numpy
+
+        result = tag_iterations_numpy(nest, partition, resolved, max_groups)
+        if result is not None:
+            return result
+    return _tag_iterations_scalar(nest, partition, resolved, max_groups)
+
+
+def _tag_iterations_scalar(
+    nest: LoopNest,
+    partition: DataBlockPartition,
+    resolved: list[ResolvedAccess],
+    max_groups: int | None,
+) -> GroupSet:
+    """The scalar reference implementation (and numpy-backend oracle)."""
     buckets: dict[int, list[tuple[int, ...]]] = {}
     write_tags: dict[int, int] = {}
     read_tags: dict[int, int] = {}

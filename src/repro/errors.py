@@ -69,6 +69,12 @@ class BlockingError(ReproError):
     """Errors in data-block partitioning or iteration tagging."""
 
 
+class KernelError(ReproError):
+    """Errors from the vectorized kernel layer (``repro.kernels``):
+    unknown backend names, a requested backend that is unavailable, or
+    tags that do not fit the requested lane budget."""
+
+
 class MappingError(ReproError):
     """Errors from the distribution/scheduling algorithms (``repro.mapping``)."""
 

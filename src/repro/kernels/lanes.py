@@ -1,0 +1,72 @@
+"""Packing arbitrary-width tags into fixed-width ``uint64`` lanes.
+
+A tag over ``n`` data blocks is a Python big integer; the vectorized
+kernels store it as ``ceil(n / 64)`` little-endian 64-bit lanes, so a set
+of G tags becomes a ``(G, L)`` ``uint64`` matrix and the paper's tag
+operations become element-wise AND/XOR plus popcount.  Lane ``l`` holds
+bits ``[64*l, 64*l + 64)`` of the tag, which makes packing/unpacking a
+straight little-endian byte copy (``int.to_bytes`` / ``int.from_bytes``).
+
+This module imports NumPy at module level; import it only after
+:func:`repro.kernels.resolve_backend` picked the numpy backend.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import KernelError
+
+LANE_BITS = 64
+
+_HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+#: Byte-wise popcount fallback for NumPy builds without ``bitwise_count``.
+_POPCOUNT_LUT = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def lanes_for_bits(num_bits: int) -> int:
+    """Number of 64-bit lanes needed for a ``num_bits``-wide tag."""
+    if num_bits < 0:
+        raise KernelError(f"tag width must be non-negative, got {num_bits}")
+    return max(1, -(-num_bits // LANE_BITS))
+
+
+def pack_tag(tag: int, lanes: int) -> "np.ndarray":
+    """One tag as a ``(lanes,)`` ``uint64`` row, lane 0 = bits 0..63."""
+    return pack_tags((tag,), lanes)[0]
+
+
+def pack_tags(tags: Sequence[int], lanes: int) -> "np.ndarray":
+    """A ``(len(tags), lanes)`` ``uint64`` matrix of packed tags."""
+    if lanes <= 0:
+        raise KernelError(f"lane count must be positive, got {lanes}")
+    width = lanes * LANE_BITS
+    chunks = []
+    for tag in tags:
+        if tag < 0:
+            raise KernelError(f"tags are non-negative integers, got {tag}")
+        if tag.bit_length() > width:
+            raise KernelError(
+                f"tag of {tag.bit_length()} bits exceeds the {width}-bit lane budget"
+            )
+        chunks.append(tag.to_bytes(lanes * 8, "little"))
+    buffer = b"".join(chunks)
+    packed = np.frombuffer(buffer, dtype="<u8").reshape(len(chunks), lanes)
+    return packed.astype(np.uint64, copy=False)
+
+
+def unpack_tag(row: "np.ndarray") -> int:
+    """Inverse of :func:`pack_tag`: a packed row back to a Python int."""
+    little = np.ascontiguousarray(row, dtype="<u8")
+    return int.from_bytes(little.tobytes(), "little")
+
+
+def popcount(arr: "np.ndarray") -> "np.ndarray":
+    """Element-wise popcount of a ``uint64`` array, as ``int64``."""
+    arr = np.ascontiguousarray(arr, dtype=np.uint64)
+    if _HAVE_BITWISE_COUNT:
+        return np.bitwise_count(arr).astype(np.int64)
+    byte_view = arr.view(np.uint8).reshape(arr.shape + (8,))
+    return _POPCOUNT_LUT[byte_view].sum(axis=-1, dtype=np.int64)

@@ -6,6 +6,11 @@ of common 1 bits between their tags — the degree of data-block sharing
 by construction (any two groups sharing at least one block are adjacent),
 so we store it as a node list plus an on-demand weight function, with an
 adjacency materialization for callers that want to walk edges.
+
+With the numpy backend (see :mod:`repro.kernels`) the full G x G weight
+table is computed once — popcounts of ANDed ``uint64`` lanes — and every
+query reads from it; the scalar backend evaluates big-int dots on demand.
+Both produce the same exact integers.
 """
 
 from __future__ import annotations
@@ -14,23 +19,58 @@ from collections.abc import Iterator, Sequence
 
 from repro.blocks.groups import IterationGroup
 from repro.blocks.tags import dot
+from repro.kernels import fits_lane_budget, resolve_backend
 
 
 class AffinityGraph:
     """Weighted data-sharing graph over iteration groups."""
 
-    __slots__ = ("groups", "_by_ident")
+    __slots__ = ("groups", "_by_ident", "_index", "_backend", "_table")
 
-    def __init__(self, groups: Sequence[IterationGroup]):
+    def __init__(self, groups: Sequence[IterationGroup], backend: str = "auto"):
         self.groups = tuple(groups)
         self._by_ident = {g.ident: g for g in self.groups}
+        self._index = {g.ident: i for i, g in enumerate(self.groups)}
+        self._backend = resolve_backend(backend)
+        self._table: list[list[int]] | None = None
+
+    def _weight_table(self) -> list[list[int]] | None:
+        """The cached G x G dot table, or ``None`` on the scalar path."""
+        if self._table is not None:
+            return self._table
+        if self._backend != "numpy" or not self.groups:
+            return None
+        num_bits = max(g.tag.bit_length() for g in self.groups)
+        if not fits_lane_budget(num_bits):
+            return None
+        from repro.kernels.affinity import dot_matrix
+        from repro.kernels.lanes import lanes_for_bits, pack_tags
+
+        packed = pack_tags([g.tag for g in self.groups], lanes_for_bits(num_bits))
+        self._table = dot_matrix(packed).tolist()
+        return self._table
 
     def weight(self, a: IterationGroup, b: IterationGroup) -> int:
         """Number of data blocks shared by the two groups' tags."""
+        table = self._weight_table()
+        if table is not None:
+            i = self._index.get(a.ident)
+            j = self._index.get(b.ident)
+            if i is not None and j is not None:
+                return table[i][j]
         return dot(a.tag, b.tag)
 
     def edges(self, min_weight: int = 1) -> Iterator[tuple[IterationGroup, IterationGroup, int]]:
         """All unordered pairs with weight >= ``min_weight``."""
+        table = self._weight_table()
+        if table is not None:
+            for i, a in enumerate(self.groups):
+                row = table[i]
+                for j in range(i + 1, len(self.groups)):
+                    w = row[j]
+                    if w >= min_weight:
+                        yield a, self.groups[j], w
+            return
         for i, a in enumerate(self.groups):
             for b in self.groups[i + 1 :]:
                 w = dot(a.tag, b.tag)
@@ -38,11 +78,17 @@ class AffinityGraph:
                     yield a, b, w
 
     def neighbors(self, group: IterationGroup, min_weight: int = 1) -> list[tuple[IterationGroup, int]]:
+        table = self._weight_table()
+        row = None
+        if table is not None:
+            i = self._index.get(group.ident)
+            if i is not None:
+                row = table[i]
         out = []
-        for other in self.groups:
+        for j, other in enumerate(self.groups):
             if other.ident == group.ident:
                 continue
-            w = dot(group.tag, other.tag)
+            w = row[j] if row is not None else dot(group.tag, other.tag)
             if w >= min_weight:
                 out.append((other, w))
         return out

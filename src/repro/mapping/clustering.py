@@ -18,12 +18,13 @@ from collections.abc import Sequence
 from repro.errors import MappingError
 from repro.blocks.groups import IterationGroup
 from repro.blocks.tags import dot
+from repro.kernels import fits_lane_budget, resolve_backend
 from repro.mapping.balance import Cluster, balance_clusters
 from repro.topology.tree import Machine
 
 
 def cluster_one_level(
-    groups: Sequence[IterationGroup], k: int, threshold: float
+    groups: Sequence[IterationGroup], k: int, threshold: float, backend: str = "auto"
 ) -> list[Cluster]:
     """Cluster a set of iteration groups into exactly ``k`` clusters.
 
@@ -37,6 +38,11 @@ def cluster_one_level(
     clustered in one shot.  This is what makes the hierarchy depth matter
     (the paper's Figure 20): a deeper tree hands the algorithm a sequence
     of small-fan-out decisions instead of one noisy flat cut.
+
+    ``backend`` selects how the O(G^2) pair affinities are computed (see
+    :mod:`repro.kernels`); the merge sequence — and therefore the result —
+    is identical for every backend, because heap entries are the same
+    exact integers either way.
     """
     if k <= 0:
         raise MappingError("cluster count must be positive")
@@ -45,20 +51,41 @@ def cluster_one_level(
     if alive < k and not groups:
         raise MappingError("cannot cluster an empty group list")
 
+    # Merging only ORs tags together, so the widest input tag bounds every
+    # cluster tag ever formed — the lane budget can be checked up front.
+    use_numpy = resolve_backend(backend) == "numpy" and bool(clusters)
+    if use_numpy:
+        num_bits = max(c.tag.bit_length() for c in clusters)
+        use_numpy = fits_lane_budget(num_bits)
+    if use_numpy:
+        from repro.kernels.affinity import dot_pairs
+        from repro.kernels.lanes import lanes_for_bits, pack_tags
+
+        packed = pack_tags([c.tag for c in clusters], lanes_for_bits(num_bits))
+
     # Lazy-deletion pair heap keyed by (-dot, combined size, ids).  Pairs
     # with zero affinity are left out: merging unrelated clusters is only a
     # packing decision, handled by the zero-affinity fallback below, and
     # skipping them keeps the heap near-linear for sparse sharing graphs.
     heap: list[tuple[int, int, int, int]] = []
-    for i in range(len(clusters)):
-        tag_i = clusters[i].tag
-        size_i = clusters[i].size
-        for j in range(i + 1, len(clusters)):
-            weight = dot(tag_i, clusters[j].tag)
-            if weight > 0:
-                heap.append((-weight, size_i + clusters[j].size, i, j))
+    if use_numpy:
+        sizes = [c.size for c in clusters]
+        for i, j, weight in zip(*dot_pairs(packed)):
+            heap.append((-weight, sizes[i] + sizes[j], i, j))
+    else:
+        for i in range(len(clusters)):
+            tag_i = clusters[i].tag
+            size_i = clusters[i].size
+            for j in range(i + 1, len(clusters)):
+                weight = dot(tag_i, clusters[j].tag)
+                if weight > 0:
+                    heap.append((-weight, size_i + clusters[j].size, i, j))
     heapq.heapify(heap)
 
+    # Incremental pushes after a merge stay scalar on every backend: they
+    # are O(alive) big-int dots against one tag, where the per-call numpy
+    # packing overhead outweighs the vector win for typical tag widths.
+    # The entries are the same exact integers either way.
     def push_pairs(new_index: int) -> None:
         new = clusters[new_index]
         for idx, other in enumerate(clusters):
@@ -144,6 +171,7 @@ def hierarchical_distribute(
     machine: Machine,
     threshold: float = 0.10,
     strategy: str = "greedy",
+    backend: str = "auto",
 ) -> list[list[IterationGroup]]:
     """Figure 6 end to end: groups -> per-core group lists.
 
@@ -151,7 +179,9 @@ def hierarchical_distribute(
     the cache tree leaves).  ``strategy`` selects the per-level
     partitioner: ``"greedy"`` is the paper's dot-product merge; ``"kl"``
     additionally refines every two-way cut with Kernighan-Lin swaps
-    (higher-fan-out levels always use the greedy merge).
+    (higher-fan-out levels always use the greedy merge).  ``backend``
+    is forwarded to :func:`cluster_one_level`; it never changes the
+    resulting distribution.
     """
     if not groups:
         raise MappingError("no iteration groups to distribute")
@@ -169,7 +199,7 @@ def hierarchical_distribute(
 
                 clusters = cluster_one_level_kl(current, threshold)
             else:
-                clusters = cluster_one_level(current, degree, threshold)
+                clusters = cluster_one_level(current, degree, threshold, backend=backend)
             next_sets.extend([list(c.groups) for c in clusters])
         cluster_sets = next_sets
     if len(cluster_sets) != machine.num_cores:

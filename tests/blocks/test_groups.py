@@ -113,3 +113,54 @@ class TestGroupSet:
         part = DataBlockPartition(list(fig5_program.arrays.values()), 32)
         gs = tag_iterations(nest, part)
         assert len(list(gs)) == len(gs)
+
+
+class TestIdentCounter:
+    """Regression tests for the global ident sequence (once a bare
+    ``_next_ident`` class attribute incremented under no discipline, which
+    made idents depend on test execution order)."""
+
+    def test_fixture_resets_before_each_test(self):
+        # The autouse fixture in conftest rewinds the counter, so the
+        # first group minted inside any test owns ident 0 regardless of
+        # which tests ran earlier in the session.
+        assert IterationGroup(0b1, [(0,)]).ident == 0
+
+    def test_reset_restarts_sequence(self):
+        IterationGroup(0b1, [(0,)])
+        IterationGroup(0b1, [(0,)])
+        IterationGroup.reset_idents()
+        assert IterationGroup(0b1, [(0,)]).ident == 0
+        assert IterationGroup(0b1, [(0,)]).ident == 1
+
+    def test_reset_with_base(self):
+        IterationGroup.reset_idents(500)
+        assert IterationGroup(0b1, [(0,)]).ident == 500
+        IterationGroup.reset_idents()
+
+    def test_idents_deterministic_across_resets(self):
+        def mint():
+            IterationGroup.reset_idents()
+            return [IterationGroup(0b1, [(k,)]).ident for k in range(5)]
+
+        assert mint() == mint() == [0, 1, 2, 3, 4]
+
+    def test_parallel_creation_yields_unique_idents(self):
+        import threading
+
+        IterationGroup.reset_idents()
+        minted = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            local = [IterationGroup(0b1, [(0,)]).ident for _ in range(200)]
+            minted.append(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        all_idents = [i for chunk in minted for i in chunk]
+        assert len(all_idents) == len(set(all_idents)) == 1600

@@ -1,0 +1,175 @@
+"""Property tests: IterationGroup.split and GroupSet.verify_partition.
+
+Randomized invariants over the group structures the whole mapping pass
+leans on: splits must conserve iterations, tags and order, and the
+partition checker must accept exactly the well-formed GroupSets.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BlockingError
+from repro.blocks.datablocks import DataBlockPartition
+from repro.blocks.groups import GroupSet, IterationGroup
+from repro.blocks.tagger import tag_iterations
+from repro.ir.accesses import ArrayAccess
+from repro.ir.arrays import Array
+from repro.ir.loops import LoopNest
+from repro.poly.affine import AffineExpr
+from repro.poly.intset import IntSet
+
+
+@st.composite
+def groups(draw, min_size=1):
+    depth = draw(st.integers(min_value=1, max_value=3))
+    points = draw(
+        st.lists(
+            st.tuples(*[st.integers(min_value=0, max_value=9)] * depth),
+            min_size=min_size,
+            max_size=24,
+            unique=True,
+        )
+    )
+    tag = draw(st.integers(min_value=1, max_value=2**96 - 1))
+    write_mask = draw(st.integers(min_value=0, max_value=2**96 - 1))
+    write_tag = tag & write_mask
+    read_tag = tag & ~write_mask
+    return IterationGroup(tag, points, write_tag, read_tag)
+
+
+@st.composite
+def splittable_group_and_index(draw):
+    group = draw(groups(min_size=2))
+    at = draw(st.integers(min_value=1, max_value=group.size - 1))
+    return group, at
+
+
+class TestSplitProperties:
+    @settings(max_examples=100)
+    @given(splittable_group_and_index())
+    def test_split_conserves_everything(self, case):
+        group, at = case
+        first, second = group.split(at)
+        # Sizes sum, and the halves are the exact prefix/suffix of the
+        # lexicographically sorted iterations.
+        assert first.size == at
+        assert first.size + second.size == group.size
+        assert first.iterations + second.iterations == group.iterations
+        assert first.iterations == group.iterations[:at]
+        # All three tag classes survive on both halves.
+        for half in (first, second):
+            assert half.tag == group.tag
+            assert half.write_tag == group.write_tag
+            assert half.read_tag == group.read_tag
+            assert half.iterations == tuple(sorted(half.iterations))
+        # Fresh groups get fresh idents.
+        assert len({group.ident, first.ident, second.ident}) == 3
+
+    @settings(max_examples=50)
+    @given(groups())
+    def test_split_rejects_degenerate_indices(self, group):
+        with pytest.raises(BlockingError):
+            group.split(0)
+        with pytest.raises(BlockingError):
+            group.split(group.size)
+        with pytest.raises(BlockingError):
+            group.split(-1)
+
+    @settings(max_examples=50)
+    @given(splittable_group_and_index())
+    def test_resplit_first_half(self, case):
+        group, at = case
+        first, second = group.split(at)
+        if first.size >= 2:
+            a, b = first.split(first.size - 1)
+            assert a.iterations + b.iterations + second.iterations == group.iterations
+
+
+def tagged_nest(n, block_size):
+    array_a = Array("A", (n,))
+    array_b = Array("B", (n,))
+    i = AffineExpr.var("i")
+    space = IntSet.box(("i",), [(0, n - 1)])
+    accesses = [
+        ArrayAccess(array_a, ("i",), (i,), is_write=True),
+        ArrayAccess(array_b, ("i",), (i,)),
+    ]
+    nest = LoopNest("prop", space, accesses)
+    return nest, DataBlockPartition((array_a, array_b), block_size)
+
+
+class TestVerifyPartitionProperties:
+    @settings(max_examples=40)
+    @given(
+        st.integers(min_value=2, max_value=64),
+        st.sampled_from([64, 128, 256]),
+        st.sampled_from(["python", "auto"]),
+    )
+    def test_fresh_tagging_always_verifies(self, n, block_size, backend):
+        nest, partition = tagged_nest(n, block_size)
+        gs = tag_iterations(nest, partition, backend=backend)
+        gs.verify_partition()
+        assert gs.total_iterations() == nest.iteration_count()
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=8, max_value=64), st.integers(min_value=0, max_value=7))
+    def test_dropping_a_point_is_caught(self, n, victim):
+        nest, partition = tagged_nest(n, 64)
+        gs = tag_iterations(nest, partition)
+        groups = list(gs.groups)
+        victim %= len(groups)
+        damaged = []
+        for index, group in enumerate(groups):
+            if index == victim:
+                if group.size == 1:
+                    continue  # drop the whole group instead
+                group = IterationGroup(
+                    group.tag, group.iterations[1:], group.write_tag, group.read_tag
+                )
+            damaged.append(group)
+        bad = GroupSet(nest, partition, damaged)
+        with pytest.raises(BlockingError, match="missing"):
+            bad.verify_partition()
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=8, max_value=64))
+    def test_duplicated_group_is_caught(self, n):
+        nest, partition = tagged_nest(n, 64)
+        gs = tag_iterations(nest, partition)
+        groups = list(gs.groups)
+        bad = GroupSet(nest, partition, groups + [groups[0]])
+        with pytest.raises(BlockingError, match="two groups"):
+            bad.verify_partition()
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=8, max_value=64))
+    def test_foreign_point_is_caught(self, n):
+        nest, partition = tagged_nest(n, 64)
+        gs = tag_iterations(nest, partition)
+        groups = list(gs.groups)
+        outside = IterationGroup(
+            max(g.tag for g in groups) << 1, [(n + 5,)]
+        )
+        bad = GroupSet(nest, partition, groups + [outside])
+        with pytest.raises(BlockingError, match="extra"):
+            bad.verify_partition()
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=8, max_value=32))
+    def test_duplicate_tags_are_caught(self, n):
+        nest, partition = tagged_nest(n, 64)
+        gs = tag_iterations(nest, partition)
+        groups = list(gs.groups)
+        if len(groups) < 2:
+            return
+        # Re-tag the second group with the first group's tag; iterations
+        # still partition K, so only the tag-uniqueness check can object.
+        clone = IterationGroup(
+            groups[0].tag,
+            groups[1].iterations,
+            groups[1].write_tag,
+            groups[1].read_tag,
+        )
+        bad = GroupSet(nest, partition, [groups[0], clone] + groups[2:])
+        with pytest.raises(BlockingError, match="duplicate tags"):
+            bad.verify_partition()

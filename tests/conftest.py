@@ -4,9 +4,22 @@ from __future__ import annotations
 
 import pytest
 
+from repro.blocks.groups import IterationGroup
 from repro.lang import compile_source
 from repro.topology.cache import CacheSpec
 from repro.topology.tree import Machine, TopologyNode
+
+
+@pytest.fixture(autouse=True)
+def _reset_group_idents():
+    """Start every test with a fresh ident sequence.
+
+    Group idents are process-global; without the reset, tests that pin
+    ident values (or orders derived from them) would depend on which
+    tests ran before them.
+    """
+    IterationGroup.reset_idents()
+    yield
 
 
 @pytest.fixture
