@@ -1,0 +1,43 @@
+"""Pytest plugin that makes ``import numpy`` fail on purpose.
+
+The CI no-numpy job runs in a venv without numpy; this plugin gives the
+same coverage on a developer machine (or any environment) where numpy
+*is* installed, by rejecting the import at the ``sys.meta_path`` level
+before the real finders see it::
+
+    PYTHONPATH=src python -m pytest -q -p scripts.block_numpy
+
+Every ``pytest.importorskip("numpy")`` then skips and the kernel layer's
+``have_numpy()`` probe reports False, exercising the scalar fallback
+paths end to end.  The block is installed at plugin import time so it
+precedes any test-collection imports.
+"""
+
+from __future__ import annotations
+
+import importlib.abc
+import sys
+
+BLOCKED = ("numpy",)
+
+
+class _BlockedFinder(importlib.abc.MetaPathFinder):
+    def find_spec(self, fullname, path=None, target=None):
+        root = fullname.partition(".")[0]
+        if root in BLOCKED:
+            raise ImportError(f"{root} is blocked by scripts/block_numpy.py")
+        return None
+
+
+def _install() -> None:
+    for module in list(sys.modules):
+        if module.partition(".")[0] in BLOCKED:
+            raise RuntimeError(
+                f"{module} was imported before the blocker could be installed; "
+                "pass -p scripts.block_numpy on the pytest command line"
+            )
+    if not any(isinstance(f, _BlockedFinder) for f in sys.meta_path):
+        sys.meta_path.insert(0, _BlockedFinder())
+
+
+_install()

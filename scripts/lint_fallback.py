@@ -1,0 +1,93 @@
+"""Minimal stdlib stand-in for ``ruff check`` on machines without ruff.
+
+Covers the highest-signal subset of the repo's ruff configuration
+(pyproject ``[tool.ruff.lint]``) with nothing but ``ast``:
+
+* F401  unused imports (module scope; ``__init__.py`` exempt, matching
+        the per-file-ignores)
+* E711/E712  comparisons to ``None``/``True``/``False`` with ``==``/``!=``
+* E722  bare ``except:``
+* E731  assigning a ``lambda`` to a name
+* E9    syntax errors (anything that fails to parse)
+
+False negatives are expected — this is a safety net, not a linter; CI
+always runs the real ``ruff check``.  Usage::
+
+    python scripts/lint_fallback.py [paths...]   # defaults to src tests benchmarks scripts
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "scripts")
+
+
+def _imported_names(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield (alias.asname or alias.name).partition(".")[0], node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name != "*":
+                    yield alias.asname or alias.name, node.lineno
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [f"{path}:{error.lineno}: E9 syntax error: {error.msg}"]
+
+    problems = []
+    used = {n.id for n in ast.walk(tree) if isinstance(n, ast.Name)}
+    mentioned = set()  # crude catch-all for strings, __all__, docstrings
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            mentioned.update(node.value.replace(".", " ").split())
+
+    if path.name != "__init__.py":
+        for name, lineno in _imported_names(tree):
+            if name not in used and name not in mentioned:
+                problems.append(f"{path}:{lineno}: F401 unused import {name!r}")
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if isinstance(comparator, ast.Constant) and comparator.value is None:
+                    problems.append(f"{path}:{node.lineno}: E711 comparison to None")
+                elif isinstance(comparator, ast.Constant) and isinstance(comparator.value, bool):
+                    problems.append(f"{path}:{node.lineno}: E712 comparison to {comparator.value}")
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            problems.append(f"{path}:{node.lineno}: E722 bare except")
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            problems.append(f"{path}:{node.lineno}: E731 lambda assigned to name")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    roots = (argv if argv is not None else sys.argv[1:]) or list(DEFAULT_PATHS)
+    problems = []
+    checked = 0
+    for root in roots:
+        base = pathlib.Path(root)
+        files = [base] if base.is_file() else sorted(base.rglob("*.py"))
+        for path in files:
+            checked += 1
+            problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(f"lint_fallback: {checked} files, {len(problems)} problems", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

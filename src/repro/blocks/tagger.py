@@ -18,6 +18,7 @@ backends to bit-identical :class:`~repro.blocks.groups.GroupSet`\\ s.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.errors import BlockingError
 from repro.blocks.datablocks import DataBlockPartition
 from repro.blocks.groups import GroupSet, IterationGroup
@@ -61,13 +62,23 @@ def tag_iterations(
         raise BlockingError(f"nest {nest.name!r} has no array accesses to tag")
     nest.validate_access_bounds()
     resolved = resolve_accesses(nest, partition)
-    if resolve_backend(backend) == "numpy":
-        from repro.kernels.tagging import tag_iterations_numpy
+    with obs.span(
+        "tag.iterations", nest=nest.name, iterations=nest.iteration_count()
+    ) as sp:
+        result = None
+        ran = "python"
+        if resolve_backend(backend) == "numpy":
+            from repro.kernels.tagging import tag_iterations_numpy
 
-        result = tag_iterations_numpy(nest, partition, resolved, max_groups)
-        if result is not None:
-            return result
-    return _tag_iterations_scalar(nest, partition, resolved, max_groups)
+            result = tag_iterations_numpy(nest, partition, resolved, max_groups)
+            if result is not None:
+                ran = "numpy"
+        if result is None:
+            result = _tag_iterations_scalar(nest, partition, resolved, max_groups)
+        sp.tag(backend=ran, groups=len(result.groups))
+        obs.count(f"kernels.backend.{ran}")
+        obs.count("tag.groups_formed", len(result.groups))
+        return result
 
 
 def _tag_iterations_scalar(

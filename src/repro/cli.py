@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
+from repro import obs
 from repro.errors import ReproError
 from repro.blocks.tags import render
 from repro.lang import compile_source
@@ -26,6 +28,23 @@ from repro.mapping import TopologyAwareMapper, base_plan, base_plus_plan, local_
 from repro.runtime import execute_plan
 from repro.topology.machines import _REGISTRY, machine_by_name
 from repro.util.tables import format_table
+
+
+@contextmanager
+def _tracing_to(out_path: str | None, tree: bool):
+    """Install trace sinks for one CLI run (no-op without any sink)."""
+    from repro.obs.sinks import JsonlSink, TreeSink
+
+    sinks = []
+    if out_path:
+        sinks.append(JsonlSink(out_path))
+    if tree:
+        sinks.append(TreeSink(sys.stderr))
+    if not sinks:
+        yield
+        return
+    with obs.tracing(*sinks):
+        yield
 
 
 def _load_program(path: str):
@@ -74,7 +93,8 @@ def cmd_map(args) -> int:
         alpha=args.alpha,
         beta=args.beta,
     )
-    result = mapper.map_nest(program, nest)
+    with obs.span("cli.map", source=args.source, machine=machine.name):
+        result = mapper.map_nest(program, nest)
     n = result.partition.num_blocks
     print(f"nest {nest.name!r}: {nest.iteration_count()} iterations, "
           f"{len(result.group_set)} iteration groups over {n} data blocks "
@@ -114,13 +134,50 @@ def cmd_simulate(args) -> int:
             return local_plan(nest, machine, result.partition)
         return result.plan()
 
-    base_result = execute_plan(plan_for("base"), verify=True)
+    with obs.span("cli.simulate", source=args.source, scheme=args.scheme):
+        base_result = execute_plan(plan_for("base"), verify=True)
+        result = (
+            execute_plan(plan_for(args.scheme), verify=True)
+            if args.scheme != "base"
+            else None
+        )
     print(base_result.summary())
-    if args.scheme != "base":
-        result = execute_plan(plan_for(args.scheme), verify=True)
+    if result is not None:
         print(result.summary())
         print(f"\n{args.scheme} vs base: {result.cycles / base_result.cycles:.3f} "
               f"({base_result.cycles / result.cycles:.2f}x speedup)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run a full mapping (+ simulation) with tracing on and report it."""
+    from repro.obs.report import render_report
+    from repro.obs.sinks import read_jsonl
+
+    program = _load_program(args.source)
+    machine = _machine(args)
+    nest = program.nests[args.nest]
+    with _tracing_to(out_path=args.out, tree=False):
+        with obs.span(
+            "cli.trace", source=args.source, scheme=args.scheme, machine=machine.name
+        ):
+            mapper = TopologyAwareMapper(
+                machine,
+                block_size=args.block_size,
+                balance_threshold=args.balance,
+                local_scheduling=(args.scheme == "ta+s"),
+            )
+            if args.profile:
+                with obs.profiled("cli.trace.mapping"):
+                    result = mapper.map_nest(program, nest)
+            else:
+                result = mapper.map_nest(program, nest)
+            if not args.no_sim:
+                execute_plan(result.plan())
+    print(f"trace written to {args.out}")
+    records = read_jsonl(args.out)
+    print()
+    print(render_report(records, tree=args.tree, profiles=args.profile))
     return 0
 
 
@@ -151,7 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("machines", help="list the built-in machines").set_defaults(func=cmd_machines)
     sub.add_parser("workloads", help="list the evaluation workloads").set_defaults(func=cmd_workloads)
 
-    def common(p):
+    def common(p, tracing=True):
         p.add_argument("source", help="affine loop program file")
         p.add_argument("--machine", default="dunnington", help="target machine name")
         p.add_argument("--topology", default=None,
@@ -163,6 +220,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="data block size in bytes (default: Section 4.1 heuristic)")
         p.add_argument("--balance", type=float, default=0.10,
                        help="balance threshold (default 0.10, the paper's)")
+        if tracing:
+            p.add_argument("--trace", action="store_true",
+                           help="print a span tree of the run to stderr")
+            p.add_argument("--trace-out", default=None, metavar="FILE",
+                           help="write a machine-readable JSONL trace to FILE")
 
     map_parser = sub.add_parser("map", help="run the topology-aware mapper")
     common(map_parser)
@@ -178,6 +240,22 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=("base", "base+", "local", "ta", "ta+s"))
     sim_parser.set_defaults(func=cmd_simulate)
 
+    trace_parser = sub.add_parser(
+        "trace", help="trace a full mapping run and report per-phase timings"
+    )
+    common(trace_parser, tracing=False)
+    trace_parser.add_argument("--scheme", default="ta+s", choices=("ta", "ta+s"),
+                              help="mapping scheme to trace (default ta+s)")
+    trace_parser.add_argument("--out", default="trace.jsonl", metavar="FILE",
+                              help="JSONL trace output path (default trace.jsonl)")
+    trace_parser.add_argument("--tree", action="store_true",
+                              help="include the span tree in the printed report")
+    trace_parser.add_argument("--profile", action="store_true",
+                              help="additionally cProfile the mapping phase")
+    trace_parser.add_argument("--no-sim", action="store_true",
+                              help="trace the mapper only, skip the simulation")
+    trace_parser.set_defaults(func=cmd_trace)
+
     tune_parser = sub.add_parser("tune", help="search block sizes by simulation")
     common(tune_parser)
     tune_parser.add_argument("--candidates", default="512,1024,2048,4096",
@@ -192,7 +270,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        with _tracing_to(
+            getattr(args, "trace_out", None), getattr(args, "trace", False)
+        ):
+            return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

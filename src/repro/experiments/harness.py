@@ -15,8 +15,11 @@ the cache is safe.
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import ExperimentError
 from repro.mapping import TopologyAwareMapper, base_plan, base_plus_plan, local_plan
 from repro.mapping.distribute import MappingResult
@@ -85,6 +88,40 @@ def clear_cache() -> None:
     _CACHE.mappings.clear()
 
 
+#: Environment variable naming a directory for per-figure JSONL traces.
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+
+@contextmanager
+def figure_trace(figure: str):
+    """Record a per-figure trace when ``REPRO_TRACE_DIR`` is set.
+
+    Wrap one figure harness run::
+
+        with figure_trace("fig13"):
+            fig13_main.run(apps)
+
+    With the environment variable unset this is a pure no-op (no
+    recorder installed); set, it writes ``<dir>/<figure>.jsonl`` with
+    every span and decision counter of the figure's runs — the artifact
+    the CI workflow uploads.  When a recorder is already installed (an
+    outer ``obs.tracing`` scope), the outer trace wins and the figure is
+    marked by a ``figure`` span instead of a separate file.
+    """
+    directory = os.environ.get(TRACE_DIR_ENV)
+    if obs.enabled() or not directory:
+        with obs.span("figure", figure=figure):
+            yield
+        return
+    from repro.obs.sinks import JsonlSink
+
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{figure}.jsonl")
+    with obs.tracing(JsonlSink(path)):
+        with obs.span("figure", figure=figure):
+            yield
+
+
 def mapping_for(
     app: Workload,
     mapping_machine: Machine,
@@ -106,7 +143,9 @@ def mapping_for(
     )
     cached = _CACHE.mappings.get(key)
     if cached is not None:
+        obs.count("harness.mapping_memo_hits")
         return cached
+    obs.count("harness.mapping_memo_misses")
     mapper = TopologyAwareMapper(
         mapping_machine,
         block_size=block_size if block_size is not None else app.block_size(),
@@ -156,30 +195,35 @@ def run_scheme(
     )
     cached = _CACHE.results.get(key)
     if cached is not None:
+        obs.count("harness.result_memo_hits")
         return cached
+    obs.count("harness.result_memo_misses")
 
-    nest = app.nest()
-    if scheme == "base":
-        plan = base_plan(nest, map_machine)
-    elif scheme == "base+":
-        plan = base_plus_plan(nest, map_machine)
-    elif scheme == "local":
-        mapping = mapping_for(app, map_machine, block_size=block_size,
-                              balance_threshold=balance_threshold)
-        plan = local_plan(nest, map_machine, mapping.partition, alpha, beta)
-    elif scheme == "ta":
-        mapping = mapping_for(app, map_machine, False, block_size,
-                              balance_threshold, alpha, beta)
-        plan = mapping.plan()
-    elif scheme == "ta+s":
-        mapping = mapping_for(app, map_machine, True, block_size,
-                              balance_threshold, alpha, beta)
-        plan = mapping.plan()
-    else:
-        raise ExperimentError(f"unknown scheme {scheme!r}; known: {SCHEMES}")
+    with obs.span(
+        "experiment.scheme", app=app.name, scheme=scheme, machine=machine.name
+    ):
+        nest = app.nest()
+        if scheme == "base":
+            plan = base_plan(nest, map_machine)
+        elif scheme == "base+":
+            plan = base_plus_plan(nest, map_machine)
+        elif scheme == "local":
+            mapping = mapping_for(app, map_machine, block_size=block_size,
+                                  balance_threshold=balance_threshold)
+            plan = local_plan(nest, map_machine, mapping.partition, alpha, beta)
+        elif scheme == "ta":
+            mapping = mapping_for(app, map_machine, False, block_size,
+                                  balance_threshold, alpha, beta)
+            plan = mapping.plan()
+        elif scheme == "ta+s":
+            mapping = mapping_for(app, map_machine, True, block_size,
+                                  balance_threshold, alpha, beta)
+            plan = mapping.plan()
+        else:
+            raise ExperimentError(f"unknown scheme {scheme!r}; known: {SCHEMES}")
 
-    config = SimConfig(port_occupancy=port_occupancy) if port_occupancy else None
-    result = execute_plan(plan, machine=machine, config=config)
+        config = SimConfig(port_occupancy=port_occupancy) if port_occupancy else None
+        result = execute_plan(plan, machine=machine, config=config)
     _CACHE.results[key] = result
     return result
 

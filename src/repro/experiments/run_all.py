@@ -15,7 +15,7 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.experiments import tables
+from repro.experiments import harness, tables
 from repro.experiments import (
     ablation_alpha_beta,
     ablation_clustering,
@@ -61,7 +61,10 @@ def main(argv: list[str] | None = None) -> int:
     ]
     for label, runner in steps:
         t0 = time.perf_counter()
-        result = runner()
+        # With REPRO_TRACE_DIR set, each step writes <dir>/<slug>.jsonl.
+        slug = label.lower().replace(" ", "_").replace("(", "").replace(")", "")
+        with harness.figure_trace(slug):
+            result = runner()
         elapsed = time.perf_counter() - t0
         print(result.table())
         if charts:

@@ -30,6 +30,9 @@ data-dependent property, not a configuration error.
 
 from __future__ import annotations
 
+import warnings
+
+from repro import obs
 from repro.errors import KernelError
 
 BACKENDS = ("auto", "python", "numpy")
@@ -40,6 +43,44 @@ BACKENDS = ("auto", "python", "numpy")
 DEFAULT_MAX_LANES = 256
 
 _numpy_probe: bool | None = None
+
+#: Fallback reasons already reported through :func:`warnings.warn`; each
+#: reason warns once per process so CI logs show which backend actually
+#: ran without drowning in repeats.  The obs counter fires every time.
+_warned_reasons: set[str] = set()
+
+#: The known scalar-fallback reasons and their one-line explanations.
+FALLBACK_REASONS = {
+    "no-numpy": "NumPy is not importable; the scalar reference backend is used",
+    "lane-budget": "tag width exceeds the packed uint64 lane budget",
+    "non-rectangular": "iteration space has loop-variant bounds",
+}
+
+
+def note_fallback(reason: str, where: str) -> None:
+    """Record a silent-scalar-fallback event: obs counter + one warning.
+
+    ``reason`` is one of :data:`FALLBACK_REASONS`; ``where`` names the
+    call site (e.g. ``"tagging"``, ``"clustering"``).  The counter
+    ``kernels.fallback.<reason>`` increments on every event; the
+    ``warnings.warn`` fires once per reason per process, so logs state
+    which backend actually ran without flooding.
+    """
+    obs.count(f"kernels.fallback.{reason}")
+    obs.count(f"kernels.fallback_at.{where}")
+    if reason not in _warned_reasons:
+        _warned_reasons.add(reason)
+        detail = FALLBACK_REASONS.get(reason, reason)
+        warnings.warn(
+            f"repro.kernels: scalar fallback at {where} ({reason}): {detail}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def reset_fallback_warnings() -> None:
+    """Forget which reasons already warned (test isolation hook)."""
+    _warned_reasons.clear()
 
 
 def have_numpy() -> bool:
@@ -67,7 +108,10 @@ def resolve_backend(backend: str = "auto") -> str:
             f"unknown kernel backend {backend!r}; expected one of {BACKENDS}"
         )
     if backend == "auto":
-        return "numpy" if have_numpy() else "python"
+        if have_numpy():
+            return "numpy"
+        note_fallback("no-numpy", "resolve_backend")
+        return "python"
     if backend == "numpy" and not have_numpy():
         raise KernelError("backend 'numpy' requested but numpy is not importable")
     return backend

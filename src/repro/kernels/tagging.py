@@ -29,7 +29,7 @@ from repro.errors import BlockingError
 from repro.blocks.datablocks import DataBlockPartition
 from repro.blocks.groups import GroupSet, IterationGroup
 from repro.ir.loops import LoopNest
-from repro.kernels import DEFAULT_MAX_LANES, fits_lane_budget
+from repro.kernels import DEFAULT_MAX_LANES, fits_lane_budget, note_fallback
 from repro.kernels.lanes import lanes_for_bits, pack_tags
 
 
@@ -72,9 +72,11 @@ def tag_iterations_numpy(
     bounds, exactly as the scalar reference requires.
     """
     if not fits_lane_budget(partition.num_blocks, max_lanes):
+        note_fallback("lane-budget", "tagging")
         return None
     grid = iteration_grid(nest)
     if grid is None:
+        note_fallback("non-rectangular", "tagging")
         return None
     count, _ = grid.shape
     if not count:

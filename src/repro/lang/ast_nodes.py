@@ -148,5 +148,5 @@ class ProgramNode(Node):
     def __str__(self) -> str:
         parts = [str(p) for p in self.params]
         parts += [str(a) for a in self.arrays]
-        parts += [str(l) for l in self.loops]
+        parts += [str(loop) for loop in self.loops]
         return "\n".join(parts)

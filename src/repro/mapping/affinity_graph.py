@@ -17,9 +17,10 @@ from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
 
+from repro import obs
 from repro.blocks.groups import IterationGroup
 from repro.blocks.tags import dot
-from repro.kernels import fits_lane_budget, resolve_backend
+from repro.kernels import fits_lane_budget, note_fallback, resolve_backend
 
 
 class AffinityGraph:
@@ -42,12 +43,15 @@ class AffinityGraph:
             return None
         num_bits = max(g.tag.bit_length() for g in self.groups)
         if not fits_lane_budget(num_bits):
+            note_fallback("lane-budget", "affinity_graph")
             return None
         from repro.kernels.affinity import dot_matrix
         from repro.kernels.lanes import lanes_for_bits, pack_tags
 
-        packed = pack_tags([g.tag for g in self.groups], lanes_for_bits(num_bits))
-        self._table = dot_matrix(packed).tolist()
+        with obs.span("affinity.weight_table", groups=len(self.groups)):
+            packed = pack_tags([g.tag for g in self.groups], lanes_for_bits(num_bits))
+            self._table = dot_matrix(packed).tolist()
+            obs.count("affinity.tables_built")
         return self._table
 
     def weight(self, a: IterationGroup, b: IterationGroup) -> int:

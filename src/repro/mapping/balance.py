@@ -10,6 +10,7 @@ sub-groups) so the sizes land inside the window.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.errors import MappingError
 from repro.blocks.groups import IterationGroup
 from repro.blocks.tags import bitwise_sum, dot
@@ -67,48 +68,57 @@ def balance_clusters(clusters: list[Cluster], threshold: float) -> None:
 
     guard = 0
     max_steps = 4 * k + 4 * sum(len(c.groups) for c in clusters) + 64
-    while True:
-        donor = max(clusters, key=lambda c: c.size)
-        # Integer sizes vs. a fractional window: stop within one iteration
-        # of the limit, otherwise 1-iteration moves can oscillate forever.
-        if donor.size < up + 1:
-            break
-        guard += 1
-        if guard > max_steps:
-            raise MappingError("load balancing failed to converge")  # pragma: no cover
-        under = [c for c in clusters if c.size < low]
-        recipient = min(under or [c for c in clusters if c is not donor], key=lambda c: c.size)
+    with obs.span("balance", clusters=k, total=total, threshold=threshold) as sp:
+        moves = splits = forced = 0
+        while True:
+            donor = max(clusters, key=lambda c: c.size)
+            # Integer sizes vs. a fractional window: stop within one iteration
+            # of the limit, otherwise 1-iteration moves can oscillate forever.
+            if donor.size < up + 1:
+                break
+            guard += 1
+            if guard > max_steps:
+                raise MappingError("load balancing failed to converge")  # pragma: no cover
+            under = [c for c in clusters if c.size < low]
+            recipient = min(under or [c for c in clusters if c is not donor], key=lambda c: c.size)
 
-        # A whole-group move is eligible when both ends stay in the window.
-        eligible = [
-            g
-            for g in donor.groups
-            if donor.size - g.size >= low and recipient.size + g.size <= up
-        ]
-        if eligible:
-            best = max(eligible, key=lambda g: (dot(g.tag, recipient.tag), g.size, -g.ident))
-            donor.remove(best)
-            recipient.add(best)
-            continue
+            # A whole-group move is eligible when both ends stay in the window.
+            eligible = [
+                g
+                for g in donor.groups
+                if donor.size - g.size >= low and recipient.size + g.size <= up
+            ]
+            if eligible:
+                best = max(eligible, key=lambda g: (dot(g.tag, recipient.tag), g.size, -g.ident))
+                donor.remove(best)
+                recipient.add(best)
+                moves += 1
+                continue
 
-        # Split: carve exactly enough iterations to pull the donor to the
-        # average (and never overfill the recipient).
-        need = min(int(donor.size - (low + up) / 2), int(up - recipient.size))
-        need = max(1, need)
-        candidates = [g for g in donor.groups if g.size > 1]
-        if not candidates:
-            # All groups are single iterations but none was eligible:
-            # force-move the best single iteration group.
-            best = max(donor.groups, key=lambda g: (dot(g.tag, recipient.tag), -g.ident))
-            donor.remove(best)
-            recipient.add(best)
-            continue
-        victim = max(candidates, key=lambda g: (dot(g.tag, recipient.tag), g.size, -g.ident))
-        cut = min(need, victim.size - 1)
-        moved, kept = victim.split(cut)
-        donor.remove(victim)
-        donor.add(kept)
-        recipient.add(moved)
+            # Split: carve exactly enough iterations to pull the donor to the
+            # average (and never overfill the recipient).
+            need = min(int(donor.size - (low + up) / 2), int(up - recipient.size))
+            need = max(1, need)
+            candidates = [g for g in donor.groups if g.size > 1]
+            if not candidates:
+                # All groups are single iterations but none was eligible:
+                # force-move the best single iteration group.
+                best = max(donor.groups, key=lambda g: (dot(g.tag, recipient.tag), -g.ident))
+                donor.remove(best)
+                recipient.add(best)
+                forced += 1
+                continue
+            victim = max(candidates, key=lambda g: (dot(g.tag, recipient.tag), g.size, -g.ident))
+            cut = min(need, victim.size - 1)
+            moved, kept = victim.split(cut)
+            donor.remove(victim)
+            donor.add(kept)
+            recipient.add(moved)
+            splits += 1
+        sp.tag(moves=moves, splits=splits, forced=forced)
+        obs.count("balance.moves", moves)
+        obs.count("balance.splits", splits)
+        obs.count("balance.forced_moves", forced)
 
 
 def verify_balance(clusters: list[Cluster], threshold: float, slack: float = 0.0) -> bool:

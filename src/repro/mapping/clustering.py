@@ -15,10 +15,11 @@ from __future__ import annotations
 import heapq
 from collections.abc import Sequence
 
+from repro import obs
 from repro.errors import MappingError
 from repro.blocks.groups import IterationGroup
 from repro.blocks.tags import dot
-from repro.kernels import fits_lane_budget, resolve_backend
+from repro.kernels import fits_lane_budget, note_fallback, resolve_backend
 from repro.mapping.balance import Cluster, balance_clusters
 from repro.topology.tree import Machine
 
@@ -57,6 +58,9 @@ def cluster_one_level(
     if use_numpy:
         num_bits = max(c.tag.bit_length() for c in clusters)
         use_numpy = fits_lane_budget(num_bits)
+        if not use_numpy:
+            note_fallback("lane-budget", "clustering")
+    obs.count(f"kernels.backend.{'numpy' if use_numpy else 'python'}")
     if use_numpy:
         from repro.kernels.affinity import dot_pairs
         from repro.kernels.lanes import lanes_for_bits, pack_tags
@@ -67,20 +71,26 @@ def cluster_one_level(
     # with zero affinity are left out: merging unrelated clusters is only a
     # packing decision, handled by the zero-affinity fallback below, and
     # skipping them keeps the heap near-linear for sparse sharing graphs.
-    heap: list[tuple[int, int, int, int]] = []
-    if use_numpy:
-        sizes = [c.size for c in clusters]
-        for i, j, weight in zip(*dot_pairs(packed)):
-            heap.append((-weight, sizes[i] + sizes[j], i, j))
-    else:
-        for i in range(len(clusters)):
-            tag_i = clusters[i].tag
-            size_i = clusters[i].size
-            for j in range(i + 1, len(clusters)):
-                weight = dot(tag_i, clusters[j].tag)
-                if weight > 0:
-                    heap.append((-weight, size_i + clusters[j].size, i, j))
-    heapq.heapify(heap)
+    with obs.span(
+        "affinity.pairs",
+        groups=len(clusters),
+        backend="numpy" if use_numpy else "python",
+    ) as affinity_span:
+        heap: list[tuple[int, int, int, int]] = []
+        if use_numpy:
+            sizes = [c.size for c in clusters]
+            for i, j, weight in zip(*dot_pairs(packed)):
+                heap.append((-weight, sizes[i] + sizes[j], i, j))
+        else:
+            for i in range(len(clusters)):
+                tag_i = clusters[i].tag
+                size_i = clusters[i].size
+                for j in range(i + 1, len(clusters)):
+                    weight = dot(tag_i, clusters[j].tag)
+                    if weight > 0:
+                        heap.append((-weight, size_i + clusters[j].size, i, j))
+        heapq.heapify(heap)
+        affinity_span.tag(pairs=len(heap))
 
     # Incremental pushes after a merge stay scalar on every backend: they
     # are O(alive) big-int dots against one tag, where the per-call numpy
@@ -111,6 +121,7 @@ def cluster_one_level(
             clusters.append(combined)
             alive -= 1
             push_pairs(len(clusters) - 1)
+            obs.count("cluster.merges")
             merged = True
             break
         if not merged:
@@ -127,10 +138,13 @@ def cluster_one_level(
             clusters.append(Cluster(a.groups + b.groups))
             alive -= 1
             push_pairs(len(clusters) - 1)
+            obs.count("cluster.merges")
+            obs.count("cluster.zero_affinity_merges")
 
     result = [c for c in clusters if c is not None]
 
     while len(result) < k:
+        obs.count("cluster.splits")
         result.sort(key=lambda c: -c.size)
         big = result[0]
         if len(big.groups) >= 2:
@@ -188,23 +202,36 @@ def hierarchical_distribute(
     if strategy not in ("greedy", "kl"):
         raise MappingError(f"unknown clustering strategy {strategy!r}")
     degrees = machine.clustering_degrees()
-    cluster_sets: list[list[IterationGroup]] = [list(groups)]
-    for degree in degrees:
-        if degree == 1:
-            continue  # pass-through level (e.g. private caches)
-        next_sets: list[list[IterationGroup]] = []
-        for current in cluster_sets:
-            if strategy == "kl" and degree == 2 and len(current) >= 2:
-                from repro.mapping.kl import cluster_one_level_kl
+    with obs.span(
+        "cluster.distribute",
+        machine=machine.name,
+        groups=len(groups),
+        strategy=strategy,
+        degrees=list(degrees),
+    ):
+        cluster_sets: list[list[IterationGroup]] = [list(groups)]
+        for level, degree in enumerate(degrees):
+            if degree == 1:
+                continue  # pass-through level (e.g. private caches)
+            with obs.span(
+                "cluster.level", level=level, degree=degree, sets=len(cluster_sets)
+            ):
+                obs.count("cluster.levels")
+                next_sets: list[list[IterationGroup]] = []
+                for current in cluster_sets:
+                    if strategy == "kl" and degree == 2 and len(current) >= 2:
+                        from repro.mapping.kl import cluster_one_level_kl
 
-                clusters = cluster_one_level_kl(current, threshold)
-            else:
-                clusters = cluster_one_level(current, degree, threshold, backend=backend)
-            next_sets.extend([list(c.groups) for c in clusters])
-        cluster_sets = next_sets
-    if len(cluster_sets) != machine.num_cores:
-        raise MappingError(
-            f"descent produced {len(cluster_sets)} clusters for "
-            f"{machine.num_cores} cores"
-        )
-    return cluster_sets
+                        clusters = cluster_one_level_kl(current, threshold)
+                    else:
+                        clusters = cluster_one_level(
+                            current, degree, threshold, backend=backend
+                        )
+                    next_sets.extend([list(c.groups) for c in clusters])
+                cluster_sets = next_sets
+        if len(cluster_sets) != machine.num_cores:
+            raise MappingError(
+                f"descent produced {len(cluster_sets)} clusters for "
+                f"{machine.num_cores} cores"
+            )
+        return cluster_sets

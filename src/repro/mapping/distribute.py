@@ -21,6 +21,7 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import MappingError
 from repro.blocks.datablocks import DataBlockPartition
 from repro.blocks.groups import GroupSet, IterationGroup
@@ -166,67 +167,90 @@ class TopologyAwareMapper:
 
     def map_nest(self, program: Program, nest: LoopNest) -> MappingResult:
         timings: dict[str, float] = {}
-
-        t0 = time.perf_counter()
-        block_size = self.block_size
-        if block_size is None:
-            l1 = self.machine.cache_path(0)[0].spec.size_bytes
-            block_size = choose_block_size(program, nest, l1)
-        arrays = [program.arrays[a.name] for a in nest.arrays()]
-        partition = DataBlockPartition(arrays, block_size)
-        timings["partition"] = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        group_set = tag_iterations(nest, partition, max_groups=self.max_groups)
-        timings["tagging"] = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        groups: list[IterationGroup] = list(group_set.groups)
-        graph: GroupDependenceGraph | None = None
-        if not nest.parallel:
-            raw = build_group_dependence_graph(nest, groups)
-            if self.dependence_policy == "co-cluster":
-                groups = merge_dependent_groups(groups, raw)
-                graph = None
-            else:
-                groups, graph = raw.acyclified(groups)
-        timings["dependence"] = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        assignments = hierarchical_distribute(
-            groups, self.machine, self.balance_threshold, self.cluster_strategy
+        map_span = obs.span(
+            "map.nest",
+            nest=nest.name,
+            machine=self.machine.name,
+            iterations=nest.iteration_count(),
         )
-        if self.refine:
-            from repro.mapping.balance import Cluster, balance_clusters
-            from repro.mapping.refine import refine_assignment
+        with map_span as sp:
+            t0 = time.perf_counter()
+            with obs.span("map.partition"):
+                block_size = self.block_size
+                if block_size is None:
+                    l1 = self.machine.cache_path(0)[0].spec.size_bytes
+                    block_size = choose_block_size(program, nest, l1)
+                arrays = [program.arrays[a.name] for a in nest.arrays()]
+                partition = DataBlockPartition(arrays, block_size)
+            timings["partition"] = time.perf_counter() - t0
 
-            # Refine against the topology objective inside a wider balance
-            # window, then re-tighten the balance (splitting groups where
-            # needed) so the final assignment honors the threshold.
-            window = max(self.balance_threshold, 0.08)
-            assignments = refine_assignment(assignments, self.machine, window)
-            clusters = [Cluster(groups) for groups in assignments]
-            balance_clusters(clusters, self.balance_threshold)
-            assignments = [list(c.groups) for c in clusters]
-        timings["clustering"] = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            with obs.span("map.tagging"):
+                group_set = tag_iterations(nest, partition, max_groups=self.max_groups)
+            timings["tagging"] = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        if self.local_scheduling:
-            group_rounds = schedule_groups(
-                assignments, self.machine, graph, self.alpha, self.beta
-            )
-            if graph is None or graph.num_edges == 0:
-                # Dependence-free: the round structure only served the
-                # scheduler's horizontal pacing; execution needs no
-                # barriers, so flatten to one synchronization-free round
-                # (pacing survives through the balanced sizes).
-                group_rounds = [
-                    [[g for rnd in core_rounds for g in rnd]]
-                    for core_rounds in group_rounds
-                ]
-        else:
-            group_rounds = dependence_only_schedule(assignments, self.machine, graph)
-        timings["scheduling"] = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            with obs.span("map.dependence", parallel=nest.parallel) as dep_span:
+                groups: list[IterationGroup] = list(group_set.groups)
+                graph: GroupDependenceGraph | None = None
+                if not nest.parallel:
+                    raw = build_group_dependence_graph(nest, groups)
+                    if self.dependence_policy == "co-cluster":
+                        merged = merge_dependent_groups(groups, raw)
+                        obs.count("dependence.co_cluster_merges", len(groups) - len(merged))
+                        groups = merged
+                        graph = None
+                    else:
+                        groups, graph = raw.acyclified(groups)
+                    dep_span.tag(
+                        policy=self.dependence_policy,
+                        edges=graph.num_edges if graph is not None else 0,
+                    )
+            timings["dependence"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            with obs.span("map.clustering"):
+                assignments = hierarchical_distribute(
+                    groups, self.machine, self.balance_threshold, self.cluster_strategy
+                )
+                if self.refine:
+                    from repro.mapping.balance import Cluster, balance_clusters
+                    from repro.mapping.refine import refine_assignment
+
+                    # Refine against the topology objective inside a wider balance
+                    # window, then re-tighten the balance (splitting groups where
+                    # needed) so the final assignment honors the threshold.
+                    with obs.span("map.refine"):
+                        window = max(self.balance_threshold, 0.08)
+                        assignments = refine_assignment(assignments, self.machine, window)
+                        clusters = [Cluster(groups) for groups in assignments]
+                        balance_clusters(clusters, self.balance_threshold)
+                        assignments = [list(c.groups) for c in clusters]
+            timings["clustering"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            with obs.span("map.scheduling", local=self.local_scheduling):
+                if self.local_scheduling:
+                    group_rounds = schedule_groups(
+                        assignments, self.machine, graph, self.alpha, self.beta
+                    )
+                    if graph is None or graph.num_edges == 0:
+                        # Dependence-free: the round structure only served the
+                        # scheduler's horizontal pacing; execution needs no
+                        # barriers, so flatten to one synchronization-free round
+                        # (pacing survives through the balanced sizes).
+                        group_rounds = [
+                            [[g for rnd in core_rounds for g in rnd]]
+                            for core_rounds in group_rounds
+                        ]
+                else:
+                    group_rounds = dependence_only_schedule(
+                        assignments, self.machine, graph
+                    )
+            timings["scheduling"] = time.perf_counter() - t0
+
+            sp.tag(groups=len(group_set.groups), block_size=block_size)
+            obs.count("map.nests_mapped")
 
         label = "topology-aware+sched" if self.local_scheduling else "topology-aware"
         return MappingResult(

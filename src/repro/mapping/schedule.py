@@ -22,10 +22,11 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import ScheduleError
 from repro.blocks.groups import IterationGroup
 from repro.blocks.tags import dot, ones
-from repro.kernels import fits_lane_budget, resolve_backend
+from repro.kernels import fits_lane_budget, note_fallback, resolve_backend
 from repro.mapping.dependence import GroupDependenceGraph
 from repro.topology.tree import Machine
 
@@ -48,6 +49,7 @@ class _TagCache:
             return
         num_bits = max(g.tag.bit_length() for g in groups)
         if not fits_lane_budget(num_bits):
+            note_fallback("lane-budget", "schedule")
             return
         from repro.kernels.lanes import lanes_for_bits, pack_tags, popcount
 
@@ -112,6 +114,28 @@ def schedule_groups(
     ``backend`` selects the tag-dot kernel (see :mod:`repro.kernels`);
     the resulting schedule is identical for every backend.
     """
+    with obs.span(
+        "schedule",
+        cores=len(assignments),
+        groups=sum(len(groups) for groups in assignments),
+        alpha=alpha,
+        beta=beta,
+    ) as sp:
+        result = _schedule_groups(assignments, machine, graph, alpha, beta, backend)
+        rounds = max((len(core_rounds) for core_rounds in result), default=0)
+        sp.tag(rounds=rounds)
+        obs.count("schedule.rounds", rounds)
+        return result
+
+
+def _schedule_groups(
+    assignments: Sequence[Sequence[IterationGroup]],
+    machine: Machine,
+    graph: GroupDependenceGraph | None,
+    alpha: float,
+    beta: float,
+    backend: str,
+) -> list[list[list[IterationGroup]]]:
     if len(assignments) != machine.num_cores:
         raise ScheduleError(
             f"{len(assignments)} assignments for {machine.num_cores} cores"
@@ -207,6 +231,7 @@ def schedule_groups(
                     state.rounds[-1].append(best)
                     state.scheduled_count += best.size
                     remaining_total -= 1
+                    obs.count("schedule.forced_picks")
                     forced = True
                     break
             if not forced:
@@ -243,8 +268,11 @@ def dependence_only_schedule(
     round in assignment order (no barriers at all).
     """
     if graph is None or graph.num_edges == 0:
-        return [
-            [sorted(groups, key=lambda g: g.iterations[0])] if groups else [[]]
-            for groups in assignments
-        ]
+        with obs.span("schedule", cores=len(assignments), trivial=True) as sp:
+            sp.tag(rounds=1)
+            obs.count("schedule.rounds", 1)
+            return [
+                [sorted(groups, key=lambda g: g.iterations[0])] if groups else [[]]
+                for groups in assignments
+            ]
     return schedule_groups(assignments, machine, graph, alpha=0.0, beta=0.0, backend=backend)

@@ -1,0 +1,59 @@
+"""Pipeline observability: tracing spans, decision counters, profiling.
+
+The paper's pipeline (tag -> affinity -> clustering -> balance ->
+schedule -> simulate) makes hundreds of merge/split/ordering decisions
+per nest; this zero-dependency subsystem makes them visible.  Usage::
+
+    from repro import obs
+    from repro.obs.sinks import JsonlSink, TreeSink
+
+    with obs.tracing(JsonlSink("trace.jsonl")):
+        mapper.map_nest(program, nest)       # spans + counters recorded
+
+    with obs.span("my.phase", size=n) as sp: # inside instrumented code
+        ...
+        sp.tag(groups=len(groups))
+    obs.count("cluster.merges")              # decision counters
+
+Everything is **disabled by default** and engineered to stay under 2%
+overhead on the ``perf_smoke`` benches when off (asserted by
+``tests/obs/test_overhead.py``).  See ``docs/OBSERVABILITY.md`` for the
+span taxonomy, the counter catalogue, and the sink API;
+``python -m repro.obs.report trace.jsonl`` renders saved traces.
+"""
+
+from __future__ import annotations
+
+from repro.obs.core import (
+    NULL_SPAN,
+    Recorder,
+    Span,
+    configure,
+    count,
+    current_span,
+    enabled,
+    gauge,
+    get_recorder,
+    shutdown,
+    span,
+    traced,
+    tracing,
+)
+from repro.obs.profile import profiled
+
+__all__ = [
+    "NULL_SPAN",
+    "Recorder",
+    "Span",
+    "configure",
+    "count",
+    "current_span",
+    "enabled",
+    "gauge",
+    "get_recorder",
+    "profiled",
+    "shutdown",
+    "span",
+    "traced",
+    "tracing",
+]

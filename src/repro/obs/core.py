@@ -1,0 +1,369 @@
+"""Tracing spans, counters and gauges (the observability core).
+
+The pipeline (tag -> affinity -> clustering -> balance -> schedule ->
+simulate) makes hundreds of merge/split/ordering decisions per nest.
+This module makes them visible without making them slow:
+
+* **Spans** — hierarchical timed regions opened with :func:`span` (a
+  context manager) or :func:`traced` (a decorator).  Each span records
+  monotonic wall time (``time.perf_counter``), CPU time
+  (``time.process_time``), its parent/depth, free-form tags, and the
+  decision counters incremented while it was innermost.
+* **Counters/gauges** — :func:`count` accumulates integral decision
+  counts (groups formed, merges, balance moves, backend fallbacks);
+  :func:`gauge` records last-value-wins measurements.
+* **Recorder** — the process-wide collector behind both.  Finished spans
+  are forwarded to pluggable sinks (:mod:`repro.obs.sinks`).
+
+Everything is **off by default**: with no recorder installed,
+:func:`span` returns a shared null span and :func:`count`/:func:`gauge`
+are a single attribute load plus an ``is None`` test.  The overhead
+budget (<2% on the ``perf_smoke`` benches) is asserted by
+``tests/obs/test_overhead.py``.
+
+Thread model: the recorder is process-global; the active span stack is
+per-thread, so spans opened on worker threads nest correctly among
+themselves and attach to the recorder's shared counter table under a
+lock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from typing import Any
+
+__all__ = [
+    "NULL_SPAN",
+    "Recorder",
+    "Span",
+    "configure",
+    "count",
+    "current_span",
+    "enabled",
+    "gauge",
+    "get_recorder",
+    "shutdown",
+    "span",
+    "traced",
+    "tracing",
+]
+
+
+class Span:
+    """One timed, tagged region of the pipeline.
+
+    Spans are created by :func:`span`/:func:`traced`; user code only
+    tags them (``sp.tag(groups=12)``).  Wall time uses the monotonic
+    ``perf_counter`` clock, CPU time ``process_time``; both are captured
+    on entry and exit, so ``wall_s``/``cpu_s`` are only meaningful after
+    the span closed.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "depth",
+        "tags",
+        "counters",
+        "start_wall",
+        "start_cpu",
+        "wall_s",
+        "cpu_s",
+    )
+
+    def __init__(self, name: str, span_id: int, parent_id: int | None, depth: int):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.tags: dict[str, Any] = {}
+        self.counters: dict[str, int] = {}
+        self.start_wall = 0.0
+        self.start_cpu = 0.0
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+
+    def tag(self, **tags: Any) -> "Span":
+        """Attach key/value annotations (last write wins per key)."""
+        self.tags.update(tags)
+        return self
+
+    def record(self) -> dict[str, Any]:
+        """The span as a flat JSON-serializable record."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "start_s": self.start_wall,
+            "wall_ms": self.wall_s * 1e3,
+            "cpu_ms": self.cpu_s * 1e3,
+            "tags": self.tags,
+            "counters": self.counters,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, id={self.span_id}, depth={self.depth})"
+
+
+class _NullSpan:
+    """The disabled-mode stand-in: every operation is a no-op.
+
+    A single shared instance is returned by :func:`span` when tracing is
+    off, so the disabled fast path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def tag(self, **tags: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Recorder:
+    """Process-wide collector for spans, counters and gauges.
+
+    ``sinks`` receive every finished span record immediately and a final
+    summary record on :meth:`close`.  The per-thread span stack lives in
+    a ``threading.local``; the counter/gauge tables are shared and
+    guarded by a lock (increments are rare relative to the work they
+    count, so the lock is uncontended in practice).
+    """
+
+    def __init__(self, *sinks: Any):
+        self.sinks = list(sinks)
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.epoch = time.perf_counter()
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._closed = False
+
+    # -- span lifecycle -------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def open_span(self, name: str, tags: dict[str, Any]) -> Span:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        sp = Span(
+            name,
+            next(self._ids),
+            parent.span_id if parent is not None else None,
+            len(stack),
+        )
+        if tags:
+            sp.tags.update(tags)
+        stack.append(sp)
+        sp.start_cpu = time.process_time()
+        sp.start_wall = time.perf_counter()
+        return sp
+
+    def close_span(self, sp: Span) -> None:
+        end_wall = time.perf_counter()
+        end_cpu = time.process_time()
+        sp.wall_s = end_wall - sp.start_wall
+        sp.cpu_s = end_cpu - sp.start_cpu
+        sp.start_wall -= self.epoch  # report starts relative to the epoch
+        stack = self._stack()
+        if stack and stack[-1] is sp:
+            stack.pop()
+        else:  # pragma: no cover - misnested exit; keep the stack sane
+            if sp in stack:
+                stack.remove(sp)
+        self.emit(sp.record())
+
+    def current_span(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- counters / gauges ----------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+        sp = self.current_span()
+        if sp is not None:
+            sp.counters[name] = sp.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self.gauges[name] = value
+
+    # -- sinks -----------------------------------------------------------
+    def emit(self, record: dict[str, Any]) -> None:
+        with self._lock:
+            for sink in self.sinks:
+                sink.emit(record)
+
+    def summary_record(self) -> dict[str, Any]:
+        return {
+            "type": "summary",
+            "wall_ms": (time.perf_counter() - self.epoch) * 1e3,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        summary = self.summary_record()
+        with self._lock:
+            for sink in self.sinks:
+                sink.emit(summary)
+            for sink in self.sinks:
+                sink.close()
+
+
+#: The installed recorder, or ``None`` when tracing is disabled (the
+#: default).  Read via :func:`get_recorder`; hot paths read the module
+#: global directly for speed.
+_recorder: Recorder | None = None
+
+
+def enabled() -> bool:
+    """True when a recorder is installed (tracing is on)."""
+    return _recorder is not None
+
+
+def get_recorder() -> Recorder | None:
+    """The installed recorder, if any."""
+    return _recorder
+
+
+def configure(*sinks: Any) -> Recorder:
+    """Install a fresh :class:`Recorder` forwarding to ``sinks``.
+
+    Replaces (and closes) any previously installed recorder.  Most
+    callers want the scoped :func:`tracing` context manager instead.
+    """
+    global _recorder
+    if _recorder is not None:
+        _recorder.close()
+    _recorder = Recorder(*sinks)
+    return _recorder
+
+
+def shutdown() -> None:
+    """Close and uninstall the recorder; tracing reverts to no-op."""
+    global _recorder
+    if _recorder is not None:
+        _recorder.close()
+        _recorder = None
+
+
+@contextmanager
+def tracing(*sinks: Any) -> Iterator[Recorder]:
+    """Scoped tracing: install a recorder, run the block, tear it down.
+
+    The summary record (final counter/gauge table) is emitted to every
+    sink on exit, even when the block raises.
+    """
+    recorder = configure(*sinks)
+    try:
+        yield recorder
+    finally:
+        if _recorder is recorder:
+            shutdown()
+        else:  # pragma: no cover - recorder replaced mid-flight
+            recorder.close()
+
+
+def span(name: str, **tags: Any):
+    """Open a tracing span: ``with obs.span("map.tagging", nest=n): ...``.
+
+    Disabled mode returns the shared :data:`NULL_SPAN` — no allocation,
+    no timestamps.  Enabled mode returns a context manager yielding the
+    live :class:`Span` so the body can ``sp.tag(...)`` results.
+    """
+    recorder = _recorder
+    if recorder is None:
+        return NULL_SPAN
+    return _LiveSpan(recorder, name, tags)
+
+
+class _LiveSpan:
+    """Context manager binding one span to the recorder that made it."""
+
+    __slots__ = ("_recorder", "_name", "_tags", "_span")
+
+    def __init__(self, recorder: Recorder, name: str, tags: dict[str, Any]):
+        self._recorder = recorder
+        self._name = name
+        self._tags = tags
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._recorder.open_span(self._name, self._tags)
+        return self._span
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        sp = self._span
+        if sp is not None:
+            if exc_type is not None:
+                sp.tags.setdefault("error", getattr(exc_type, "__name__", str(exc_type)))
+            self._recorder.close_span(sp)
+        return None
+
+
+def traced(name: str | None = None, **tags: Any) -> Callable:
+    """Decorator form of :func:`span`; span name defaults to the
+    function's qualified name."""
+
+    def decorate(func: Callable) -> Callable:
+        span_name = name or func.__qualname__
+
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if _recorder is None:
+                return func(*args, **kwargs)
+            with span(span_name, **tags):
+                return func(*args, **kwargs)
+
+        wrapper.__name__ = func.__name__
+        wrapper.__qualname__ = func.__qualname__
+        wrapper.__doc__ = func.__doc__
+        wrapper.__wrapped__ = func
+        return wrapper
+
+    return decorate
+
+
+def count(name: str, n: int = 1) -> None:
+    """Increment a decision counter (no-op while tracing is disabled)."""
+    recorder = _recorder
+    if recorder is not None:
+        recorder.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Record a last-value-wins gauge (no-op while tracing is disabled)."""
+    recorder = _recorder
+    if recorder is not None:
+        recorder.gauge(name, value)
+
+
+def current_span() -> Span | None:
+    """The innermost open span on this thread, or ``None``."""
+    recorder = _recorder
+    if recorder is None:
+        return None
+    return recorder.current_span()

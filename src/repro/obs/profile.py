@@ -1,0 +1,61 @@
+"""cProfile integration: statistically profile any span.
+
+:func:`profiled` behaves exactly like :func:`repro.obs.core.span` when
+tracing is disabled (a no-op), and additionally runs ``cProfile`` over
+the block when tracing is enabled, emitting a ``"profile"`` record with
+the top functions by cumulative time next to the span record.  Use it
+sparingly — cProfile's own overhead is large — on the one phase under
+investigation::
+
+    with obs.profiled("map.clustering"):
+        hierarchical_distribute(...)
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from repro.obs import core
+
+
+@contextmanager
+def profiled(name: str, limit: int = 20, sort: str = "cumulative", **tags) -> Iterator[object]:
+    """A span that also captures a ``cProfile`` of its body.
+
+    ``limit`` rows of the ``pstats`` table (ordered by ``sort``) are
+    attached to a ``"profile"`` record; the span itself is emitted as
+    usual, tagged ``profiled=True``.
+    """
+    recorder = core.get_recorder()
+    if recorder is None:
+        yield core.NULL_SPAN
+        return
+    profiler = cProfile.Profile()
+    with core.span(name, profiled=True, **tags) as sp:
+        profiler.enable()
+        try:
+            yield sp
+        finally:
+            profiler.disable()
+    stats_text = format_stats(profiler, limit=limit, sort=sort)
+    recorder.emit(
+        {
+            "type": "profile",
+            "span": name,
+            "span_id": sp.span_id,
+            "sort": sort,
+            "stats": stats_text,
+        }
+    )
+
+
+def format_stats(profiler: cProfile.Profile, limit: int = 20, sort: str = "cumulative") -> str:
+    """The pstats table for a finished profiler, as text."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(sort).print_stats(limit)
+    return buffer.getvalue()

@@ -1,0 +1,150 @@
+"""Pretty-print a saved JSONL trace: ``python -m repro.obs.report``.
+
+Turns the machine-readable trace emitted by ``--trace-out`` (or any
+:class:`~repro.obs.sinks.JsonlSink`) into the per-phase time/decision
+tables used in ``docs/OBSERVABILITY.md`` and the CI artifacts::
+
+    python -m repro.obs.report trace.jsonl            # phase table + counters
+    python -m repro.obs.report trace.jsonl --tree     # indented span tree
+    python -m repro.obs.report trace.jsonl --profiles # any cProfile captures
+
+The phase table aggregates spans by name: calls, total/mean wall ms,
+total CPU ms, and the *self* wall time (total minus the wall time of
+direct children), which is what localizes a regression to one stage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.sinks import TreeSink, read_jsonl
+from repro.util.tables import format_table
+
+
+def phase_table(records: list[dict]) -> str:
+    """Aggregate span records into the per-phase timing table."""
+    spans = [r for r in records if r.get("type") == "span"]
+    child_wall: dict[int, float] = {}
+    for sp in spans:
+        parent = sp.get("parent")
+        if parent is not None:
+            child_wall[parent] = child_wall.get(parent, 0.0) + sp["wall_ms"]
+
+    by_name: dict[str, dict[str, float]] = {}
+    order: list[str] = []
+    for sp in spans:
+        name = sp["name"]
+        agg = by_name.get(name)
+        if agg is None:
+            agg = {"calls": 0, "wall": 0.0, "self": 0.0, "cpu": 0.0}
+            by_name[name] = agg
+            order.append(name)
+        agg["calls"] += 1
+        agg["wall"] += sp["wall_ms"]
+        agg["self"] += sp["wall_ms"] - child_wall.get(sp["id"], 0.0)
+        agg["cpu"] += sp["cpu_ms"]
+
+    rows = []
+    for name in sorted(order, key=lambda n: -by_name[n]["self"]):
+        agg = by_name[name]
+        rows.append(
+            (
+                name,
+                int(agg["calls"]),
+                f"{agg['wall']:.3f}",
+                f"{agg['self']:.3f}",
+                f"{agg['cpu']:.3f}",
+                f"{agg['wall'] / agg['calls']:.3f}",
+            )
+        )
+    return format_table(
+        ["span", "calls", "wall ms", "self ms", "cpu ms", "mean ms"],
+        rows,
+        title="Per-phase timings",
+    )
+
+
+def counter_table(records: list[dict]) -> str:
+    """The final decision-counter/gauge table (from the summary record,
+    falling back to summing span counters for truncated traces)."""
+    summary = None
+    for record in reversed(records):
+        if record.get("type") == "summary":
+            summary = record
+            break
+    if summary is not None:
+        counters = dict(summary.get("counters", {}))
+        gauges = dict(summary.get("gauges", {}))
+    else:
+        counters = {}
+        gauges = {}
+        for record in records:
+            if record.get("type") == "span":
+                for name, value in record.get("counters", {}).items():
+                    counters[name] = counters.get(name, 0) + value
+    parts = []
+    if counters:
+        rows = [(name, counters[name]) for name in sorted(counters)]
+        parts.append(format_table(["counter", "value"], rows, title="Decision counters"))
+    if gauges:
+        rows = [(name, gauges[name]) for name in sorted(gauges)]
+        parts.append(format_table(["gauge", "value"], rows, title="Gauges"))
+    return "\n\n".join(parts)
+
+
+def tree_view(records: list[dict]) -> str:
+    """The indented span tree, identical to the live ``TreeSink`` render."""
+    sink = TreeSink(stream=None)
+    for record in records:
+        sink.emit(record)
+    return sink.render()
+
+
+def profile_view(records: list[dict]) -> str:
+    """Any cProfile captures embedded in the trace."""
+    parts = []
+    for record in records:
+        if record.get("type") == "profile":
+            parts.append(f"== profile of span {record['span']!r} ==\n{record['stats']}")
+    return "\n".join(parts) if parts else "(no profile records in trace)"
+
+
+def render_report(records: list[dict], tree: bool = False, profiles: bool = False) -> str:
+    parts = []
+    if tree:
+        parts.append(tree_view(records).rstrip("\n"))
+    parts.append(phase_table(records))
+    counters = counter_table(records)
+    if counters:
+        parts.append(counters)
+    if profiles:
+        parts.append(profile_view(records))
+    return "\n\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Pretty-print a JSONL trace emitted by --trace-out",
+    )
+    parser.add_argument("trace", help="path to a .jsonl trace file")
+    parser.add_argument("--tree", action="store_true", help="include the span tree")
+    parser.add_argument(
+        "--profiles", action="store_true", help="include embedded cProfile captures"
+    )
+    args = parser.parse_args(argv)
+    try:
+        records = read_jsonl(args.trace)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if not records:
+        print(f"error: {args.trace} holds no trace records", file=sys.stderr)
+        return 1
+    print(render_report(records, tree=args.tree, profiles=args.profiles))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

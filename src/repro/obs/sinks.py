@@ -1,0 +1,153 @@
+"""Trace sinks: where finished spans and the final summary go.
+
+A sink is anything with ``emit(record: dict)`` and ``close()``.  Two
+built-ins cover the common cases:
+
+* :class:`JsonlSink` — one JSON object per line, machine-readable; the
+  format ``python -m repro.obs.report`` and the CI artifacts consume.
+* :class:`TreeSink` — buffers spans and renders an indented wall/CPU
+  tree with tags and decision counters when the recorder closes; the
+  human-readable form behind the CLI's ``--trace``.
+
+Records are plain dicts with a ``type`` key: ``"span"`` (see
+:meth:`repro.obs.core.Span.record`), ``"summary"`` (final counter/gauge
+table), or ``"profile"`` (emitted by :mod:`repro.obs.profile`).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from typing import Any, TextIO
+
+
+class Sink:
+    """Interface for trace consumers (subclassing is optional)."""
+
+    def emit(self, record: dict[str, Any]) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - interface
+        pass
+
+
+class CollectorSink(Sink):
+    """Keeps every record in memory — the test/debug sink."""
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+        self.closed = False
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def spans(self) -> list[dict[str, Any]]:
+        return [r for r in self.records if r.get("type") == "span"]
+
+    def summary(self) -> dict[str, Any] | None:
+        for record in reversed(self.records):
+            if record.get("type") == "summary":
+                return record
+        return None
+
+
+class JsonlSink(Sink):
+    """JSON-lines sink writing to a path or an open text stream."""
+
+    def __init__(self, target: str | TextIO):
+        if isinstance(target, str):
+            self._stream: TextIO = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self._stream.write(json.dumps(record, default=_jsonable) + "\n")
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+
+def _jsonable(value: Any) -> str:
+    """Fallback encoder: tags may carry arbitrary objects (machines,
+    nests); represent them by ``repr`` rather than failing the trace."""
+    return repr(value)
+
+
+def read_jsonl(path: str) -> list[dict[str, Any]]:
+    """Load a JSONL trace back into a record list (round-trip helper)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class TreeSink(Sink):
+    """Buffers spans, renders an indented tree on close.
+
+    Spans arrive in completion (post) order; the tree is rebuilt from
+    parent ids so the render shows open order with children indented
+    under their parents.
+    """
+
+    def __init__(self, stream: TextIO | None = None):
+        self._stream = stream if stream is not None else sys.stderr
+        self._spans: list[dict[str, Any]] = []
+        self._summary: dict[str, Any] | None = None
+
+    def emit(self, record: dict[str, Any]) -> None:
+        kind = record.get("type")
+        if kind == "span":
+            self._spans.append(record)
+        elif kind == "summary":
+            self._summary = record
+
+    def close(self) -> None:
+        self._stream.write(self.render())
+        self._stream.flush()
+
+    def render(self) -> str:
+        out = io.StringIO()
+        children: dict[int | None, list[dict[str, Any]]] = {}
+        for sp in self._spans:
+            children.setdefault(sp.get("parent"), []).append(sp)
+        for siblings in children.values():
+            siblings.sort(key=lambda s: s["start_s"])
+
+        def walk(parent: int | None, indent: int) -> None:
+            for sp in children.get(parent, ()):
+                extras = []
+                for key, value in sp.get("tags", {}).items():
+                    extras.append(f"{key}={value}")
+                for key, value in sp.get("counters", {}).items():
+                    extras.append(f"{key}={value}")
+                suffix = f"  [{' '.join(extras)}]" if extras else ""
+                out.write(
+                    f"{'  ' * indent}{sp['name']:<{max(1, 28 - 2 * indent)}} "
+                    f"wall={sp['wall_ms']:8.3f}ms cpu={sp['cpu_ms']:8.3f}ms{suffix}\n"
+                )
+                walk(sp["id"], indent + 1)
+
+        walk(None, 0)
+        if self._summary is not None:
+            counters = self._summary.get("counters", {})
+            gauges = self._summary.get("gauges", {})
+            if counters:
+                out.write("counters:\n")
+                for name in sorted(counters):
+                    out.write(f"  {name:<40} {counters[name]}\n")
+            if gauges:
+                out.write("gauges:\n")
+                for name in sorted(gauges):
+                    out.write(f"  {name:<40} {gauges[name]}\n")
+        return out.getvalue()

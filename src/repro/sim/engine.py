@@ -17,6 +17,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.mapping.distribute import ExecutablePlan
 from repro.sim.hierarchy import MachineSim
@@ -72,9 +73,34 @@ def simulate_plan(
             f"plan uses {len(plan.rounds)} cores, machine "
             f"{msim.machine.name!r} has {msim.machine.num_cores}"
         )
-    if layout is None:
-        layout = MemoryLayout.for_nest(plan.nest, msim.line_size)
-    traces = build_traces(plan, layout, msim.line_shift)
+    with obs.span(
+        "sim.run", label=plan.label, machine=msim.machine.name
+    ) as sim_span:
+        if layout is None:
+            layout = MemoryLayout.for_nest(plan.nest, msim.line_size)
+        with obs.span("sim.trace_build"):
+            traces = build_traces(plan, layout, msim.line_shift)
+        result = _run_engine(plan, msim, config, traces)
+        sim_span.tag(
+            cycles=result.cycles,
+            accesses=result.total_accesses,
+            barriers=result.barriers,
+        )
+        obs.count("sim.runs")
+        obs.count("sim.accesses", result.total_accesses)
+        obs.count("sim.barriers", result.barriers)
+        for stats in result.levels:
+            obs.count(f"sim.{stats.level}.hits", stats.hits)
+            obs.count(f"sim.{stats.level}.misses", stats.misses)
+    return result
+
+
+def _run_engine(
+    plan: ExecutablePlan,
+    msim: MachineSim,
+    config: SimConfig,
+    traces,
+) -> SimResult:
 
     num_rounds = max((len(t) for t in traces), default=0)
     core_time = [0] * len(traces)

@@ -1,7 +1,5 @@
 """Unit tests for dependence analysis."""
 
-import pytest
-
 from repro.ir.accesses import ArrayAccess
 from repro.ir.arrays import Array
 from repro.ir.dependences import (
@@ -10,7 +8,6 @@ from repro.ir.dependences import (
     has_loop_carried_dependence,
     iteration_dependences,
 )
-from repro.ir.loops import LoopNest
 from repro.lang import compile_source
 from repro.poly.affine import AffineExpr
 

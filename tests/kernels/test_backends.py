@@ -79,7 +79,9 @@ class TestResolveBackend:
         import repro.kernels as kernels
 
         monkeypatch.setattr(kernels, "_numpy_probe", False)
-        assert resolve_backend("auto") == "python"
+        kernels.reset_fallback_warnings()
+        with pytest.warns(RuntimeWarning, match="scalar fallback at resolve_backend"):
+            assert resolve_backend("auto") == "python"
         with pytest.raises(KernelError, match="numpy is not importable"):
             resolve_backend("numpy")
 
@@ -103,19 +105,25 @@ class TestLaneBudget:
 @pytest.mark.skipif(not have_numpy(), reason="fallback paths need numpy present")
 class TestGracefulFallback:
     def test_lane_overflow_returns_none(self):
+        import repro.kernels as kernels
         from repro.kernels.tagging import tag_iterations_numpy
 
         nest, part = square_nest(n=8, block_size=64)
         assert part.num_blocks > 1
         resolved = resolve_accesses(nest, part)
-        assert tag_iterations_numpy(nest, part, resolved, max_lanes=0) is None
+        kernels.reset_fallback_warnings()
+        with pytest.warns(RuntimeWarning, match="lane-budget"):
+            assert tag_iterations_numpy(nest, part, resolved, max_lanes=0) is None
 
     def test_non_rectangular_returns_none(self):
+        import repro.kernels as kernels
         from repro.kernels.tagging import tag_iterations_numpy
 
         nest, part = triangular_nest()
         resolved = resolve_accesses(nest, part)
-        assert tag_iterations_numpy(nest, part, resolved) is None
+        kernels.reset_fallback_warnings()
+        with pytest.warns(RuntimeWarning, match="non-rectangular"):
+            assert tag_iterations_numpy(nest, part, resolved) is None
 
     def test_numpy_backend_falls_back_silently_on_triangular(self):
         nest, part = triangular_nest()

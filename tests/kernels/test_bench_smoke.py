@@ -10,7 +10,7 @@ import json
 
 import pytest
 
-pytest.importorskip("numpy")
+pytest.importorskip("numpy", exc_type=ImportError)
 
 from repro.kernels.bench import (
     SMOKE_CONFIGS,

@@ -13,7 +13,7 @@ import random
 
 import pytest
 
-pytest.importorskip("numpy")
+pytest.importorskip("numpy", exc_type=ImportError)
 
 from repro.blocks import tagger
 from repro.blocks.datablocks import DataBlockPartition

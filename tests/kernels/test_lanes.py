@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-np = pytest.importorskip("numpy")
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 from repro.errors import KernelError
 from repro.blocks.tags import dot, hamming, ones

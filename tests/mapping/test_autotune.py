@@ -44,7 +44,9 @@ class TestAutotune:
         assert "best" in result.table()
 
     def test_deterministic(self, fig5_program, fig9_machine):
-        run = lambda: autotune_block_size(
-            fig5_program, fig5_program.nests[0], fig9_machine, candidates=(32, 64)
-        ).best
+        def run():
+            return autotune_block_size(
+                fig5_program, fig5_program.nests[0], fig9_machine, candidates=(32, 64)
+            ).best
+
         assert run() == run()

@@ -1,0 +1,14 @@
+"""Obs-layer test isolation: never leak a recorder between tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    obs.shutdown()
+    yield
+    obs.shutdown()

@@ -1,0 +1,239 @@
+"""Span nesting, timing monotonicity, counters, and no-op defaults."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import obs
+from repro.obs.sinks import CollectorSink
+
+
+class TestDisabledByDefault:
+    def test_disabled_unless_configured(self):
+        assert not obs.enabled()
+        assert obs.get_recorder() is None
+
+    def test_span_returns_shared_null_span(self):
+        first = obs.span("a", x=1)
+        second = obs.span("b")
+        assert first is obs.NULL_SPAN
+        assert first is second
+
+    def test_null_span_supports_full_protocol(self):
+        with obs.span("phase") as sp:
+            assert sp.tag(k=1) is sp
+        assert obs.current_span() is None
+
+    def test_count_and_gauge_are_noops(self):
+        obs.count("anything", 5)
+        obs.gauge("g", 1.0)
+        assert obs.get_recorder() is None
+
+    def test_traced_calls_through(self):
+        @obs.traced("fn")
+        def add(a, b):
+            """docstring survives"""
+            return a + b
+
+        assert add(2, 3) == 5
+        assert add.__doc__ == "docstring survives"
+        assert add.__name__ == "add"
+
+    def test_tracing_scope_restores_disabled_state(self):
+        with obs.tracing(CollectorSink()):
+            assert obs.enabled()
+        assert not obs.enabled()
+
+    def test_tracing_scope_restores_on_error(self):
+        try:
+            with obs.tracing(CollectorSink()):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert not obs.enabled()
+
+
+class TestSpans:
+    def test_nesting_parent_child_ids(self):
+        col = CollectorSink()
+        with obs.tracing(col):
+            with obs.span("outer") as outer:
+                with obs.span("mid") as mid:
+                    with obs.span("inner") as inner:
+                        assert obs.current_span() is inner
+                    assert obs.current_span() is mid
+            assert obs.current_span() is None
+        by_name = {r["name"]: r for r in col.spans()}
+        assert by_name["outer"]["parent"] is None
+        assert by_name["mid"]["parent"] == by_name["outer"]["id"]
+        assert by_name["inner"]["parent"] == by_name["mid"]["id"]
+        assert [by_name[n]["depth"] for n in ("outer", "mid", "inner")] == [0, 1, 2]
+
+    def test_spans_emitted_in_completion_order(self):
+        col = CollectorSink()
+        with obs.tracing(col):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        assert [r["name"] for r in col.spans()] == ["inner", "outer"]
+
+    def test_timing_monotonicity(self):
+        col = CollectorSink()
+        with obs.tracing(col):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    time.sleep(0.005)
+        by_name = {r["name"]: r for r in col.spans()}
+        inner, outer = by_name["inner"], by_name["outer"]
+        assert inner["wall_ms"] >= 5.0 * 0.5  # sleep floor, generous for CI
+        # A child's wall time can never exceed its enclosing parent's.
+        assert outer["wall_ms"] >= inner["wall_ms"]
+        # Starts are ordered and relative to the recorder epoch.
+        assert 0.0 <= outer["start_s"] <= inner["start_s"]
+        # CPU time never exceeds wall time for single-threaded bodies
+        # (process_time has coarser resolution; allow a tick of slack).
+        assert inner["cpu_ms"] <= inner["wall_ms"] + 1.0
+
+    def test_sequential_spans_do_not_nest(self):
+        col = CollectorSink()
+        with obs.tracing(col):
+            with obs.span("first"):
+                pass
+            with obs.span("second"):
+                pass
+        by_name = {r["name"]: r for r in col.spans()}
+        assert by_name["first"]["parent"] is None
+        assert by_name["second"]["parent"] is None
+        assert by_name["first"]["id"] != by_name["second"]["id"]
+
+    def test_tags_recorded_and_merged(self):
+        col = CollectorSink()
+        with obs.tracing(col):
+            with obs.span("phase", machine="fig9") as sp:
+                sp.tag(groups=12)
+                sp.tag(groups=13, extra=True)
+        (record,) = col.spans()
+        assert record["tags"] == {"machine": "fig9", "groups": 13, "extra": True}
+
+    def test_span_closed_on_exception_and_tagged_error(self):
+        col = CollectorSink()
+        with obs.tracing(col):
+            try:
+                with obs.span("failing"):
+                    raise RuntimeError("nope")
+            except RuntimeError:
+                pass
+            assert obs.current_span() is None
+        (record,) = col.spans()
+        assert record["tags"]["error"] == "RuntimeError"
+
+    def test_traced_decorator_emits_span(self):
+        col = CollectorSink()
+
+        @obs.traced("math.add", flavor="test")
+        def add(a, b):
+            return a + b
+
+        with obs.tracing(col):
+            assert add(1, 2) == 3
+        (record,) = col.spans()
+        assert record["name"] == "math.add"
+        assert record["tags"] == {"flavor": "test"}
+
+    def test_traced_default_name_is_qualname(self):
+        col = CollectorSink()
+
+        @obs.traced()
+        def helper():
+            return 7
+
+        with obs.tracing(col):
+            helper()
+        (record,) = col.spans()
+        assert "helper" in record["name"]
+
+    def test_thread_stacks_are_independent(self):
+        col = CollectorSink()
+        errors = []
+
+        def worker():
+            try:
+                assert obs.current_span() is None  # main thread's span invisible
+                with obs.span("worker.child") as sp:
+                    assert obs.current_span() is sp
+            except AssertionError as exc:  # pragma: no cover
+                errors.append(exc)
+
+        with obs.tracing(col):
+            with obs.span("main.parent"):
+                thread = threading.Thread(target=worker)
+                thread.start()
+                thread.join()
+        assert not errors
+        by_name = {r["name"]: r for r in col.spans()}
+        assert by_name["worker.child"]["parent"] is None
+        assert by_name["worker.child"]["depth"] == 0
+
+
+class TestCounters:
+    def test_global_aggregation(self):
+        col = CollectorSink()
+        with obs.tracing(col) as recorder:
+            obs.count("decisions")
+            obs.count("decisions", 4)
+            obs.count("other", 2)
+            assert recorder.counters == {"decisions": 5, "other": 2}
+        summary = col.summary()
+        assert summary["counters"] == {"decisions": 5, "other": 2}
+
+    def test_counters_attributed_to_innermost_span(self):
+        col = CollectorSink()
+        with obs.tracing(col):
+            with obs.span("outer"):
+                obs.count("a", 1)
+                with obs.span("inner"):
+                    obs.count("a", 2)
+                    obs.count("b")
+        by_name = {r["name"]: r for r in col.spans()}
+        assert by_name["outer"]["counters"] == {"a": 1}
+        assert by_name["inner"]["counters"] == {"a": 2, "b": 1}
+        assert col.summary()["counters"] == {"a": 3, "b": 1}
+
+    def test_counts_outside_any_span_still_aggregate(self):
+        col = CollectorSink()
+        with obs.tracing(col):
+            obs.count("loose", 3)
+        assert col.summary()["counters"] == {"loose": 3}
+
+    def test_gauges_last_value_wins(self):
+        col = CollectorSink()
+        with obs.tracing(col):
+            obs.gauge("speedup", 1.5)
+            obs.gauge("speedup", 2.5)
+        assert col.summary()["gauges"] == {"speedup": 2.5}
+
+
+class TestRecorderLifecycle:
+    def test_configure_replaces_and_closes_previous(self):
+        first = CollectorSink()
+        second = CollectorSink()
+        obs.configure(first)
+        obs.configure(second)
+        assert first.closed
+        assert obs.get_recorder() is not None
+        obs.shutdown()
+        assert second.closed
+
+    def test_summary_emitted_exactly_once(self):
+        col = CollectorSink()
+        recorder = obs.configure(col)
+        obs.shutdown()
+        recorder.close()  # idempotent
+        assert sum(1 for r in col.records if r["type"] == "summary") == 1
+
+    def test_summary_has_total_wall(self):
+        col = CollectorSink()
+        with obs.tracing(col):
+            time.sleep(0.002)
+        assert col.summary()["wall_ms"] > 0

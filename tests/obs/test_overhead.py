@@ -1,0 +1,123 @@
+"""Overhead guard: disabled tracing must cost (essentially) nothing.
+
+Two bounds:
+
+* a micro-bound on the per-call cost of the disabled fast path
+  (``span``/``count`` when no recorder is installed), and
+* the acceptance bound — the instrumented pipeline with tracing
+  *disabled* runs within 2% of the same pipeline with every obs call
+  stubbed out to literal no-ops (the closest measurable stand-in for
+  un-instrumented code).
+
+Timing comparisons at the 2% level are noise-sensitive, so both sides
+use min-of-N and the check retries a few times before failing; a real
+regression (a disabled path that allocates or locks) fails every
+attempt.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.mapping.distribute import TopologyAwareMapper
+from repro.runtime import execute_plan
+
+pytestmark = pytest.mark.perf_smoke
+
+
+class _StubSpan:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def tag(self, **tags):
+        return self
+
+
+_STUB = _StubSpan()
+
+
+def _stub_span(name, **tags):
+    return _STUB
+
+
+def _stub_count(name, n=1):
+    pass
+
+
+def _stub_gauge(name, value):
+    pass
+
+
+def _pipeline(program, machine):
+    mapper = TopologyAwareMapper(machine, block_size=4 * 8, local_scheduling=True)
+    result = mapper.map_nest(program, program.nests[0])
+    execute_plan(result.plan())
+
+
+def _min_of(n, fn, *args):
+    best = float("inf")
+    for _ in range(n):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class TestDisabledFastPath:
+    def test_span_call_is_cheap(self):
+        assert not obs.enabled()
+        calls = 100_000
+        start = time.perf_counter()
+        for _ in range(calls):
+            obs.span("x", a=1)
+        per_call = (time.perf_counter() - start) / calls
+        # One None-check plus returning a shared singleton; 5µs is ~20x
+        # slack over what this costs on any supported interpreter.
+        assert per_call < 5e-6, f"disabled span() costs {per_call * 1e6:.2f}µs/call"
+
+    def test_count_call_is_cheap(self):
+        assert not obs.enabled()
+        calls = 100_000
+        start = time.perf_counter()
+        for _ in range(calls):
+            obs.count("x", 2)
+        per_call = (time.perf_counter() - start) / calls
+        assert per_call < 5e-6, f"disabled count() costs {per_call * 1e6:.2f}µs/call"
+
+    def test_disabled_span_allocates_nothing(self):
+        spans = {id(obs.span("a")), id(obs.span("b", k=1)), id(obs.span("c"))}
+        assert spans == {id(obs.NULL_SPAN)}
+
+
+class TestPipelineOverhead:
+    LIMIT = 0.02  # the acceptance bound: <2% slowdown with tracing disabled
+    REPS = 3
+    ATTEMPTS = 5
+
+    def test_disabled_overhead_under_two_percent(self, fig5_program, fig9_machine,
+                                                 monkeypatch):
+        assert not obs.enabled()
+        _pipeline(fig5_program, fig9_machine)  # warm caches/imports
+
+        ratios = []
+        for _ in range(self.ATTEMPTS):
+            disabled = _min_of(self.REPS, _pipeline, fig5_program, fig9_machine)
+            with pytest.MonkeyPatch.context() as patch:
+                patch.setattr(obs, "span", _stub_span)
+                patch.setattr(obs, "count", _stub_count)
+                patch.setattr(obs, "gauge", _stub_gauge)
+                stubbed = _min_of(self.REPS, _pipeline, fig5_program, fig9_machine)
+            ratio = disabled / stubbed - 1.0
+            ratios.append(ratio)
+            if ratio < self.LIMIT:
+                return
+        pytest.fail(
+            f"disabled tracing stayed above {self.LIMIT:.0%} overhead in "
+            f"{self.ATTEMPTS} attempts: {[f'{r:.2%}' for r in ratios]}"
+        )

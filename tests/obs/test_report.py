@@ -1,0 +1,137 @@
+"""The report tool: phase table, counter table, and CLI entry point."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs.report import (
+    counter_table,
+    main,
+    phase_table,
+    render_report,
+    tree_view,
+)
+from repro.obs.sinks import CollectorSink, JsonlSink, read_jsonl
+
+
+def _row_cells(table_text, first_cell):
+    """Cells of the table row whose first column is ``first_cell``."""
+    for line in table_text.splitlines():
+        cells = [c.strip() for c in line.split("|")]
+        if cells and cells[0] == first_cell:
+            return cells
+    raise AssertionError(f"no row {first_cell!r} in table:\n{table_text}")
+
+
+def _trace_records():
+    col = CollectorSink()
+    with obs.tracing(col):
+        with obs.span("map.nest"):
+            with obs.span("map.tagging"):
+                obs.count("tag.groups_formed", 8)
+            with obs.span("map.clustering"):
+                obs.count("cluster.merges", 5)
+        with obs.span("map.nest"):  # second call of the same phase
+            pass
+        obs.gauge("balance.final_spread", 0.01)
+    return col.records
+
+
+class TestPhaseTable:
+    def test_aggregates_calls_per_name(self):
+        text = phase_table(_trace_records())
+        cells = _row_cells(text, "map.nest")
+        assert cells[1] == "2"  # two calls aggregated into one row
+
+    def test_self_time_excludes_direct_children(self):
+        records = _trace_records()
+        spans = {
+            (r["name"], r["id"]): r for r in records if r.get("type") == "span"
+        }
+        nests = [r for r in records if r.get("type") == "span" and r["name"] == "map.nest"]
+        children = [
+            r
+            for r in records
+            if r.get("type") == "span" and r.get("parent") == nests[0]["id"]
+        ]
+        expected_self = sum(n["wall_ms"] for n in nests) - sum(
+            c["wall_ms"] for c in children
+        )
+        text = phase_table(records)
+        reported_self = float(_row_cells(text, "map.nest")[3])
+        assert abs(reported_self - expected_self) < 0.01
+        assert spans  # sanity: trace was non-empty
+
+    def test_all_phases_present(self):
+        text = phase_table(_trace_records())
+        for name in ("map.nest", "map.tagging", "map.clustering"):
+            assert name in text
+
+
+class TestCounterTable:
+    def test_uses_summary_record(self):
+        text = counter_table(_trace_records())
+        assert "tag.groups_formed" in text
+        assert "cluster.merges" in text
+        assert "balance.final_spread" in text  # gauge section
+
+    def test_falls_back_to_span_sum_without_summary(self):
+        truncated = [r for r in _trace_records() if r["type"] == "span"]
+        text = counter_table(truncated)
+        assert "tag.groups_formed" in text
+        assert "cluster.merges" in text
+
+    def test_empty_for_counterless_trace(self):
+        col = CollectorSink()
+        with obs.tracing(col):
+            with obs.span("quiet"):
+                pass
+        records = [r for r in col.records if r["type"] == "span"]
+        assert counter_table(records) == ""
+
+
+class TestRenderReport:
+    def test_default_sections(self):
+        text = render_report(_trace_records())
+        assert "Per-phase timings" in text
+        assert "Decision counters" in text
+
+    def test_tree_and_profiles_opt_in(self):
+        text = render_report(_trace_records(), tree=True, profiles=True)
+        assert "map.tagging" in tree_view(_trace_records())
+        assert "(no profile records in trace)" in text
+
+
+class TestMain:
+    def _write_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(JsonlSink(str(path))):
+            with obs.span("map.nest"):
+                obs.count("map.nests_mapped")
+        return str(path)
+
+    def test_prints_report(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        assert main([path]) == 0
+        out = capsys.readouterr().out
+        assert "Per-phase timings" in out
+        assert "map.nests_mapped" in out
+
+    def test_tree_flag(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        assert main([path, "--tree"]) == 0
+        assert "wall=" in capsys.readouterr().out
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_file_errors(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main([str(path)]) == 1
+        assert "no trace records" in capsys.readouterr().err
+
+    def test_round_trip_matches_in_memory_render(self, tmp_path):
+        path = self._write_trace(tmp_path)
+        records = read_jsonl(path)
+        assert render_report(records) == render_report(read_jsonl(path))

@@ -1,0 +1,140 @@
+"""JSONL round-trip, tree rendering, and the cProfile hook."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro import obs
+from repro.obs.profile import profiled
+from repro.obs.sinks import CollectorSink, JsonlSink, TreeSink, read_jsonl
+
+
+def _emit_small_trace():
+    with obs.span("pipeline", machine="fig9"):
+        with obs.span("tag.iterations") as sp:
+            sp.tag(groups=6)
+            obs.count("tag.groups_formed", 6)
+        with obs.span("cluster.distribute"):
+            obs.count("cluster.merges", 3)
+    obs.gauge("speedup", 1.17)
+
+
+class TestJsonlSink:
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        direct = CollectorSink()
+        with obs.tracing(JsonlSink(str(path)), direct):
+            _emit_small_trace()
+        loaded = read_jsonl(str(path))
+        assert loaded == direct.records
+        spans = [r for r in loaded if r["type"] == "span"]
+        assert {s["name"] for s in spans} == {
+            "pipeline",
+            "tag.iterations",
+            "cluster.distribute",
+        }
+        (summary,) = [r for r in loaded if r["type"] == "summary"]
+        assert summary["counters"] == {"tag.groups_formed": 6, "cluster.merges": 3}
+        assert summary["gauges"] == {"speedup": 1.17}
+
+    def test_every_line_is_standalone_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(JsonlSink(str(path))):
+            _emit_small_trace()
+        with open(path, encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 4  # 3 spans + 1 summary
+        for line in lines:
+            assert isinstance(json.loads(line), dict)
+
+    def test_stream_target_not_closed(self):
+        stream = io.StringIO()
+        with obs.tracing(JsonlSink(stream)):
+            with obs.span("s"):
+                pass
+        assert not stream.closed
+        records = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert records[0]["name"] == "s"
+
+    def test_non_json_tags_fall_back_to_repr(self, tmp_path):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque thing>"
+
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(JsonlSink(str(path))):
+            with obs.span("s", payload=Opaque()):
+                pass
+        (record, _summary) = read_jsonl(str(path))
+        assert record["tags"]["payload"] == "<opaque thing>"
+
+    def test_read_jsonl_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "span", "name": "a"}\n\n{"type": "summary"}\n')
+        assert [r["type"] for r in read_jsonl(str(path))] == ["span", "summary"]
+
+
+class TestTreeSink:
+    def test_render_indents_children_under_parents(self):
+        sink = TreeSink(stream=io.StringIO())
+        with obs.tracing(sink):
+            _emit_small_trace()
+        text = sink.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("pipeline")
+        assert lines[1].startswith("  tag.iterations")
+        assert lines[2].startswith("  cluster.distribute")
+        assert "wall=" in lines[0] and "cpu=" in lines[0]
+        assert "groups=6" in lines[1]
+        assert "cluster.merges=3" in lines[2]
+
+    def test_render_includes_counter_and_gauge_footer(self):
+        stream = io.StringIO()
+        with obs.tracing(TreeSink(stream)):
+            _emit_small_trace()
+        text = stream.getvalue()  # close() wrote the render to the stream
+        assert "counters:" in text
+        assert "tag.groups_formed" in text
+        assert "gauges:" in text
+        assert "speedup" in text
+
+    def test_siblings_ordered_by_start_time(self):
+        sink = TreeSink(stream=io.StringIO())
+        with obs.tracing(sink):
+            with obs.span("root"):
+                with obs.span("zebra"):
+                    pass
+                with obs.span("aardvark"):
+                    pass
+        lines = sink.render().splitlines()
+        assert lines[1].lstrip().startswith("zebra")
+        assert lines[2].lstrip().startswith("aardvark")
+
+
+class TestProfiled:
+    def test_noop_when_disabled(self):
+        with profiled("phase") as sp:
+            assert sp is obs.NULL_SPAN
+        assert obs.get_recorder() is None
+
+    def test_emits_span_and_profile_record(self):
+        col = CollectorSink()
+        with obs.tracing(col):
+            with profiled("hot.loop", limit=5):
+                sum(i * i for i in range(2000))
+        (span_record,) = col.spans()
+        assert span_record["name"] == "hot.loop"
+        assert span_record["tags"]["profiled"] is True
+        (profile,) = [r for r in col.records if r["type"] == "profile"]
+        assert profile["span"] == "hot.loop"
+        assert profile["span_id"] == span_record["id"]
+        assert "function calls" in profile["stats"]
+
+    def test_profile_survives_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(JsonlSink(str(path))):
+            with profiled("phase"):
+                pass
+        kinds = [r["type"] for r in read_jsonl(str(path))]
+        assert kinds == ["span", "profile", "summary"]

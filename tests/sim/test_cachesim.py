@@ -1,7 +1,5 @@
 """Unit tests for a single cache component."""
 
-import pytest
-
 from repro.sim.cachesim import SetAssociativeCache
 from repro.topology.cache import CacheSpec
 
