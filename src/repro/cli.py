@@ -6,6 +6,8 @@ Usage::
     python -m repro simulate SOURCE.loop --machine dunnington --scheme ta
     python -m repro machines
     python -m repro workloads
+    python -m repro experiments --quick --jobs 4
+    python -m repro cache info
 
 ``map`` compiles an affine loop program, runs the topology-aware mapper
 against the chosen machine and prints the assignment/schedule report;
@@ -118,6 +120,10 @@ def cmd_simulate(args) -> int:
     machine = _machine(args)
     nest = program.nests[args.nest]
 
+    from repro.sim.engine import SimConfig
+
+    config = SimConfig(backend=args.backend)
+
     def plan_for(scheme: str):
         if scheme == "base":
             return base_plan(nest, machine)
@@ -135,9 +141,9 @@ def cmd_simulate(args) -> int:
         return result.plan()
 
     with obs.span("cli.simulate", source=args.source, scheme=args.scheme):
-        base_result = execute_plan(plan_for("base"), verify=True)
+        base_result = execute_plan(plan_for("base"), verify=True, config=config)
         result = (
-            execute_plan(plan_for(args.scheme), verify=True)
+            execute_plan(plan_for(args.scheme), verify=True, config=config)
             if args.scheme != "base"
             else None
         )
@@ -178,6 +184,54 @@ def cmd_trace(args) -> int:
     records = read_jsonl(args.out)
     print()
     print(render_report(records, tree=args.tree, profiles=args.profile))
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    """Forward to the experiment suite driver (repro.experiments.run_all)."""
+    from repro.experiments import run_all
+
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    if args.charts:
+        argv.append("--charts")
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    if args.only:
+        argv += ["--only", args.only]
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    return run_all.main(argv)
+
+
+def cmd_cache(args) -> int:
+    from repro.experiments import cache as result_cache
+
+    directory = args.dir or result_cache.default_cache_dir()
+    if args.action == "path":
+        print(directory)
+        return 0
+    if args.action == "clear":
+        removed = result_cache.clear(directory)
+        print(f"removed {removed} cache file(s) from {directory}")
+        return 0
+    files = result_cache.info(directory)
+    if not files:
+        print(f"no result caches in {directory}")
+        return 0
+    rows = [
+        (
+            entry["file"],
+            entry["entries"],
+            f"{entry['bytes'] / 1024:.1f}KB",
+            "current" if entry["current"] else "stale",
+        )
+        for entry in files
+    ]
+    print(format_table(["file", "results", "size", "fingerprint"], rows))
     return 0
 
 
@@ -238,7 +292,38 @@ def build_parser() -> argparse.ArgumentParser:
     common(sim_parser)
     sim_parser.add_argument("--scheme", default="ta",
                             choices=("base", "base+", "local", "ta", "ta+s"))
+    sim_parser.add_argument("--backend", default="auto",
+                            choices=("auto", "python", "numpy"),
+                            help="simulation engine: per-access oracle "
+                                 "('python') or batched ('numpy'); "
+                                 "'auto' batches when numpy is available")
     sim_parser.set_defaults(func=cmd_simulate)
+
+    exp_parser = sub.add_parser(
+        "experiments", help="run the paper's experiment suite"
+    )
+    exp_parser.add_argument("--quick", action="store_true",
+                            help="6-app subset instead of all workloads")
+    exp_parser.add_argument("--charts", action="store_true",
+                            help="append ASCII bar charts")
+    exp_parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                            help="worker processes (default: CPU count)")
+    exp_parser.add_argument("--only", default=None, metavar="SUBSTR",
+                            help="run only matching steps (e.g. fig13)")
+    exp_parser.add_argument("--no-cache", action="store_true",
+                            help="skip the persistent result cache")
+    exp_parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                            help="persistent cache directory")
+    exp_parser.set_defaults(func=cmd_experiments)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache"
+    )
+    cache_parser.add_argument("action", choices=("info", "clear", "path"))
+    cache_parser.add_argument("--dir", default=None, metavar="DIR",
+                              help="cache directory (default: "
+                                   "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    cache_parser.set_defaults(func=cmd_cache)
 
     trace_parser = sub.add_parser(
         "trace", help="trace a full mapping run and report per-phase timings"

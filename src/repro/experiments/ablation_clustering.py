@@ -14,6 +14,7 @@ from repro.experiments.harness import (
     BALANCE_THRESHOLD,
     FigureResult,
     geometric_mean,
+    run_custom,
     run_scheme,
     sim_machine,
 )
@@ -35,14 +36,20 @@ def run(apps: Sequence[str] | None = None) -> FigureResult:
         base = run_scheme(app, "base", machine).cycles
         row = [app.name]
         for strategy in ("greedy", "kl"):
-            mapper = TopologyAwareMapper(
-                machine,
-                block_size=app.block_size(),
-                balance_threshold=BALANCE_THRESHOLD,
-                cluster_strategy=strategy,
-            )
-            plan = mapper.map_nest(app.program(), app.nest()).plan()
-            ratio = execute_plan(plan).cycles / base
+
+            def compute(app=app, strategy=strategy):
+                mapper = TopologyAwareMapper(
+                    machine,
+                    block_size=app.block_size(),
+                    balance_threshold=BALANCE_THRESHOLD,
+                    cluster_strategy=strategy,
+                )
+                plan = mapper.map_nest(app.program(), app.nest()).plan()
+                return execute_plan(plan)
+
+            tag = ("ablation-clustering", app.name, machine.name, strategy,
+                   BALANCE_THRESHOLD)
+            ratio = run_custom(tag, machine, compute).cycles / base
             ratios[strategy].append(ratio)
             row.append(round(ratio, 3))
         rows.append(tuple(row))

@@ -1,0 +1,260 @@
+"""Persistent, content-keyed result cache for the experiment harness.
+
+Every harness run is deterministic, so a ``(workload, machine, scheme,
+knobs)`` tuple fully determines its :class:`~repro.sim.stats.SimResult`.
+This module stores those results on disk so that a repeated
+``repro experiments`` invocation is near-instant.
+
+Keys are *content* keys, never timestamps:
+
+* the harness memo key (workload, scheme, machine names, every knob);
+* a structural digest of each machine involved (:func:`machine_digest`),
+  so two machines that happen to share a name cannot alias;
+* a fingerprint of the simulation-relevant source tree
+  (:func:`code_fingerprint`) baked into the cache *file name* —
+  ``results-<fp12>.json`` — so any change to the simulator, mapper,
+  workloads or harness constants starts from an empty cache instead of
+  serving stale results.
+
+The store is a single JSON file per fingerprint under
+``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``).  Writes are
+write-through and atomic (temp file + ``os.replace``); a corrupt or
+foreign file is treated as empty, never an error.  Only the parent
+experiment process writes — worker processes run with the disk cache
+disabled (see ``repro.experiments.run_all``) — so there is a single
+writer per file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from functools import lru_cache
+
+import repro
+from repro.sim.stats import LevelStats, SimResult
+from repro.topology.tree import Machine, TopologyNode
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Source files whose content can change simulation results.  Everything
+#: under ``src/repro`` counts except presentation/plumbing: the obs
+#: layer, the CLI, and the experiment figure modules (they only arrange
+#: results).  ``harness.py`` and ``versions.py`` stay in because they
+#: hold result-affecting constants (scale, balance threshold) and the
+#: retargeting logic.
+_EXEMPT_PREFIXES = ("obs/",)
+_EXEMPT_FILES = ("cli.py",)
+_EXPERIMENT_KEEP = ("experiments/harness.py", "experiments/versions.py")
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``."""
+    configured = os.environ.get(CACHE_DIR_ENV)
+    if configured:
+        return configured
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def _fingerprint_relevant(rel: str) -> bool:
+    if rel.startswith(_EXEMPT_PREFIXES) or rel in _EXEMPT_FILES:
+        return False
+    if rel.startswith("experiments/"):
+        return rel in _EXPERIMENT_KEEP
+    return True
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over the simulation-relevant ``repro`` sources.
+
+    Computed once per process; editing any result-affecting module moves
+    the cache to a fresh file, which is exactly the invalidation the
+    store needs.
+    """
+    root = pathlib.Path(repro.__file__).resolve().parent
+    hasher = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if not _fingerprint_relevant(rel):
+            continue
+        hasher.update(rel.encode())
+        hasher.update(b"\0")
+        hasher.update(path.read_bytes())
+        hasher.update(b"\0")
+    return hasher.hexdigest()
+
+
+def _node_spec(node: TopologyNode):
+    """Structural tuple for a tree node; deliberately excludes ``uid``
+    (a process-local counter that must not leak into cross-process
+    keys)."""
+    if node.kind == "core":
+        return ("core", node.core_id)
+    children = tuple(_node_spec(child) for child in node.children)
+    if node.kind == "cache":
+        spec = node.spec
+        return (
+            "cache",
+            spec.level,
+            spec.size_bytes,
+            spec.associativity,
+            spec.line_size,
+            spec.latency,
+            children,
+        )
+    return ("memory", children)
+
+
+@lru_cache(maxsize=256)
+def machine_digest(machine: Machine) -> str:
+    """Short structural digest of a machine (topology + timing)."""
+    spec = (
+        machine.name,
+        machine.clock_ghz,
+        machine.memory_latency,
+        machine.sockets,
+        _node_spec(machine.root),
+    )
+    return hashlib.sha256(repr(spec).encode()).hexdigest()[:16]
+
+
+def _encode_key(key: tuple) -> str:
+    return json.dumps(key, separators=(",", ":"))
+
+
+def _result_to_dict(result: SimResult) -> dict:
+    return {
+        "label": result.label,
+        "machine_name": result.machine_name,
+        "cycles": result.cycles,
+        "core_cycles": list(result.core_cycles),
+        "levels": [[s.level, s.hits, s.misses] for s in result.levels],
+        "memory_accesses": result.memory_accesses,
+        "total_accesses": result.total_accesses,
+        "barriers": result.barriers,
+        "barrier_cycles": result.barrier_cycles,
+    }
+
+
+def _result_from_dict(raw: dict) -> SimResult:
+    return SimResult(
+        label=raw["label"],
+        machine_name=raw["machine_name"],
+        cycles=raw["cycles"],
+        core_cycles=tuple(raw["core_cycles"]),
+        levels=tuple(LevelStats(lvl, hits, misses) for lvl, hits, misses in raw["levels"]),
+        memory_accesses=raw["memory_accesses"],
+        total_accesses=raw["total_accesses"],
+        barriers=raw["barriers"],
+        barrier_cycles=raw["barrier_cycles"],
+    )
+
+
+class DiskCache:
+    """One on-disk result store, bound to one code fingerprint.
+
+    ``get``/``put`` speak harness key tuples and
+    :class:`~repro.sim.stats.SimResult` values.  ``put`` writes through
+    immediately (atomic rename), so results survive an interrupted
+    experiment run.
+    """
+
+    def __init__(self, directory: str | None = None, fingerprint: str | None = None):
+        self.directory = directory or default_cache_dir()
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.path = os.path.join(
+            self.directory, f"results-{self.fingerprint[:12]}.json"
+        )
+        self._entries: dict[str, dict] = self._load()
+
+    def _load(self) -> dict[str, dict]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(payload, dict) or payload.get("fingerprint") != self.fingerprint:
+            return {}
+        entries = payload.get("results")
+        return entries if isinstance(entries, dict) else {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> SimResult | None:
+        raw = self._entries.get(_encode_key(key))
+        if raw is None:
+            return None
+        try:
+            return _result_from_dict(raw)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, key: tuple, result: SimResult) -> None:
+        encoded = _encode_key(key)
+        if encoded in self._entries:
+            return
+        self._entries[encoded] = _result_to_dict(result)
+        self._flush()
+
+    def _flush(self) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        payload = {"fingerprint": self.fingerprint, "results": self._entries}
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, self.path)
+
+
+def clear(directory: str | None = None) -> int:
+    """Delete every result file in the cache directory; returns the count."""
+    directory = directory or default_cache_dir()
+    removed = 0
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0
+    for name in names:
+        if name.startswith("results-") and name.endswith((".json", ".json.tmp")):
+            try:
+                os.unlink(os.path.join(directory, name))
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+def info(directory: str | None = None) -> list[dict]:
+    """One summary dict per cache file: path, entry count, size, currency."""
+    directory = directory or default_cache_dir()
+    current = f"results-{code_fingerprint()[:12]}.json"
+    out = []
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return []
+    for name in names:
+        if not (name.startswith("results-") and name.endswith(".json")):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            size = os.path.getsize(path)
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            entries = len(payload.get("results", {}))
+        except (OSError, ValueError):
+            size, entries = 0, 0
+        out.append(
+            {
+                "file": name,
+                "path": path,
+                "entries": entries,
+                "bytes": size,
+                "current": name == current,
+            }
+        )
+    return out

@@ -17,6 +17,7 @@ from repro.experiments.harness import (
     FigureResult,
     geometric_mean,
     mapping_for,
+    run_custom,
     run_scheme,
     sim_machine,
 )
@@ -29,17 +30,21 @@ from repro.workloads import all_workloads
 
 
 def _optimal_cycles(app, machine) -> int:
-    mapping = mapping_for(app, machine)
-    assignment = anneal_assignment(
-        [g for groups in mapping.assignments for g in groups],
-        machine,
-        cost=sharing_cost,
-        start=mapping.assignments,
-        iterations=3000,
-    )
-    rounds = dependence_only_schedule(assignment, machine, mapping.graph)
-    plan = ExecutablePlan.from_group_rounds(machine, app.nest(), rounds, "optimal")
-    return execute_plan(plan, machine=machine).cycles
+    def compute():
+        mapping = mapping_for(app, machine)
+        assignment = anneal_assignment(
+            [g for groups in mapping.assignments for g in groups],
+            machine,
+            cost=sharing_cost,
+            start=mapping.assignments,
+            iterations=3000,
+        )
+        rounds = dependence_only_schedule(assignment, machine, mapping.graph)
+        plan = ExecutablePlan.from_group_rounds(machine, app.nest(), rounds, "optimal")
+        return execute_plan(plan, machine=machine)
+
+    tag = ("fig20-optimal", app.name, machine.name, 3000)
+    return run_custom(tag, machine, compute).cycles
 
 
 def run(apps: Sequence[str] | None = None) -> FigureResult:

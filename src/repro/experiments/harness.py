@@ -10,22 +10,33 @@ Schemes (Section 4.1):
 
 Results are memoized per (workload, machine name, scheme, knobs) because
 different figures revisit the same runs; everything is deterministic, so
-the cache is safe.
+the cache is safe.  Two optional layers extend the in-memory memo:
+
+* a persistent disk cache (:mod:`repro.experiments.cache`), switched on
+  with :func:`enable_disk_cache` — repeated experiment invocations skip
+  simulation entirely;
+* *spec recording* (:func:`record_specs`) — run the figure harnesses
+  without simulating, collecting the set of uncached runs they need so a
+  parallel driver can execute them in worker processes and seed the
+  memo (see ``repro.experiments.run_all``).
 """
 
 from __future__ import annotations
 
+import math
 import os
+from collections.abc import Callable
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro import obs
 from repro.errors import ExperimentError
+from repro.experiments.cache import DiskCache, machine_digest
 from repro.mapping import TopologyAwareMapper, base_plan, base_plus_plan, local_plan
 from repro.mapping.distribute import MappingResult
 from repro.runtime import execute_plan
 from repro.sim.engine import SimConfig
-from repro.sim.stats import SimResult
+from repro.sim.stats import LevelStats, SimResult
 from repro.topology.tree import Machine
 from repro.util.tables import format_table
 from repro.workloads import Workload, workload
@@ -86,6 +97,178 @@ _CACHE = _Cache()
 def clear_cache() -> None:
     _CACHE.results.clear()
     _CACHE.mappings.clear()
+
+
+#: Persistent result store (None = memory-only).  Mappings deliberately
+#: stay memory-only: caching results subsumes them for repeat runs, and
+#: IterationGroup identity does not survive serialization.
+_DISK: DiskCache | None = None
+
+#: While not None, run_scheme/run_version record specs instead of
+#: simulating (see :func:`record_specs`).  Maps memo key -> RunSpec so
+#: duplicates collapse in call order.
+_RECORDING: dict | None = None
+
+
+def enable_disk_cache(directory: str | None = None) -> DiskCache:
+    """Turn on the persistent result cache (see repro.experiments.cache).
+
+    Memoized results are read from and written through to disk until
+    :func:`disable_disk_cache`.  Returns the store for inspection.
+    """
+    global _DISK
+    _DISK = DiskCache(directory)
+    return _DISK
+
+
+def disable_disk_cache() -> None:
+    """Back to memory-only memoization."""
+    global _DISK
+    _DISK = None
+
+
+def disk_cache() -> DiskCache | None:
+    """The active persistent store, if any."""
+    return _DISK
+
+
+def _lookup(key: tuple, disk_key: tuple) -> SimResult | None:
+    """Memo, then disk.  A disk hit is promoted into the memo."""
+    cached = _CACHE.results.get(key)
+    if cached is not None:
+        obs.count("harness.result_memo_hits")
+        return cached
+    obs.count("harness.result_memo_misses")
+    if _DISK is not None:
+        stored = _DISK.get(disk_key)
+        if stored is not None:
+            obs.count("cache.disk_hits")
+            _CACHE.results[key] = stored
+            return stored
+        obs.count("cache.disk_misses")
+    return None
+
+
+def _store(key: tuple, disk_key: tuple, result: SimResult) -> None:
+    _CACHE.results[key] = result
+    if _DISK is not None:
+        _DISK.put(disk_key, result)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One deferred harness run, re-executable in a worker process.
+
+    ``kind`` is ``"scheme"`` (a :func:`run_scheme` call) or ``"version"``
+    (a :func:`run_version` call); the remaining fields mirror the
+    corresponding call's arguments.  Everything is picklable.
+    """
+
+    kind: str
+    app: str
+    scheme: str | None = None
+    machine: Machine | None = None
+    mapping_machine: Machine | None = None
+    block_size: int | None = None
+    balance_threshold: float = BALANCE_THRESHOLD
+    alpha: float = 0.5
+    beta: float = 0.5
+    port_occupancy: int = 0
+    version: Machine | None = None
+    target: Machine | None = None
+
+
+def spec_key(spec: RunSpec) -> tuple:
+    """The memo key a spec's run would use (mirrors run_scheme/run_version)."""
+    if spec.kind == "scheme":
+        map_machine = spec.mapping_machine or spec.machine
+        return (
+            spec.app,
+            spec.scheme,
+            spec.machine.name,
+            map_machine.name,
+            spec.block_size,
+            spec.balance_threshold,
+            spec.alpha,
+            spec.beta,
+            spec.port_occupancy,
+        )
+    return ("version", spec.app, spec.version.name, spec.target.name)
+
+
+def _spec_disk_key(spec: RunSpec) -> tuple:
+    if spec.kind == "scheme":
+        map_machine = spec.mapping_machine or spec.machine
+        return spec_key(spec) + (
+            machine_digest(spec.machine),
+            machine_digest(map_machine),
+        )
+    return spec_key(spec) + (
+        machine_digest(spec.version),
+        machine_digest(spec.target),
+    )
+
+
+def execute_spec(spec: RunSpec) -> SimResult:
+    """Run one recorded spec (used by parallel workers)."""
+    if spec.kind == "scheme":
+        return run_scheme(
+            spec.app,
+            spec.scheme,
+            spec.machine,
+            mapping_machine=spec.mapping_machine,
+            block_size=spec.block_size,
+            balance_threshold=spec.balance_threshold,
+            alpha=spec.alpha,
+            beta=spec.beta,
+            port_occupancy=spec.port_occupancy,
+        )
+    return run_version(spec.app, spec.version, spec.target)
+
+
+def seed_result(spec: RunSpec, result: SimResult) -> None:
+    """Install a worker-computed result into the memo (and disk store)."""
+    key = spec_key(spec)
+    _CACHE.results.setdefault(key, result)
+    if _DISK is not None:
+        _DISK.put(_spec_disk_key(spec), result)
+
+
+def record_specs(fn: Callable[[], object]) -> list[RunSpec]:
+    """Run ``fn`` in recording mode; return the runs it would simulate.
+
+    While recording, an uncached :func:`run_scheme`/:func:`run_version`
+    call does not simulate: it records a :class:`RunSpec` and returns a
+    placeholder result (all counts 1) so the figure code runs through.
+    Placeholders are never stored in the memo; cached and disk-cached
+    runs still return their real results.  :func:`run_custom` computes
+    inline even while recording — its compute closure cannot be shipped
+    to a worker.
+    """
+    global _RECORDING
+    if _RECORDING is not None:
+        raise ExperimentError("spec recording is already active")
+    _RECORDING = {}
+    try:
+        fn()
+        return list(_RECORDING.values())
+    finally:
+        _RECORDING = None
+
+
+def _placeholder_result(label: str, machine: Machine) -> SimResult:
+    levels = tuple(LevelStats(name, 1, 1) for name in machine.cache_levels())
+    return SimResult(
+        label=label,
+        machine_name=machine.name,
+        cycles=1,
+        core_cycles=(1,) * machine.num_cores,
+        levels=levels,
+        memory_accesses=1,
+        total_accesses=2,
+        barriers=0,
+        barrier_cycles=0,
+    )
 
 
 #: Environment variable naming a directory for per-figure JSONL traces.
@@ -173,11 +356,11 @@ def run_scheme(
     """Run one (workload, scheme) on a machine; memoized.
 
     ``machine`` must already be simulation-scaled.  ``mapping_machine``
-    is the machine the code version is *tuned for* (defaults to the
-    execution machine's unscaled topology is not required — mapping
-    quality only depends on the topology tree, so passing the scaled
-    machine is equivalent); the cross-machine experiment passes a
-    different one.
+    is the machine the code version is *tuned for* and defaults to the
+    execution machine.  Passing the scaled topology there is fine:
+    mapping quality depends only on the shape of the cache tree, which
+    capacity scaling preserves.  The cross-machine experiment passes a
+    different machine explicitly.
     """
     if isinstance(app, str):
         app = workload(app)
@@ -193,11 +376,27 @@ def run_scheme(
         beta,
         port_occupancy,
     )
-    cached = _CACHE.results.get(key)
+    disk_key = key + (machine_digest(machine), machine_digest(map_machine))
+    cached = _lookup(key, disk_key)
     if cached is not None:
-        obs.count("harness.result_memo_hits")
         return cached
-    obs.count("harness.result_memo_misses")
+    if _RECORDING is not None:
+        _RECORDING.setdefault(
+            key,
+            RunSpec(
+                kind="scheme",
+                app=app.name,
+                scheme=scheme,
+                machine=machine,
+                mapping_machine=mapping_machine,
+                block_size=block_size,
+                balance_threshold=balance_threshold,
+                alpha=alpha,
+                beta=beta,
+                port_occupancy=port_occupancy,
+            ),
+        )
+        return _placeholder_result(f"{app.name}/{scheme}", machine)
 
     with obs.span(
         "experiment.scheme", app=app.name, scheme=scheme, machine=machine.name
@@ -224,7 +423,7 @@ def run_scheme(
 
         config = SimConfig(port_occupancy=port_occupancy) if port_occupancy else None
         result = execute_plan(plan, machine=machine, config=config)
-    _CACHE.results[key] = result
+    _store(key, disk_key, result)
     return result
 
 
@@ -243,13 +442,43 @@ def run_version(
     if isinstance(app, str):
         app = workload(app)
     key = ("version", app.name, version.name, target.name)
-    cached = _CACHE.results.get(key)
+    disk_key = key + (machine_digest(version), machine_digest(target))
+    cached = _lookup(key, disk_key)
     if cached is not None:
         return cached
+    if _RECORDING is not None:
+        _RECORDING.setdefault(
+            key,
+            RunSpec(kind="version", app=app.name, version=version, target=target),
+        )
+        return _placeholder_result(f"{app.name}/version", target)
     mapping = mapping_for(app, version)
     plan = retarget_plan(mapping.plan(), target)
     result = execute_plan(plan, machine=target)
-    _CACHE.results[key] = result
+    _store(key, disk_key, result)
+    return result
+
+
+def run_custom(
+    tag: tuple, machine: Machine, compute: Callable[[], SimResult]
+) -> SimResult:
+    """Memoize an arbitrary deterministic run under ``("custom",) + tag``.
+
+    For experiment variants that build their own plans instead of going
+    through a scheme (the Figure 20 optimal rows, the clustering
+    ablation's KL variant).  ``tag`` must contain every knob that
+    determines the result; ``machine`` is digested into the disk key.
+    The compute callable runs inline — also during spec recording, since
+    a closure cannot be shipped to a worker — and the result joins both
+    the in-memory memo and the persistent store.
+    """
+    key = ("custom",) + tuple(tag)
+    disk_key = key + (machine_digest(machine),)
+    cached = _lookup(key, disk_key)
+    if cached is not None:
+        return cached
+    result = compute()
+    _store(key, disk_key, result)
     return result
 
 
@@ -261,7 +490,17 @@ def scheme_cycles(
 
 
 def geometric_mean(values: list[float]) -> float:
-    product = 1.0
-    for v in values:
-        product *= v
-    return product ** (1.0 / len(values)) if values else float("nan")
+    """Geometric mean in log space.
+
+    Summing logs instead of multiplying keeps the intermediate in a
+    sane range: a product of a few hundred large ratios overflows a
+    float to ``inf`` (and underflows to 0.0 for small ones), while the
+    log sum is exact to ~1 ulp per term.  Zeros short-circuit (their
+    product is 0); negative inputs have no real geometric mean and
+    raise ``ValueError``.
+    """
+    if not values:
+        return float("nan")
+    if any(v == 0 for v in values):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -2,19 +2,35 @@
 
 Usage::
 
-    python -m repro.experiments.run_all            # everything (slow)
-    python -m repro.experiments.run_all --quick    # 6-app subset
-    python -m repro.experiments.run_all --charts   # + ASCII bar charts
+    python -m repro.experiments.run_all               # everything
+    python -m repro.experiments.run_all --quick       # 6-app subset
+    python -m repro.experiments.run_all --charts      # + ASCII bar charts
+    python -m repro.experiments.run_all --jobs 8      # parallel prewarm
+    python -m repro.experiments.run_all --only fig13  # one step
 
-The shared result cache makes later figures cheap where they revisit the
-same (workload, machine, scheme) runs.
+Three layers keep repeat invocations fast:
+
+* the in-memory memo shares runs between figures within one invocation;
+* the persistent disk cache (on by default; ``--no-cache`` bypasses it,
+  ``repro cache clear`` wipes it) makes a *re*-invocation near-instant;
+* with ``--jobs N > 1`` the driver first runs every figure in spec
+  recording mode — collecting the simulation runs they need without
+  executing them — then fans the recorded specs over a process pool and
+  seeds the memo with the workers' results.  The figures then render
+  serially from the warm memo, so output is byte-identical to a serial
+  run.  Workers also ship their obs counters back, keeping traces
+  meaningful.
 """
 
 from __future__ import annotations
 
+import argparse
+import os
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 
+from repro import obs
 from repro.experiments import harness, tables
 from repro.experiments import (
     ablation_alpha_beta,
@@ -35,13 +51,8 @@ from repro.experiments import (
 QUICK_APPS = ("galgel", "equake", "facesim", "namd", "h264", "applu")
 
 
-def main(argv: list[str] | None = None) -> int:
-    argv = argv if argv is not None else sys.argv[1:]
-    quick = "--quick" in argv
-    charts = "--charts" in argv
-    apps = QUICK_APPS if quick else None
-
-    steps = [
+def _steps(apps):
+    return [
         ("Table 1", lambda: tables.table1()),
         ("Table 2", lambda: tables.table2()),
         ("Figure 2", lambda: fig02_motivation.run()),
@@ -59,18 +70,113 @@ def main(argv: list[str] | None = None) -> int:
         ("Ablation dynamic", lambda: ablation_dynamic.run(apps)),
         ("Ablation clustering", lambda: ablation_clustering.run(apps)),
     ]
-    for label, runner in steps:
-        t0 = time.perf_counter()
-        # With REPRO_TRACE_DIR set, each step writes <dir>/<slug>.jsonl.
-        slug = label.lower().replace(" ", "_").replace("(", "").replace(")", "")
-        with harness.figure_trace(slug):
-            result = runner()
-        elapsed = time.perf_counter() - t0
-        print(result.table())
-        if charts:
-            _maybe_chart(result)
-        print(f"[{label}: {elapsed:.1f}s]")
-        print()
+
+
+def _slug(label: str) -> str:
+    return label.lower().replace(" ", "_").replace("(", "").replace(")", "")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="run the paper's experiment suite and print every table",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="6-app subset instead of all workloads")
+    parser.add_argument("--charts", action="store_true",
+                        help="append an ASCII bar chart to each figure")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the simulation prewarm "
+                             "(default: CPU count; 1 disables the pool)")
+    parser.add_argument("--only", default=None, metavar="SUBSTR",
+                        help="run only steps whose name contains SUBSTR "
+                             "(matched against e.g. 'figure_13')")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the persistent result cache entirely")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent cache directory "
+                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    return parser
+
+
+def _run_chunk(specs):
+    """Worker: execute one chunk of recorded specs.
+
+    Runs with the disk cache off — the parent is the only writer — and
+    under a sink-less recorder so decision counters incremented during
+    the runs travel back to the parent.
+    """
+    harness.disable_disk_cache()
+    with obs.tracing() as recorder:
+        results = [harness.execute_spec(spec) for spec in specs]
+        counters = dict(recorder.counters)
+    return results, counters
+
+
+def _chunk_specs(specs):
+    """Group specs by (workload, mapping machine): runs in one chunk share
+    the worker's mapping memo, so the expensive mapping phase happens once
+    per group rather than once per run."""
+    groups: dict = {}
+    for spec in specs:
+        machine = spec.mapping_machine or spec.machine or spec.version
+        groups.setdefault((spec.app, machine.name), []).append(spec)
+    return list(groups.values())
+
+
+def _prewarm(steps, jobs: int) -> None:
+    """Record the steps' uncached runs and execute them over a pool."""
+    t0 = time.perf_counter()
+    specs = harness.record_specs(lambda: [runner() for _, runner in steps])
+    if not specs:
+        return
+    chunks = _chunk_specs(specs)
+    print(f"[prewarm: {len(specs)} runs / {len(chunks)} chunks on {jobs} workers]")
+    with obs.span("experiments.prewarm", runs=len(specs), jobs=jobs):
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {pool.submit(_run_chunk, chunk): chunk for chunk in chunks}
+            for future in as_completed(futures):
+                chunk = futures[future]
+                results, counters = future.result()
+                for spec, result in zip(chunk, results):
+                    harness.seed_result(spec, result)
+                for name, value in counters.items():
+                    obs.count(name, value)
+    print(f"[prewarm: done in {time.perf_counter() - t0:.1f}s]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv if argv is not None else sys.argv[1:])
+    apps = QUICK_APPS if args.quick else None
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+
+    steps = _steps(apps)
+    if args.only:
+        needle = args.only.lower()
+        steps = [
+            s for s in steps if needle in _slug(s[0]) or needle in s[0].lower()
+        ]
+        if not steps:
+            print(f"no step matches --only {args.only!r}", file=sys.stderr)
+            return 2
+    if not args.no_cache:
+        harness.enable_disk_cache(args.cache_dir)
+    try:
+        if jobs > 1:
+            _prewarm(steps, jobs)
+        for label, runner in steps:
+            t0 = time.perf_counter()
+            # With REPRO_TRACE_DIR set, each step writes <dir>/<slug>.jsonl.
+            with harness.figure_trace(_slug(label)):
+                result = runner()
+            elapsed = time.perf_counter() - t0
+            print(result.table())
+            if args.charts:
+                _maybe_chart(result)
+            print(f"[{label}: {elapsed:.1f}s]")
+            print()
+    finally:
+        harness.disable_disk_cache()
     return 0
 
 

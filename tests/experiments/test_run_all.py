@@ -42,3 +42,97 @@ class TestMain:
         assert run_all.main(["--charts"]) == 0
         out = capsys.readouterr().out
         assert "#" in out  # bar chart rendered
+
+
+class TestParallelPrewarm:
+    """--jobs N must change timing only, never results."""
+
+    def _real_steps(self, monkeypatch, machine):
+        from repro.experiments import harness
+
+        def step():
+            rows = tuple(
+                (scheme, harness.run_scheme("h264", scheme, machine).cycles)
+                for scheme in ("base", "ta")
+            )
+            return FigureResult("Real figure", ("scheme", "cycles"), rows)
+
+        monkeypatch.setattr(run_all, "_steps", lambda apps: [("Real", step)])
+
+    def _invoke(self, argv, capsys):
+        from repro.experiments import harness
+
+        harness.clear_cache()
+        assert run_all.main(argv) == 0
+        out = capsys.readouterr().out
+        # Drop timing and prewarm narration; keep the tables.
+        return "\n".join(
+            line for line in out.splitlines()
+            if not line.startswith(("[prewarm", "[Real"))
+        )
+
+    def test_jobs_byte_identical_to_serial(self, monkeypatch, capsys, tmp_path):
+        from repro.experiments.harness import sim_machine
+        from repro.topology.machines import nehalem
+
+        self._real_steps(monkeypatch, sim_machine(nehalem()))
+        serial = self._invoke(
+            ["--jobs", "1", "--cache-dir", str(tmp_path / "serial")], capsys
+        )
+        parallel = self._invoke(
+            ["--jobs", "2", "--cache-dir", str(tmp_path / "par")], capsys
+        )
+        assert "Real figure" in serial
+        assert serial == parallel
+
+    def test_prewarm_seeds_memo(self, monkeypatch, capsys, tmp_path):
+        """After the pool phase the render phase simulates nothing."""
+        from repro.experiments import harness
+        from repro.experiments.harness import sim_machine
+        from repro.topology.machines import nehalem
+
+        self._real_steps(monkeypatch, sim_machine(nehalem()))
+        harness.clear_cache()
+        from repro import obs
+        from repro.obs.sinks import CollectorSink
+
+        sink = CollectorSink()
+        with obs.tracing(sink):
+            assert run_all.main(
+                ["--jobs", "2", "--cache-dir", str(tmp_path)]
+            ) == 0
+        capsys.readouterr()
+        # The parent never opened a simulation span itself; the runs all
+        # happened in workers (whose counters were merged back).
+        parent_spans = {r.get("name") for r in sink.spans()}
+        assert "experiment.scheme" not in parent_spans
+        summary = sink.summary()
+        assert summary["counters"].get("harness.result_memo_misses", 0) > 0
+
+    def test_only_filter(self, monkeypatch, capsys):
+        self._patch_steps_for_only(monkeypatch)
+        assert run_all.main(["--only", "figure_13", "--no-cache", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Fake figure") == 2  # Figure 13 + Figure 13 (misses)
+
+    def test_only_no_match_errors(self, monkeypatch, capsys):
+        self._patch_steps_for_only(monkeypatch)
+        assert run_all.main(["--only", "zzz", "--no-cache"]) == 2
+
+    def _patch_steps_for_only(self, monkeypatch):
+        import repro.experiments.tables as tables
+
+        monkeypatch.setattr(tables, "table1", fake_result)
+        monkeypatch.setattr(tables, "table2", fake_result)
+        for module_name in (
+            "fig02_motivation", "fig13_main", "fig14_cross_machine",
+            "fig15_scheduling", "fig16_blocksize", "fig17_cores",
+            "fig18_deep_hierarchies", "fig19_small_caches",
+            "fig20_levels_optimal", "ablation_alpha_beta",
+            "ablation_compile_time", "ablation_dynamic", "ablation_clustering",
+        ):
+            module = getattr(run_all, module_name)
+            monkeypatch.setattr(module, "run", lambda *a, **k: fake_result())
+        import repro.experiments.fig13_main as f13
+
+        monkeypatch.setattr(f13, "miss_reductions", lambda *a, **k: fake_result())
