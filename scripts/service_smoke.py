@@ -1,0 +1,156 @@
+"""CI smoke test for the mapping service.
+
+Boots the real daemon as a subprocess, fires ~50 concurrent requests at
+it — a mix of cache hits, cache misses, and one past-deadline request —
+and then shuts it down with SIGTERM.  The run fails (exit 1) if any
+request gets a 5xx, if the past-deadline request is not degraded, or if
+the daemon does not drain and exit cleanly.  Latency percentiles and
+the daemon's own /stats snapshot are written as a JSON artifact for the
+CI run to upload.
+
+Usage:
+    python scripts/service_smoke.py [--out service-smoke.json]
+            [--requests 50] [--workers 2]
+"""
+
+import argparse
+import json
+import os
+import re
+import signal
+import statistics
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC)
+
+from repro.service import ServiceClient  # noqa: E402
+
+SOURCE_TEMPLATE = """\
+param m = {m};
+array B[{m}];
+array Q[{m}];
+parallel for (i = 0; i < m; i++)
+  B[i] = B[i] + Q[i] + Q[m - 1 - i];
+"""
+
+#: Distinct program shapes — each is one pipeline run; repeats hit the cache.
+VARIANTS = [SOURCE_TEMPLATE.format(m=m) for m in (16, 24, 32, 40, 48)]
+
+
+def boot_daemon(workers):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--queue-size", "64", "--workers", str(workers)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    banner = proc.stdout.readline()
+    match = re.search(r"http://[\d.]+:(\d+)", banner)
+    if not match:
+        proc.kill()
+        raise SystemExit(f"no port in daemon banner: {banner!r}")
+    return proc, int(match.group(1))
+
+
+def fire(client, index, failures):
+    """One request; returns (label, status, elapsed_ms, cache_tier)."""
+    if index == 7:
+        # The deliberate past-deadline request: must degrade, not fail.
+        payload = {"source": VARIANTS[0], "machine": "nehalem",
+                   "scale": 32, "deadline_ms": 0}
+        label = "deadline"
+    else:
+        payload = {"source": VARIANTS[index % len(VARIANTS)],
+                   "machine": "dunnington", "scale": 32}
+        label = "mapped"
+    started = time.perf_counter()
+    status, _headers, body = client.request("POST", "/map", payload)
+    elapsed_ms = (time.perf_counter() - started) * 1e3
+    if status >= 500:
+        failures.append(f"request {index}: HTTP {status}: {body[:200]!r}")
+        return label, status, elapsed_ms, None
+    parsed = json.loads(body)
+    if label == "deadline" and not parsed.get("degraded"):
+        failures.append("past-deadline request was not degraded")
+    if status == 200 and label == "mapped" and not parsed.get("ok"):
+        failures.append(f"request {index}: ok=false: {parsed}")
+    return label, status, elapsed_ms, parsed.get("cache")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="service-smoke.json")
+    parser.add_argument("--requests", type=int, default=50)
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    proc, port = boot_daemon(args.workers)
+    failures = []
+    results = []
+    try:
+        client = ServiceClient(port=port, timeout=120)
+        client.wait_ready(timeout=30)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [
+                pool.submit(fire, client, index, failures)
+                for index in range(args.requests)
+            ]
+            results = [f.result() for f in futures]
+        stats = client.stats()
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            exit_code = proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            exit_code = None
+            failures.append("daemon did not exit within 60s of SIGTERM")
+    if exit_code not in (None, 0):
+        failures.append(f"daemon exited {exit_code}, expected 0")
+
+    latencies = sorted(ms for _label, _status, ms, _tier in results)
+    statuses = {}
+    tiers = {}
+    for _label, status, _ms, tier in results:
+        statuses[str(status)] = statuses.get(str(status), 0) + 1
+        if tier is not None:
+            tiers[tier] = tiers.get(tier, 0) + 1
+    if tiers.get("memory", 0) == 0:
+        failures.append("no request was answered from the cache")
+
+    report = {
+        "requests": len(results),
+        "statuses": statuses,
+        "cache_tiers": tiers,
+        "latency_ms": {
+            "p50": round(statistics.median(latencies), 2) if latencies else None,
+            "p95": round(latencies[int(0.95 * (len(latencies) - 1))], 2)
+            if latencies else None,
+            "max": round(latencies[-1], 2) if latencies else None,
+        },
+        "daemon_exit_code": exit_code,
+        "stats": stats,
+        "failures": failures,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(json.dumps({k: report[k] for k in
+                      ("requests", "statuses", "cache_tiers", "latency_ms",
+                       "daemon_exit_code")}, indent=2))
+    if failures:
+        print("FAILURES:", *failures, sep="\n  ", file=sys.stderr)
+        return 1
+    print(f"service smoke OK -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

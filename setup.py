@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="0.1.0",
+    version="0.2.0",
     description="Cache topology aware computation mapping for multicores (PLDI 2010 reproduction)",
     package_dir={"": "src"},
     packages=find_packages(where="src"),

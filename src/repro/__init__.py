@@ -31,7 +31,11 @@ from repro.lang import compile_source
 from repro.mapping import TopologyAwareMapper, base_plan, base_plus_plan, local_plan
 from repro.runtime import execute_plan
 
-__version__ = "0.1.0"
+#: The single source of truth for the library version.  ``repro
+#: --version``, the service's ``/version`` endpoint, and the ``Server:``
+#: header all read this; ``pyproject.toml`` mirrors it (asserted by
+#: ``tests/test_version.py``).
+__version__ = "0.2.0"
 
 __all__ = [
     "ReproError",

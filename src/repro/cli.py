@@ -8,6 +8,9 @@ Usage::
     python -m repro workloads
     python -m repro experiments --quick --jobs 4
     python -m repro cache info
+    python -m repro serve --port 8321 --workers 4
+    python -m repro submit SOURCE.loop --machine dunnington
+    python -m repro service-stats
 
 ``map`` compiles an affine loop program, runs the topology-aware mapper
 against the chosen machine and prints the assignment/schedule report;
@@ -19,6 +22,7 @@ the unscaled Table 1 capacities).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from contextlib import contextmanager
 
@@ -252,10 +256,105 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.service.server import MappingService, ServiceConfig, _default_workers
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        workers=args.workers if args.workers is not None else _default_workers(),
+        lru_capacity=args.lru_capacity,
+        cache_dir=args.cache_dir,
+        persistent=args.persistent,
+        default_deadline_ms=args.deadline_ms,
+        debug=args.debug,
+        quiet=not args.verbose,
+    )
+    return MappingService(config).serve()
+
+
+def cmd_submit(args) -> int:
+    from repro.service.client import ServiceClient
+
+    with open(args.source, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    knobs = {
+        "local_scheduling": args.schedule,
+        "balance_threshold": args.balance,
+        "alpha": args.alpha,
+        "beta": args.beta,
+    }
+    if args.block_size is not None:
+        knobs["block_size"] = args.block_size
+    topology = None
+    if args.topology:
+        with open(args.topology, "r", encoding="utf-8") as handle:
+            topology = handle.read()
+    client = ServiceClient(host=args.host, port=args.port, timeout=args.timeout)
+    response = client.submit(
+        source=source,
+        machine=None if topology else args.machine,
+        topology=topology,
+        nest=args.nest,
+        scale=float(args.scale),
+        knobs=knobs,
+        deadline_ms=args.deadline_ms,
+        no_cache=args.no_cache,
+        name=args.source.rsplit("/", 1)[-1].split(".")[0],
+    )
+    if args.json:
+        print(json.dumps(response, indent=2))
+        return 0
+    stats = response["stats"]
+    flags = []
+    if response["degraded"]:
+        flags.append(f"DEGRADED ({response.get('degraded_reason', 'deadline')})")
+    if response["cache"] in ("memory", "disk"):
+        flags.append(f"cache hit ({response['cache']})")
+    suffix = f" [{'; '.join(flags)}]" if flags else ""
+    print(
+        f"{response['scheme']} mapping of nest {response['nest']!r} on "
+        f"{response['machine']}: {stats['iterations']} iterations over "
+        f"{stats['cores']} cores in {stats['rounds']} round(s){suffix}"
+    )
+    rows = [
+        (core, count)
+        for core, count in enumerate(stats["per_core_iterations"])
+    ]
+    print(format_table(["core", "iterations"], rows))
+    print(
+        f"request {response['request_id']}: {response['elapsed_ms']:.1f}ms "
+        f"({response['queue_wait_ms']:.1f}ms queued)"
+    )
+    return 0
+
+
+def cmd_service_stats(args) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port, timeout=args.timeout)
+    payload = client.metrics() if args.metrics else json.dumps(client.stats(), indent=2)
+    print(payload)
+    return 0
+
+
+def _service_endpoint(p):
+    p.add_argument("--host", default="127.0.0.1", help="service host")
+    p.add_argument("--port", type=int, default=8321, help="service port")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="client timeout in seconds")
+
+
 def build_parser() -> argparse.ArgumentParser:
+    import repro
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Cache topology aware computation mapping (PLDI 2010 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {repro.__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -340,6 +439,72 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--no-sim", action="store_true",
                               help="trace the mapper only, skip the simulation")
     trace_parser.set_defaults(func=cmd_trace)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the mapping service daemon (HTTP/JSON)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument("--port", type=int, default=8321,
+                              help="bind port (0 picks an ephemeral port)")
+    serve_parser.add_argument("--queue-size", type=int, default=64, metavar="Q",
+                              help="admission queue capacity (default 64)")
+    serve_parser.add_argument("--workers", type=int, default=None, metavar="N",
+                              help="worker threads (default: up to 4)")
+    serve_parser.add_argument("--lru-capacity", type=int, default=512,
+                              metavar="N", help="in-process cache entries")
+    serve_parser.add_argument("--persistent", action="store_true",
+                              help="enable the on-disk mapping cache tier")
+    serve_parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                              help="persistent cache directory (default: "
+                                   "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    serve_parser.add_argument("--deadline-ms", type=float, default=None,
+                              metavar="MS",
+                              help="default per-request deadline (none: never "
+                                   "degrade unless the request asks)")
+    serve_parser.add_argument("--debug", action="store_true",
+                              help="honor test-only request fields "
+                                   "(debug_sleep_ms)")
+    serve_parser.add_argument("--verbose", action="store_true",
+                              help="log each HTTP request to stderr")
+    serve_parser.set_defaults(func=cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit one mapping request to a running service"
+    )
+    submit_parser.add_argument("source", help="affine loop program file")
+    _service_endpoint(submit_parser)
+    submit_parser.add_argument("--machine", default="dunnington",
+                               help="target machine name")
+    submit_parser.add_argument("--topology", default=None,
+                               help="file with a topology spec string "
+                                    "(overrides --machine)")
+    submit_parser.add_argument("--scale", type=int, default=1,
+                               help="divide cache capacities by this factor")
+    submit_parser.add_argument("--nest", type=int, default=0,
+                               help="nest index (default 0)")
+    submit_parser.add_argument("--block-size", type=int, default=None,
+                               help="data block size in bytes")
+    submit_parser.add_argument("--balance", type=float, default=0.10,
+                               help="balance threshold (default 0.10)")
+    submit_parser.add_argument("--alpha", type=float, default=0.5)
+    submit_parser.add_argument("--beta", type=float, default=0.5)
+    submit_parser.add_argument("--schedule", action="store_true",
+                               help="apply Figure 7 local scheduling")
+    submit_parser.add_argument("--deadline-ms", type=float, default=None,
+                               metavar="MS", help="per-request deadline")
+    submit_parser.add_argument("--no-cache", action="store_true",
+                               help="bypass the service's mapping cache")
+    submit_parser.add_argument("--json", action="store_true",
+                               help="print the raw JSON response")
+    submit_parser.set_defaults(func=cmd_submit)
+
+    stats_parser = sub.add_parser(
+        "service-stats", help="print a running service's /stats (or /metrics)"
+    )
+    _service_endpoint(stats_parser)
+    stats_parser.add_argument("--metrics", action="store_true",
+                              help="print Prometheus-style /metrics instead")
+    stats_parser.set_defaults(func=cmd_service_stats)
 
     tune_parser = sub.add_parser("tune", help="search block sizes by simulation")
     common(tune_parser)

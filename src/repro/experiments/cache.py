@@ -42,11 +42,12 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Source files whose content can change simulation results.  Everything
 #: under ``src/repro`` counts except presentation/plumbing: the obs
-#: layer, the CLI, and the experiment figure modules (they only arrange
+#: layer, the CLI, the serving layer (it only transports pipeline inputs
+#: and outputs), and the experiment figure modules (they only arrange
 #: results).  ``harness.py`` and ``versions.py`` stay in because they
 #: hold result-affecting constants (scale, balance threshold) and the
 #: retargeting logic.
-_EXEMPT_PREFIXES = ("obs/",)
+_EXEMPT_PREFIXES = ("obs/", "service/")
 _EXEMPT_FILES = ("cli.py",)
 _EXPERIMENT_KEEP = ("experiments/harness.py", "experiments/versions.py")
 

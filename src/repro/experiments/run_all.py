@@ -76,6 +76,23 @@ def _slug(label: str) -> str:
     return label.lower().replace(" ", "_").replace("(", "").replace(")", "")
 
 
+def _matches(needle: str, label: str) -> bool:
+    """Substring match against the label and its slug, separator-blind.
+
+    ``--only fig13``, ``--only "Figure 13"`` and ``--only figure_13`` all
+    select the "Figure 13" steps: comparisons also run with spaces,
+    underscores, and the ``figure``/``fig`` spelling difference
+    collapsed, so the slug users see in trace file names and the short
+    form used throughout the docs both work.
+    """
+    slug = _slug(label)
+    needle = needle.lower()
+    if needle in slug or needle in label.lower():
+        return True
+    flat = slug.replace("_", "").replace("figure", "fig")
+    return needle.replace("_", "").replace(" ", "").replace("figure", "fig") in flat
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -152,12 +169,14 @@ def main(argv: list[str] | None = None) -> int:
 
     steps = _steps(apps)
     if args.only:
-        needle = args.only.lower()
-        steps = [
-            s for s in steps if needle in _slug(s[0]) or needle in s[0].lower()
-        ]
+        all_slugs = [_slug(label) for label, _runner in steps]
+        steps = [s for s in steps if _matches(args.only, s[0])]
         if not steps:
-            print(f"no step matches --only {args.only!r}", file=sys.stderr)
+            print(
+                f"error: no step matches --only {args.only!r}; available "
+                f"steps: {', '.join(all_slugs)}",
+                file=sys.stderr,
+            )
             return 2
     if not args.no_cache:
         harness.enable_disk_cache(args.cache_dir)

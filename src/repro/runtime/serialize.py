@@ -1,4 +1,4 @@
-"""JSON (de)serialization of plans and results.
+"""JSON (de)serialization of plans, programs and results.
 
 A compiled mapping is an artifact worth persisting: build farms map once
 and run many times; experiment pipelines archive what they executed.
@@ -8,19 +8,36 @@ belongs to (iteration tuples are data; the nest and machine are
 reconstructed from their own sources and validated against the recorded
 fingerprints).  ``result_to_dict`` flattens a
 :class:`~repro.sim.stats.SimResult` for logging.
+
+``program_to_dict``/``program_from_dict`` round-trip a whole
+:class:`~repro.ir.loops.Program` — arrays, params, and each nest's
+iteration space and affine accesses.  This is the wire format of the
+mapping service (:mod:`repro.service`): clients that already lowered
+their source (or never had :mod:`repro.lang` text to begin with) submit
+the IR itself, and :func:`program_digest` gives both sides a canonical
+content key for caching.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 
-from repro.errors import SimulationError
-from repro.ir.loops import Program
+from repro.errors import IRError, SimulationError
+from repro.ir.accesses import ArrayAccess
+from repro.ir.arrays import Array
+from repro.ir.loops import LoopNest, Program
 from repro.mapping.distribute import ExecutablePlan
+from repro.poly.affine import AffineExpr
+from repro.poly.constraints import Constraint
+from repro.poly.intset import IntSet
 from repro.sim.stats import SimResult
 from repro.topology.tree import Machine
 
 FORMAT_VERSION = 1
+
+#: Format tag for serialized programs (independent of the plan format).
+PROGRAM_FORMAT_VERSION = 1
 
 
 def _machine_fingerprint(machine: Machine) -> dict:
@@ -86,6 +103,146 @@ def plan_from_json(
     plan = ExecutablePlan(machine, nest, rounds, payload["label"])
     plan.verify_complete()
     return plan
+
+
+def _expr_to_dict(expr: AffineExpr) -> dict:
+    return {"coeffs": dict(expr.coeffs), "constant": expr.constant}
+
+
+def _expr_from_dict(raw: dict) -> AffineExpr:
+    coeffs = raw.get("coeffs", {})
+    if not isinstance(coeffs, dict):
+        raise IRError("affine expression coeffs must be an object")
+    return AffineExpr(
+        {str(name): int(coeff) for name, coeff in coeffs.items()},
+        int(raw.get("constant", 0)),
+    )
+
+
+def _nest_to_dict(nest: LoopNest) -> dict:
+    return {
+        "name": nest.name,
+        "dims": list(nest.dims),
+        "parallel": nest.parallel,
+        "constraints": [
+            {"kind": con.kind, **_expr_to_dict(con.expr)}
+            for con in nest.space.constraints
+        ],
+        "accesses": [
+            {
+                "array": access.array.name,
+                "is_write": access.is_write,
+                "subscripts": [_expr_to_dict(s) for s in access.subscripts],
+            }
+            for access in nest.accesses
+        ],
+    }
+
+
+def program_to_dict(program: Program) -> dict:
+    """The program as a plain JSON-serializable dict (the service wire
+    format; see :func:`program_from_dict` for the inverse)."""
+    return {
+        "format": PROGRAM_FORMAT_VERSION,
+        "name": program.name,
+        "params": dict(program.params),
+        "arrays": [
+            {
+                "name": array.name,
+                "extents": list(array.extents),
+                "element_size": array.element_size,
+            }
+            for array in program.arrays.values()
+        ],
+        "nests": [_nest_to_dict(nest) for nest in program.nests],
+    }
+
+
+def program_to_json(program: Program) -> str:
+    """Serialize a whole program (arrays, params, nests, accesses)."""
+    return json.dumps(program_to_dict(program))
+
+
+def program_from_dict(payload: dict) -> Program:
+    """Reconstruct a :class:`~repro.ir.loops.Program` from its dict form.
+
+    Validation is the IR's own: reconstructed accesses and nests go
+    through the same constructors as frontend-lowered ones, so a payload
+    that decodes successfully is a well-formed program (consistent array
+    declarations, in-dims subscripts, and so on).
+    """
+    if not isinstance(payload, dict):
+        raise IRError("serialized program must be a JSON object")
+    if payload.get("format") != PROGRAM_FORMAT_VERSION:
+        raise IRError(
+            f"unsupported program format {payload.get('format')!r}"
+        )
+    try:
+        arrays = {
+            raw["name"]: Array(
+                str(raw["name"]),
+                tuple(int(e) for e in raw["extents"]),
+                int(raw.get("element_size", 8)),
+            )
+            for raw in payload["arrays"]
+        }
+        nests = []
+        for raw_nest in payload["nests"]:
+            dims = tuple(str(d) for d in raw_nest["dims"])
+            constraints = [
+                Constraint(_expr_from_dict(raw), str(raw.get("kind", Constraint.GE)))
+                for raw in raw_nest["constraints"]
+            ]
+            space = IntSet(dims, constraints)
+            accesses = []
+            for raw_access in raw_nest["accesses"]:
+                name = raw_access["array"]
+                if name not in arrays:
+                    raise IRError(f"access references undeclared array {name!r}")
+                accesses.append(
+                    ArrayAccess(
+                        arrays[name],
+                        dims,
+                        [_expr_from_dict(s) for s in raw_access["subscripts"]],
+                        is_write=bool(raw_access.get("is_write", False)),
+                    )
+                )
+            nests.append(
+                LoopNest(
+                    str(raw_nest["name"]),
+                    space,
+                    accesses,
+                    parallel=bool(raw_nest.get("parallel", True)),
+                )
+            )
+        params = {
+            str(name): int(value)
+            for name, value in payload.get("params", {}).items()
+        }
+        return Program(str(payload["name"]), list(arrays.values()), nests, params)
+    except (KeyError, TypeError, ValueError) as error:
+        raise IRError(f"malformed serialized program: {error}") from None
+
+
+def program_from_json(text: str) -> Program:
+    """Inverse of :func:`program_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise IRError(f"malformed program JSON: {error}") from None
+    return program_from_dict(payload)
+
+
+def program_digest(program: Program) -> str:
+    """Canonical content digest of a program (sorted-key JSON, SHA-256).
+
+    Two programs digest equal iff their serialized forms are identical;
+    the service keys its mapping cache on (this, topology digest, knobs).
+    """
+    canonical = json.dumps(
+        program_to_dict(program), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def result_to_dict(result: SimResult) -> dict:

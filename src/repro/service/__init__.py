@@ -1,0 +1,54 @@
+"""Mapping-as-a-service: the run-time oracle in front of the pipeline.
+
+The paper's pass is a compile-time component, but its natural deployment
+(as in Paulino & Delgado's run-time decomposition work) is a long-running
+oracle that programs query with a loop nest and a cache topology and get
+a mapping back.  This package serves the full
+tag -> affinity -> cluster -> balance -> schedule pipeline over HTTP/JSON
+with nothing beyond the standard library:
+
+* :mod:`repro.service.protocol` — request/response schema, content keys;
+* :mod:`repro.service.engine` — pipeline + baseline execution per request;
+* :mod:`repro.service.mapcache` — two-tier (LRU + persistent) result cache;
+* :mod:`repro.service.admission` — bounded queue and worker pool;
+* :mod:`repro.service.server` — the HTTP daemon (``repro serve``);
+* :mod:`repro.service.client` — the client API (``repro submit``).
+
+Quick start::
+
+    from repro.service import MappingService, ServiceClient
+
+    service = MappingService()         # ephemeral port, in-process cache
+    service.start()
+    client = ServiceClient(port=service.port)
+    response = client.submit(source=SOURCE_TEXT, machine="dunnington")
+    service.stop()
+
+See ``docs/SERVICE.md`` for the protocol, the degradation semantics, and
+the cache-tier behavior.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.mapcache import MappingCache
+from repro.service.protocol import (
+    BadRequest,
+    MappingRequest,
+    Overloaded,
+    ServiceError,
+    Unavailable,
+    parse_request,
+)
+from repro.service.server import MappingService, ServiceConfig
+
+__all__ = [
+    "BadRequest",
+    "MappingCache",
+    "MappingRequest",
+    "MappingService",
+    "Overloaded",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "Unavailable",
+    "parse_request",
+]

@@ -1,0 +1,166 @@
+"""Bounded admission queue and worker pool for the mapping service.
+
+Admission control is the service's backpressure mechanism: at most
+``queue_size`` requests wait for a worker at any moment, and a submit
+against a full queue raises :class:`~repro.service.protocol.Overloaded`
+immediately (the server turns that into HTTP 429 + ``Retry-After``)
+instead of letting latency grow without bound.
+
+The pool is deliberately simple: one :class:`queue.Queue`, ``workers``
+daemon-free threads, one sentinel per worker on shutdown.  ``drain``
+stops admissions and then waits for the queue *and* the in-flight set to
+empty, which is what the SIGTERM handler needs for a clean
+drain-then-exit.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.service.protocol import MappingRequest, Overloaded
+
+_SENTINEL = object()
+
+
+@dataclass
+class Job:
+    """One admitted request travelling from handler thread to worker."""
+
+    request: MappingRequest
+    request_id: str
+    enqueued: float = field(default_factory=time.monotonic)
+    done: threading.Event = field(default_factory=threading.Event)
+    response: dict | None = None
+    error: BaseException | None = None
+    queue_wait_ms: float = 0.0
+
+    def finish(self, response: dict | None = None, error: BaseException | None = None) -> None:
+        self.response = response
+        self.error = error
+        self.done.set()
+
+
+class AdmissionQueue:
+    """Fixed-capacity job queue drained by a fixed worker pool."""
+
+    def __init__(
+        self,
+        handler: Callable[[Job], dict],
+        queue_size: int = 64,
+        workers: int = 2,
+        name: str = "repro-service",
+    ):
+        if queue_size <= 0:
+            raise ValueError(f"queue_size must be positive, got {queue_size}")
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.handler = handler
+        self.queue_size = queue_size
+        self.workers = workers
+        self._queue: queue.Queue[Any] = queue.Queue(maxsize=queue_size)
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._accepting = False
+        self._idle = threading.Condition(self._lock)
+        self.submitted = 0
+        self.rejected = 0
+        self._name = name
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        self._accepting = True
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"{self._name}-worker-{index}"
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admitting, wait for queued + in-flight work to finish."""
+        with self._lock:
+            self._accepting = False
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._queue.unfinished_tasks or self._in_flight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(timeout=remaining)
+        return True
+
+    def stop(self, timeout: float | None = 30.0) -> bool:
+        """Drain, then terminate the workers (idempotent)."""
+        if not self._threads:
+            with self._lock:
+                self._accepting = False
+            return True
+        drained = self.drain(timeout)
+        for _ in self._threads:
+            self._queue.put(_SENTINEL)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+        return drained
+
+    # -- admission -------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Admit a job or raise :class:`Overloaded`/:class:`Unavailable`."""
+        with self._lock:
+            if not self._accepting:
+                from repro.service.protocol import Unavailable
+
+                raise Unavailable("service is draining")
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._lock:
+                self.rejected += 1
+            raise Overloaded(
+                f"admission queue full ({self.queue_size} waiting)",
+                retry_after=self.retry_after_hint(),
+            ) from None
+        with self._lock:
+            self.submitted += 1
+
+    def retry_after_hint(self, avg_job_s: float = 0.1) -> int:
+        """Seconds until a queue slot plausibly frees up (>= 1)."""
+        backlog = self._queue.qsize() + self._in_flight
+        return max(1, min(30, round(backlog * avg_job_s / self.workers)))
+
+    # -- introspection ---------------------------------------------------
+    def depth(self) -> int:
+        return self._queue.qsize()
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    # -- worker loop -----------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                self._queue.task_done()
+                return
+            job: Job = item
+            job.queue_wait_ms = (time.monotonic() - job.enqueued) * 1e3
+            with self._lock:
+                self._in_flight += 1
+            try:
+                job.finish(response=self.handler(job))
+            except BaseException as error:  # noqa: BLE001 - ferried to the handler thread
+                job.finish(error=error)
+            finally:
+                with self._idle:
+                    self._in_flight -= 1
+                    self._queue.task_done()
+                    self._idle.notify_all()

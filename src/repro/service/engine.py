@@ -1,0 +1,95 @@
+"""Per-request pipeline execution for the mapping service.
+
+:func:`compute_mapping` runs the full topology-aware pipeline for one
+validated request and returns the JSON-serializable payload the server
+caches and ships; :func:`baseline_mapping` is the cheap fallback used
+under deadline pressure (the Base scheme — a contiguous block
+distribution needs no tagging, clustering or scheduling, so it costs
+microseconds where the pipeline costs milliseconds).
+
+Both produce the same payload shape, with the plan serialized through
+:mod:`repro.runtime.serialize` so a client can reconstruct and validate
+an :class:`~repro.mapping.distribute.ExecutablePlan` from the response.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro import obs
+from repro.mapping.baselines import base_plan
+from repro.mapping.distribute import ExecutablePlan, TopologyAwareMapper
+from repro.runtime.serialize import plan_to_json
+from repro.service.protocol import MappingRequest
+
+
+def _payload(
+    request: MappingRequest, plan: ExecutablePlan, stats: dict
+) -> dict:
+    stats = dict(stats)
+    stats.update(
+        iterations=request.nest.iteration_count(),
+        cores=request.machine.num_cores,
+        rounds=plan.num_rounds,
+        per_core_iterations=[
+            len(plan.core_iterations(core)) for core in range(len(plan.rounds))
+        ],
+    )
+    return {
+        "scheme": plan.label,
+        "nest": request.nest.name,
+        "machine": request.machine.name,
+        "mapping": json.loads(plan_to_json(plan)),
+        "stats": stats,
+    }
+
+
+def compute_mapping(request: MappingRequest) -> dict:
+    """Run the full pipeline; the result is the cacheable response body."""
+    knobs = request.knobs
+    mapper = TopologyAwareMapper(
+        request.machine,
+        block_size=knobs.block_size,
+        balance_threshold=knobs.balance_threshold,
+        alpha=knobs.alpha,
+        beta=knobs.beta,
+        local_scheduling=knobs.local_scheduling,
+        dependence_policy=knobs.dependence_policy,
+        cluster_strategy=knobs.cluster_strategy,
+    )
+    started = time.perf_counter()
+    with obs.span(
+        "service.pipeline",
+        nest=request.nest.name,
+        machine=request.machine.name,
+    ):
+        result = mapper.map_nest(request.program, request.nest)
+    elapsed_ms = (time.perf_counter() - started) * 1e3
+    obs.count("service.pipeline.runs")
+    plan = result.plan()
+    stats = {
+        "groups": len(result.group_set),
+        "blocks": result.partition.num_blocks,
+        "block_size": result.partition.block_size,
+        "pipeline_ms": round(elapsed_ms, 3),
+        "timings_ms": {
+            phase: round(seconds * 1e3, 3)
+            for phase, seconds in result.timings.items()
+        },
+    }
+    return _payload(request, plan, stats)
+
+
+def baseline_mapping(request: MappingRequest) -> dict:
+    """The degradation fallback: the Base scheme's contiguous chunks."""
+    started = time.perf_counter()
+    with obs.span(
+        "service.baseline",
+        nest=request.nest.name,
+        machine=request.machine.name,
+    ):
+        plan = base_plan(request.nest, request.machine)
+    elapsed_ms = (time.perf_counter() - started) * 1e3
+    obs.count("service.baseline.runs")
+    return _payload(request, plan, {"pipeline_ms": round(elapsed_ms, 3)})

@@ -1,0 +1,167 @@
+"""Two-tier mapping cache: in-process LRU over an optional disk store.
+
+Tier 1 is a bounded, thread-safe LRU dictionary; tier 2 reuses the
+content-keyed fingerprinting of :mod:`repro.experiments.cache` — entries
+live in ``mappings-<fp12>.json`` under the cache directory, where the
+fingerprint covers every mapping-relevant source file.  Editing the
+mapper therefore moves the service to a fresh (empty) file instead of
+serving stale mappings, exactly like the experiment result cache.
+
+Keys are the protocol's ``(nest digest, topology digest, knob tuple)``
+triples; values are the engine's JSON-serializable response payloads.
+A tier-1 miss that hits tier 2 is promoted into the LRU, so a warm
+restart pays the disk read once per key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+
+from repro.experiments.cache import code_fingerprint, default_cache_dir
+
+#: JSON schema tag for the persistent tier's file payload.
+STORE_FORMAT = 1
+
+
+def _encode_key(key: tuple) -> str:
+    return json.dumps(key, separators=(",", ":"))
+
+
+class _DiskStore:
+    """The persistent tier: one JSON file per code fingerprint.
+
+    Same discipline as :class:`repro.experiments.cache.DiskCache`:
+    write-through with atomic replace, corrupt/foreign files read as
+    empty, single writer (the serving process).
+    """
+
+    def __init__(self, directory: str | None = None):
+        self.directory = directory or default_cache_dir()
+        self.fingerprint = code_fingerprint()
+        self.path = os.path.join(
+            self.directory, f"mappings-{self.fingerprint[:12]}.json"
+        )
+        self._entries: dict[str, dict] = self._load()
+
+    def _load(self) -> dict[str, dict]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != STORE_FORMAT
+            or payload.get("fingerprint") != self.fingerprint
+        ):
+            return {}
+        entries = payload.get("mappings")
+        return entries if isinstance(entries, dict) else {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, encoded: str) -> dict | None:
+        value = self._entries.get(encoded)
+        return value if isinstance(value, dict) else None
+
+    def put(self, encoded: str, value: dict) -> None:
+        if encoded in self._entries:
+            return
+        self._entries[encoded] = value
+        self._flush()
+
+    def _flush(self) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        payload = {
+            "format": STORE_FORMAT,
+            "fingerprint": self.fingerprint,
+            "mappings": self._entries,
+        }
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, self.path)
+
+
+class MappingCache:
+    """The two tiers behind one ``get``/``put`` pair.
+
+    ``get`` returns ``(value, tier)`` with tier ``"memory"`` or
+    ``"disk"``, or ``None`` on a full miss.  Hit/miss counts per tier
+    are kept under the same lock and surface in the service's
+    ``/stats``.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        directory: str | None = None,
+        persistent: bool = False,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lru: OrderedDict[str, dict] = OrderedDict()
+        self._lock = threading.Lock()
+        self._disk = _DiskStore(directory) if persistent else None
+        self.hits_memory = 0
+        self.hits_disk = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def persistent(self) -> bool:
+        return self._disk is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lru)
+
+    def get(self, key: tuple) -> tuple[dict, str] | None:
+        encoded = _encode_key(key)
+        with self._lock:
+            value = self._lru.get(encoded)
+            if value is not None:
+                self._lru.move_to_end(encoded)
+                self.hits_memory += 1
+                return value, "memory"
+            if self._disk is not None:
+                value = self._disk.get(encoded)
+                if value is not None:
+                    self.hits_disk += 1
+                    self._admit(encoded, value)
+                    return value, "disk"
+            self.misses += 1
+            return None
+
+    def put(self, key: tuple, value: dict) -> None:
+        encoded = _encode_key(key)
+        with self._lock:
+            self._admit(encoded, value)
+            if self._disk is not None:
+                self._disk.put(encoded, value)
+
+    def _admit(self, encoded: str, value: dict) -> None:
+        self._lru[encoded] = value
+        self._lru.move_to_end(encoded)
+        while len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._lru),
+                "persistent": self._disk is not None,
+                "disk_entries": len(self._disk) if self._disk else 0,
+                "disk_path": self._disk.path if self._disk else None,
+                "hits_memory": self.hits_memory,
+                "hits_disk": self.hits_disk,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,573 @@
+"""The HTTP/JSON mapping daemon (``repro serve``).
+
+One :class:`MappingService` owns the four moving parts — admission queue,
+worker pool, two-tier cache, and stats — behind a stdlib
+:class:`~http.server.ThreadingHTTPServer`:
+
+``POST /map``
+    Submit a mapping request (see :mod:`repro.service.protocol`).
+    Cache hits answer from the handler thread; misses queue for a
+    worker.  A full queue answers ``429`` with ``Retry-After``; a
+    draining server answers ``503``.
+``GET /healthz``, ``GET /stats``, ``GET /metrics``, ``GET /version``
+    Liveness, JSON stats (including cache hit counters and queue depth),
+    Prometheus-style text metrics bridged from the :mod:`repro.obs`
+    counters/gauges, and the library version.
+
+**Deadline-aware degradation**: a request with ``deadline_ms`` (or the
+server default) is checked when a worker picks it up.  If the time
+already spent waiting plus the *predicted* pipeline cost (an EWMA of
+observed per-iteration pipeline time) exceeds the deadline, the worker
+answers with the cheap Base mapping instead and flags the response
+``degraded: true`` — a late useful answer beats a timely timeout.
+
+**Tracing**: with ``REPRO_TRACE_DIR`` set at startup, each computed
+request writes ``<dir>/request-<id>.jsonl``.  Per-request recorders are
+process-global, so traced pipelines serialize through a lock —
+observability mode trades throughput for per-request spans.
+
+**Shutdown**: :meth:`MappingService.serve` installs SIGINT/SIGTERM
+handlers that stop admissions, drain queued and in-flight work, flush
+the persistent cache tier, and only then exit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import repro
+from repro import obs
+from repro.errors import ReproError
+from repro.service.admission import AdmissionQueue, Job
+from repro.service.engine import baseline_mapping, compute_mapping
+from repro.service.mapcache import MappingCache
+from repro.service.protocol import (
+    MappingRequest,
+    ServiceError,
+    Unavailable,
+    parse_request,
+)
+
+#: Environment variable enabling per-request trace capture.
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+#: Upper bound on a request body, in bytes (a serialized program for a
+#: large nest is ~100KB; 16MB leaves two orders of magnitude of headroom).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one service instance (all have serving defaults)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+    queue_size: int = 64
+    workers: int = 2
+    lru_capacity: int = 512
+    cache_dir: str | None = None
+    persistent: bool = False
+    default_deadline_ms: float | None = None
+    hard_timeout_s: float = 300.0
+    drain_timeout_s: float = 30.0
+    debug: bool = False
+    collect_obs: bool = True
+    quiet: bool = True
+
+
+class _LatencyWindow:
+    """Lock-free-enough ring of recent request latencies for /stats."""
+
+    def __init__(self, size: int = 512):
+        self._size = size
+        self._values: list[float] = []
+        self._next = 0
+
+    def add(self, value_ms: float) -> None:
+        if len(self._values) < self._size:
+            self._values.append(value_ms)
+        else:
+            self._values[self._next] = value_ms
+            self._next = (self._next + 1) % self._size
+
+    def summary(self) -> dict:
+        if not self._values:
+            return {"count": 0}
+        ordered = sorted(self._values)
+        n = len(ordered)
+        return {
+            "count": n,
+            "p50_ms": round(ordered[n // 2], 3),
+            "p95_ms": round(ordered[min(n - 1, (n * 95) // 100)], 3),
+            "max_ms": round(ordered[-1], 3),
+        }
+
+
+class ServiceStats:
+    """Counter table for the service itself (obs counters ride along)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: dict[str, int] = {}
+        self.latency = _LatencyWindow()
+        self.obs_counters: dict[str, int] = {}
+        # EWMA of pipeline microseconds per iteration: the degradation
+        # predictor.  Starts at zero (optimistic) and adapts within a
+        # handful of requests.
+        self._us_per_iteration = 0.0
+        self._ewma_samples = 0
+
+    def bump(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe_latency(self, elapsed_ms: float) -> None:
+        with self._lock:
+            self.latency.add(elapsed_ms)
+
+    def observe_pipeline(self, elapsed_ms: float, iterations: int) -> None:
+        if iterations <= 0:
+            return
+        sample = elapsed_ms * 1e3 / iterations
+        with self._lock:
+            if self._ewma_samples == 0:
+                self._us_per_iteration = sample
+            else:
+                self._us_per_iteration += 0.2 * (sample - self._us_per_iteration)
+            self._ewma_samples += 1
+
+    def predicted_pipeline_ms(self, iterations: int) -> float:
+        with self._lock:
+            return self._us_per_iteration * iterations / 1e3
+
+    def merge_obs(self, counters: dict[str, int]) -> None:
+        with self._lock:
+            for name, value in counters.items():
+                self.obs_counters[name] = self.obs_counters.get(name, 0) + value
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "latency": self.latency.summary(),
+                "pipeline_us_per_iteration": round(self._us_per_iteration, 3),
+            }
+
+
+class MappingService:
+    """The daemon: owns the HTTP server, workers, cache, and stats."""
+
+    def __init__(self, config: ServiceConfig | None = None, **overrides):
+        if config is None:
+            config = ServiceConfig(**overrides)
+        elif overrides:
+            raise TypeError("pass either a ServiceConfig or keyword overrides")
+        self.config = config
+        self.stats = ServiceStats()
+        self.cache = MappingCache(
+            capacity=config.lru_capacity,
+            directory=config.cache_dir,
+            persistent=config.persistent,
+        )
+        self.admission = AdmissionQueue(
+            handler=self._process_job,
+            queue_size=config.queue_size,
+            workers=config.workers,
+        )
+        self.started_at: float | None = None
+        self.draining = False
+        self._httpd: ThreadingHTTPServer | None = None
+        self._serve_thread: threading.Thread | None = None
+        self._own_recorder: obs.Recorder | None = None
+        self._trace_dir = os.environ.get(TRACE_DIR_ENV) or None
+        self._trace_lock = threading.Lock()
+        self._stop_requested = threading.Event()
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._httpd is None:
+            return self.config.port
+        return self._httpd.server_address[1]
+
+    def start(self) -> "MappingService":
+        """Bind, start workers and the accept loop; returns immediately."""
+        if self._httpd is not None:
+            raise ServiceError("service already started")
+        if self._trace_dir:
+            os.makedirs(self._trace_dir, exist_ok=True)
+        elif self.config.collect_obs and not obs.enabled():
+            # A sink-less recorder: pipeline decision counters accumulate
+            # for /metrics without paying for span serialization.
+            self._own_recorder = obs.configure()
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        self.admission.start()
+        self.started_at = time.time()
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-service-accept",
+        )
+        self._serve_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain-then-exit: reject new work, finish admitted work, close."""
+        if self._httpd is None:
+            return
+        self.draining = True
+        self.admission.stop(timeout=self.config.drain_timeout_s)
+        self._httpd.shutdown()
+        # server_close joins the per-connection handler threads
+        # (block_on_close), so no response is cut off mid-write.
+        self._httpd.server_close()
+        self._serve_thread.join(timeout=self.config.drain_timeout_s)
+        self._httpd = None
+        self._serve_thread = None
+        if self._own_recorder is not None:
+            if obs.get_recorder() is self._own_recorder:
+                self.stats.merge_obs(self._own_recorder.counters)
+                obs.shutdown()
+            self._own_recorder = None
+
+    def serve(self) -> int:
+        """Blocking entry point with SIGINT/SIGTERM drain-then-exit."""
+        self.start()
+
+        def _request_stop(signum, _frame):
+            self.stats.bump(f"signal.{signal.Signals(signum).name}")
+            self._stop_requested.set()
+
+        previous = {
+            sig: signal.signal(sig, _request_stop)
+            for sig in (signal.SIGINT, signal.SIGTERM)
+        }
+        print(
+            f"repro service listening on http://{self.config.host}:{self.port} "
+            f"(queue={self.config.queue_size}, workers={self.config.workers}, "
+            f"cache={'lru+disk' if self.cache.persistent else 'lru'})",
+            flush=True,
+        )
+        try:
+            self._stop_requested.wait()
+        finally:
+            print("repro service draining...", flush=True)
+            self.stop()
+            for sig, old in previous.items():
+                signal.signal(sig, old)
+            print("repro service stopped.", flush=True)
+        return 0
+
+    # -- request processing ---------------------------------------------
+    def handle_map(self, payload: dict) -> tuple[int, dict]:
+        """The full admission + cache + compute flow for one request.
+
+        Returns ``(http_status, response_body)``; raises
+        :class:`ServiceError` subclasses for backpressure and validation
+        failures (the transport turns them into their ``status``).
+        """
+        started = time.monotonic()
+        request_id = uuid.uuid4().hex[:12]
+        self.stats.bump("requests")
+        request = parse_request(
+            payload,
+            default_deadline_ms=self.config.default_deadline_ms,
+            allow_debug=self.config.debug,
+        )
+        if not request.no_cache:
+            hit = self.cache.get(request.cache_key)
+            if hit is not None:
+                value, tier = hit
+                self.stats.bump(f"cache.{tier}")
+                return 200, self._respond(
+                    request, request_id, value,
+                    degraded=False, cache=tier, started=started,
+                )
+        self.stats.bump("cache.miss" if not request.no_cache else "cache.bypass")
+        if self.draining:
+            raise Unavailable("service is draining")
+        job = Job(request=request, request_id=request_id)
+        self.admission.submit(job)  # raises Overloaded on a full queue
+        if not job.done.wait(timeout=self.config.hard_timeout_s):
+            self.stats.bump("timeouts")
+            raise Unavailable(
+                f"request {request_id} exceeded the hard timeout "
+                f"({self.config.hard_timeout_s:.0f}s)"
+            )
+        if job.error is not None:
+            raise job.error
+        value = job.response
+        degraded = bool(value.get("degraded"))
+        if not request.no_cache and not degraded:
+            self.cache.put(request.cache_key, value["payload"])
+        return 200, self._respond(
+            request, request_id, value["payload"],
+            degraded=degraded, cache="bypass" if request.no_cache else "none",
+            started=started, queue_wait_ms=job.queue_wait_ms,
+            degraded_reason=value.get("degraded_reason"),
+        )
+
+    def _respond(
+        self,
+        request: MappingRequest,
+        request_id: str,
+        payload: dict,
+        degraded: bool,
+        cache: str,
+        started: float,
+        queue_wait_ms: float = 0.0,
+        degraded_reason: str | None = None,
+    ) -> dict:
+        elapsed_ms = (time.monotonic() - started) * 1e3
+        self.stats.observe_latency(elapsed_ms)
+        if degraded:
+            self.stats.bump("degraded")
+        body = {
+            "ok": True,
+            "request_id": request_id,
+            "degraded": degraded,
+            "cache": cache,
+            "key": {
+                "nest": request.nest_key,
+                "topology": request.topology_key,
+                "knobs": list(request.knobs.as_tuple()),
+            },
+            "elapsed_ms": round(elapsed_ms, 3),
+            "queue_wait_ms": round(queue_wait_ms, 3),
+        }
+        if degraded_reason:
+            body["degraded_reason"] = degraded_reason
+        body.update(payload)
+        return body
+
+    def _process_job(self, job: Job) -> dict:
+        """Worker-side: degradation decision + pipeline (or baseline)."""
+        request = job.request
+        if self.config.debug and request.debug_sleep_ms:
+            time.sleep(request.debug_sleep_ms / 1e3)
+        degrade_reason = self._should_degrade(job)
+        if degrade_reason is not None:
+            payload = self._run_traced(job, baseline_mapping)
+            return {
+                "payload": payload,
+                "degraded": True,
+                "degraded_reason": degrade_reason,
+            }
+        started = time.perf_counter()
+        payload = self._run_traced(job, compute_mapping)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        self.stats.bump("pipeline_runs")
+        self.stats.observe_pipeline(elapsed_ms, request.nest.iteration_count())
+        return {"payload": payload, "degraded": False}
+
+    def _should_degrade(self, job: Job) -> str | None:
+        deadline_ms = job.request.deadline_ms
+        if deadline_ms is None:
+            return None
+        elapsed_ms = (time.monotonic() - job.enqueued) * 1e3
+        remaining_ms = deadline_ms - elapsed_ms
+        predicted_ms = self.stats.predicted_pipeline_ms(
+            job.request.nest.iteration_count()
+        )
+        if remaining_ms <= predicted_ms:
+            return (
+                f"deadline {deadline_ms:.0f}ms: {elapsed_ms:.0f}ms spent "
+                f"queued, pipeline predicted {predicted_ms:.0f}ms"
+            )
+        return None
+
+    def _run_traced(self, job: Job, runner) -> dict:
+        """Run the engine, capturing a per-request trace when enabled."""
+        if not self._trace_dir:
+            return runner(job.request)
+        from repro.obs.sinks import JsonlSink
+
+        path = os.path.join(self._trace_dir, f"request-{job.request_id}.jsonl")
+        # One recorder at a time: per-request tracing serializes the
+        # pipeline (documented in docs/SERVICE.md).
+        with self._trace_lock:
+            with obs.tracing(JsonlSink(path)) as recorder:
+                with obs.span("service.request", request_id=job.request_id):
+                    result = runner(job.request)
+                counters = dict(recorder.counters)
+        self.stats.merge_obs(counters)
+        return result
+
+    # -- introspection endpoints ----------------------------------------
+    def stats_payload(self) -> dict:
+        payload = self.stats.snapshot()
+        payload.update(
+            version=repro.__version__,
+            uptime_s=round(time.time() - self.started_at, 3)
+            if self.started_at
+            else 0.0,
+            draining=self.draining,
+            queue={
+                "size": self.config.queue_size,
+                "depth": self.admission.depth(),
+                "in_flight": self.admission.in_flight(),
+                "workers": self.config.workers,
+                "submitted": self.admission.submitted,
+                "rejected": self.admission.rejected,
+            },
+            cache=self.cache.stats(),
+        )
+        return payload
+
+    def metrics_text(self) -> str:
+        """Prometheus-style exposition of service + obs counters."""
+        stats = self.stats_payload()
+        lines = [
+            "# TYPE repro_service_uptime_seconds gauge",
+            f"repro_service_uptime_seconds {stats['uptime_s']}",
+            f"repro_service_draining {int(stats['draining'])}",
+            f"repro_service_queue_depth {stats['queue']['depth']}",
+            f"repro_service_queue_in_flight {stats['queue']['in_flight']}",
+            f"repro_service_queue_rejected_total {stats['queue']['rejected']}",
+        ]
+        for name, value in sorted(stats["counters"].items()):
+            metric = name.replace(".", "_").replace("-", "_")
+            lines.append(f"repro_service_{metric}_total {value}")
+        cache = stats["cache"]
+        for tier in ("memory", "disk"):
+            lines.append(
+                f'repro_service_cache_hits_total{{tier="{tier}"}} '
+                f"{cache[f'hits_{tier}']}"
+            )
+        lines.append(f"repro_service_cache_misses_total {cache['misses']}")
+        lines.append(f"repro_service_cache_entries {cache['entries']}")
+        latency = stats["latency"]
+        for key in ("p50_ms", "p95_ms", "max_ms"):
+            if key in latency:
+                lines.append(
+                    f"repro_service_latency_{key.replace('_ms', '')}_ms "
+                    f"{latency[key]}"
+                )
+        obs_counters = dict(self.stats.obs_counters)
+        recorder = obs.get_recorder()
+        if recorder is not None and recorder is self._own_recorder:
+            for name, value in recorder.counters.items():
+                obs_counters[name] = obs_counters.get(name, 0) + value
+        for name, value in sorted(obs_counters.items()):
+            lines.append(f'repro_obs_counter{{name="{name}"}} {value}')
+        return "\n".join(lines) + "\n"
+
+
+# -- HTTP plumbing -------------------------------------------------------
+def _make_handler(service: MappingService):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = f"repro-service/{repro.__version__}"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            if not service.config.quiet:
+                BaseHTTPRequestHandler.log_message(self, format, *args)
+
+        # -- helpers ---------------------------------------------------
+        def _send_json(
+            self, status: int, body: dict, headers: dict | None = None
+        ) -> None:
+            data = json.dumps(body).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _send_error_json(self, error: Exception) -> None:
+            if isinstance(error, ServiceError):
+                status = error.status
+                headers = {}
+                if error.retry_after is not None:
+                    headers["Retry-After"] = str(error.retry_after)
+                service.stats.bump(f"http.{status}")
+                self._send_json(
+                    status, {"ok": False, "error": str(error)}, headers
+                )
+                return
+            if isinstance(error, ReproError):
+                service.stats.bump("http.400")
+                self._send_json(400, {"ok": False, "error": str(error)})
+                return
+            service.stats.bump("http.500")
+            self._send_json(
+                500,
+                {"ok": False, "error": f"{type(error).__name__}: {error}"},
+            )
+
+        # -- verbs -----------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+            path = self.path.split("?", 1)[0]
+            if path == "/healthz":
+                status = "draining" if service.draining else "ok"
+                self._send_json(200, {"status": status})
+            elif path == "/stats":
+                self._send_json(200, service.stats_payload())
+            elif path == "/metrics":
+                data = service.metrics_text().encode()
+                self.send_response(200)
+                self.send_header("Content-Type", "text/plain; version=0.0.4")
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+            elif path == "/version":
+                from repro.runtime.serialize import (
+                    FORMAT_VERSION,
+                    PROGRAM_FORMAT_VERSION,
+                )
+
+                self._send_json(
+                    200,
+                    {
+                        "version": repro.__version__,
+                        "plan_format": FORMAT_VERSION,
+                        "program_format": PROGRAM_FORMAT_VERSION,
+                    },
+                )
+            else:
+                self._send_json(404, {"ok": False, "error": f"no route {path!r}"})
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+            path = self.path.split("?", 1)[0]
+            if path != "/map":
+                self._send_json(404, {"ok": False, "error": f"no route {path!r}"})
+                return
+            from repro.service.protocol import BadRequest
+
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                if length <= 0:
+                    raise BadRequest("empty request body")
+                if length > MAX_BODY_BYTES:
+                    raise BadRequest(
+                        f"request body of {length} bytes exceeds the "
+                        f"{MAX_BODY_BYTES} byte limit"
+                    )
+                try:
+                    payload = json.loads(self.rfile.read(length))
+                except json.JSONDecodeError as error:
+                    raise BadRequest(f"malformed JSON body: {error}") from None
+                status, body = service.handle_map(payload)
+                service.stats.bump(f"http.{status}")
+                self._send_json(status, body)
+            except Exception as error:  # noqa: BLE001 - boundary
+                self._send_error_json(error)
+
+    return Handler
+
+
+def _default_workers() -> int:
+    return max(1, min(4, (os.cpu_count() or 2) - 1))

@@ -1,5 +1,7 @@
 """Unit tests for the run_all driver (steps monkeypatched for speed)."""
 
+import pytest
+
 from repro.experiments import run_all
 from repro.experiments.harness import FigureResult
 
@@ -118,6 +120,26 @@ class TestParallelPrewarm:
     def test_only_no_match_errors(self, monkeypatch, capsys):
         self._patch_steps_for_only(monkeypatch)
         assert run_all.main(["--only", "zzz", "--no-cache"]) == 2
+
+    def test_only_no_match_lists_available_steps(self, monkeypatch, capsys):
+        self._patch_steps_for_only(monkeypatch)
+        assert run_all.main(["--only", "zzz", "--no-cache", "--jobs", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "no step matches --only 'zzz'" in err
+        assert "figure_13" in err  # the error names what WOULD match
+
+    @pytest.mark.parametrize(
+        "spelling", ["fig13", "fig_13", "figure_13", "Figure 13", "FIGURE 13"]
+    )
+    def test_only_accepts_short_and_long_spellings(
+        self, monkeypatch, capsys, spelling
+    ):
+        """The documented short form (fig13) and the slug users see in
+        trace files (figure_13) both select the Figure 13 steps."""
+        self._patch_steps_for_only(monkeypatch)
+        assert run_all.main(["--only", spelling, "--no-cache", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Fake figure") == 2
 
     def _patch_steps_for_only(self, monkeypatch):
         import repro.experiments.tables as tables

@@ -1,0 +1,198 @@
+"""Property tests: program serialization round-trips exactly.
+
+The service accepts serialized IR as a wire format, so
+``program_from_dict(program_to_dict(p))`` must reproduce *p* for any
+well-formed program — same canonical dict, same content digest, same
+iteration space, and (the property that actually matters downstream) the
+same mapping out of the topology-aware pipeline.  Hypothesis drives
+randomized rectangular nests with random affine accesses through the
+round trip.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.accesses import ArrayAccess
+from repro.ir.arrays import Array
+from repro.ir.loops import LoopNest, Program
+from repro.mapping.distribute import TopologyAwareMapper
+from repro.poly.affine import AffineExpr
+from repro.poly.constraints import Constraint
+from repro.poly.intset import IntSet
+from repro.runtime.serialize import (
+    program_digest,
+    program_from_dict,
+    program_from_json,
+    program_to_dict,
+    program_to_json,
+)
+from repro.topology.cache import CacheSpec
+from repro.topology.tree import Machine, TopologyNode
+
+
+def small_machine() -> Machine:
+    """Four cores, two shared L2s — enough topology to make mapping
+    decisions without making each hypothesis example expensive."""
+    l1 = CacheSpec("L1", 1024, 2, 32, 2)
+    l2 = CacheSpec("L2", 4096, 4, 32, 8)
+    cores = [TopologyNode.core(i) for i in range(4)]
+    l1s = [TopologyNode.cache(l1, [c]) for c in cores]
+    l2s = [TopologyNode.cache(l2, l1s[0:2]), TopologyNode.cache(l2, l1s[2:4])]
+    root = TopologyNode.cache(CacheSpec("L3", 16384, 8, 32, 20), l2s)
+    return Machine("prop4", 2.0, 100, root, sockets=1)
+
+
+MACHINE = small_machine()
+
+#: Subscript values stay in [0, 2*6*3 + 4] = [0, 40]; extents of 64 keep
+#: every randomized access in bounds.
+EXTENT = 64
+
+
+@st.composite
+def subscripts(draw, dims, rank):
+    exprs = []
+    for _ in range(rank):
+        coeffs = {
+            dim: draw(st.integers(min_value=0, max_value=2)) for dim in dims
+        }
+        constant = draw(st.integers(min_value=0, max_value=4))
+        exprs.append(AffineExpr(coeffs, constant))
+    return exprs
+
+
+@st.composite
+def programs(draw):
+    depth = draw(st.integers(min_value=1, max_value=3))
+    dims = tuple(f"i{k}" for k in range(depth))
+    constraints = []
+    for index, dim in enumerate(dims):
+        lo = draw(st.integers(min_value=0, max_value=2))
+        # The outer dim alone provides >= num_cores iterations so every
+        # generated nest is mappable on MACHINE.
+        extent = draw(
+            st.integers(min_value=4 if index == 0 else 1, max_value=6)
+        )
+        constraints.append(Constraint(AffineExpr({dim: 1}, -lo)))
+        constraints.append(Constraint(AffineExpr({dim: -1}, lo + extent - 1)))
+    space = IntSet(dims, constraints)
+
+    arrays = [
+        Array(name, (EXTENT,) * draw(st.integers(min_value=1, max_value=2)))
+        for name in draw(
+            st.lists(
+                st.sampled_from(["A", "B", "C"]),
+                min_size=1,
+                max_size=2,
+                unique=True,
+            )
+        )
+    ]
+    accesses = []
+    for index in range(draw(st.integers(min_value=1, max_value=3))):
+        array = draw(st.sampled_from(arrays))
+        accesses.append(
+            ArrayAccess(
+                array,
+                dims,
+                draw(subscripts(dims, array.rank)),
+                is_write=(index == 0),
+            )
+        )
+    nest = LoopNest(
+        draw(st.sampled_from(["loop", "kernel"])),
+        space,
+        accesses,
+        parallel=True,
+    )
+    params = draw(
+        st.dictionaries(
+            st.sampled_from(["n", "m"]),
+            st.integers(min_value=1, max_value=100),
+            max_size=2,
+        )
+    )
+    return Program(draw(st.sampled_from(["prog", "bench"])), arrays, [nest], params)
+
+
+class TestRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(programs())
+    def test_dict_round_trip_is_exact(self, program):
+        payload = program_to_dict(program)
+        restored = program_from_dict(payload)
+        assert program_to_dict(restored) == payload
+        assert program_digest(restored) == program_digest(program)
+
+    @settings(max_examples=50, deadline=None)
+    @given(programs())
+    def test_json_round_trip_is_exact(self, program):
+        restored = program_from_json(program_to_json(program))
+        assert program_digest(restored) == program_digest(program)
+
+    @settings(max_examples=50, deadline=None)
+    @given(programs())
+    def test_iteration_space_survives(self, program):
+        restored = program_from_dict(program_to_dict(program))
+        for original, rebuilt in zip(program.nests, restored.nests):
+            assert rebuilt.dims == original.dims
+            assert list(rebuilt.iterations()) == list(original.iterations())
+            assert [
+                (a.array.name, a.subscripts, a.is_write) for a in rebuilt.accesses
+            ] == [
+                (a.array.name, a.subscripts, a.is_write) for a in original.accesses
+            ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(programs())
+    def test_mapping_is_identical(self, program):
+        """The property the service relies on: a deserialized program
+        maps bit-identically to the original."""
+        restored = program_from_dict(program_to_dict(program))
+        expected = (
+            TopologyAwareMapper(MACHINE)
+            .map_nest(program, program.nests[0])
+            .plan()
+        )
+        actual = (
+            TopologyAwareMapper(MACHINE)
+            .map_nest(restored, restored.nests[0])
+            .plan()
+        )
+        assert actual.rounds == expected.rounds
+
+
+class TestValidation:
+    def test_rejects_non_dict(self):
+        with pytest.raises(IRError):
+            program_from_dict([1, 2])
+
+    def test_rejects_unknown_format(self, fig5_program):
+        payload = program_to_dict(fig5_program)
+        payload["format"] = 99
+        with pytest.raises(IRError):
+            program_from_dict(payload)
+
+    def test_rejects_undeclared_array(self, fig5_program):
+        payload = program_to_dict(fig5_program)
+        payload["nests"][0]["accesses"][0]["array"] = "ghost"
+        with pytest.raises(IRError):
+            program_from_dict(payload)
+
+    def test_rejects_missing_fields(self, fig5_program):
+        payload = program_to_dict(fig5_program)
+        del payload["nests"][0]["dims"]
+        with pytest.raises(IRError):
+            program_from_dict(payload)
+
+    def test_rejects_malformed_json(self):
+        with pytest.raises(IRError):
+            program_from_json("{not json")
+
+    def test_digest_tracks_content(self, fig5_program):
+        payload = program_to_dict(fig5_program)
+        payload["nests"][0]["name"] = "renamed"
+        changed = program_from_dict(payload)
+        assert program_digest(changed) != program_digest(fig5_program)

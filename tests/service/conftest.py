@@ -1,0 +1,73 @@
+"""Shared fixtures for the mapping-service tests.
+
+Services bind port 0 (ephemeral) and run with ``collect_obs=False`` so
+tests never install a process-global obs recorder behind the other
+suites' backs; the one test that exercises the obs bridge opts back in
+explicitly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.service import MappingService, ServiceClient
+from repro.service.server import ServiceConfig
+
+#: A nest big enough that the pipeline visibly costs time (24x24 stencil).
+STENCIL_SOURCE = """
+array U[26][26];
+array V[26][26];
+parallel for (i = 1; i <= 24; i++)
+  for (j = 1; j <= 24; j++)
+    V[i][j] = U[i][j] + U[i - 1][j] + U[i + 1][j];
+"""
+
+#: The paper's Figure 5 banded loop — small and fast.
+BANDED_SOURCE = """
+param k = 4;
+param m = 48;
+array B[48];
+parallel for (j = 2*k; j < m - 2*k; j++)
+  B[j] = B[j] + B[2*k + j] + B[j - 2*k];
+"""
+
+
+def make_service(**overrides) -> MappingService:
+    defaults = dict(
+        port=0,
+        queue_size=8,
+        workers=2,
+        collect_obs=False,
+        debug=True,
+        drain_timeout_s=10.0,
+    )
+    defaults.update(overrides)
+    return MappingService(ServiceConfig(**defaults))
+
+
+def wait_until(predicate, timeout: float = 5.0, interval: float = 0.01) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def service():
+    svc = make_service()
+    svc.start()
+    try:
+        yield svc
+    finally:
+        svc.stop()
+
+
+@pytest.fixture
+def client(service):
+    c = ServiceClient(port=service.port)
+    c.wait_ready()
+    return c

@@ -1,0 +1,139 @@
+"""The daemon as a real process: CLI verbs, SIGTERM drain-then-exit."""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.service import ServiceClient
+
+from tests.service.conftest import BANDED_SOURCE
+
+REPO_SRC = os.path.dirname(os.path.dirname(os.path.dirname(repro.__file__)))
+
+
+def spawn_daemon(*extra_args, tmp_env=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.update(tmp_env or {})
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    banner = proc.stdout.readline()
+    match = re.search(r"http://[\d.]+:(\d+)", banner)
+    if match is None:
+        proc.kill()
+        pytest.fail(f"no port in banner {banner!r}: {proc.stderr.read()[:500]}")
+    return proc, int(match.group(1))
+
+
+@pytest.fixture
+def daemon():
+    proc, port = spawn_daemon("--queue-size", "8", "--debug")
+    try:
+        yield proc, port
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+class TestDaemon:
+    def test_sigterm_drains_in_flight_work(self, daemon):
+        proc, port = daemon
+        client = ServiceClient(port=port)
+        client.wait_ready()
+        results = []
+
+        def slow_submit():
+            results.append(
+                client.submit(
+                    source=BANDED_SOURCE, machine="dunnington",
+                    no_cache=True, debug_sleep_ms=800,
+                )
+            )
+
+        worker = threading.Thread(target=slow_submit)
+        worker.start()
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if client.stats()["queue"]["in_flight"] >= 1:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("slow request never reached a worker")
+
+        proc.send_signal(signal.SIGTERM)
+        worker.join(timeout=20)
+        assert proc.wait(timeout=20) == 0
+        assert results and results[0]["ok"], "in-flight request was dropped"
+        remaining = proc.stdout.read()
+        assert "draining" in remaining and "stopped" in remaining
+
+    def test_sigint_also_exits_cleanly(self):
+        proc, port = spawn_daemon()
+        client = ServiceClient(port=port)
+        client.wait_ready()
+        proc.send_signal(signal.SIGINT)
+        assert proc.wait(timeout=20) == 0
+
+    def test_cli_submit_and_stats_roundtrip(self, daemon, tmp_path):
+        proc, port = daemon
+        ServiceClient(port=port).wait_ready()
+        source_path = tmp_path / "banded.loop"
+        source_path.write_text(BANDED_SOURCE)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        submit = subprocess.run(
+            [sys.executable, "-m", "repro", "submit", str(source_path),
+             "--port", str(port), "--machine", "dunnington", "--scale", "32",
+             "--schedule"],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert submit.returncode == 0, submit.stderr
+        assert "32 iterations" in submit.stdout
+        assert "core | iterations" in submit.stdout
+
+        stats = subprocess.run(
+            [sys.executable, "-m", "repro", "service-stats", "--port", str(port)],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert stats.returncode == 0, stats.stderr
+        assert '"pipeline_runs": 1' in stats.stdout
+
+        metrics = subprocess.run(
+            [sys.executable, "-m", "repro", "service-stats", "--port", str(port),
+             "--metrics"],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert metrics.returncode == 0
+        assert "repro_service_requests_total" in metrics.stdout
+
+    def test_submit_against_dead_service_fails_cleanly(self, tmp_path):
+        source_path = tmp_path / "banded.loop"
+        source_path.write_text(BANDED_SOURCE)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "submit", str(source_path),
+             "--port", "1"],  # nothing listens on port 1
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert result.returncode == 1
+        assert "error:" in result.stderr

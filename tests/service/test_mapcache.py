@@ -1,0 +1,100 @@
+"""The two-tier mapping cache in isolation."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.mapcache import MappingCache
+
+KEY_A = ("nest-a", "topo-1", (None, 0.1, 0.5, 0.5, True, "barrier", "greedy"))
+KEY_B = ("nest-b", "topo-1", (None, 0.1, 0.5, 0.5, True, "barrier", "greedy"))
+KEY_C = ("nest-c", "topo-2", (64, 0.1, 0.5, 0.5, False, "barrier", "kl"))
+
+VALUE = {"scheme": "ta", "mapping": {"rounds": [[[0], [1]]]}}
+
+
+class TestLRU:
+    def test_miss_then_hit(self):
+        cache = MappingCache(capacity=4)
+        assert cache.get(KEY_A) is None
+        cache.put(KEY_A, VALUE)
+        value, tier = cache.get(KEY_A)
+        assert value == VALUE and tier == "memory"
+        assert cache.hits_memory == 1 and cache.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = MappingCache(capacity=2)
+        cache.put(KEY_A, {"v": 1})
+        cache.put(KEY_B, {"v": 2})
+        cache.get(KEY_A)  # A becomes most-recent
+        cache.put(KEY_C, {"v": 3})  # evicts B
+        assert cache.get(KEY_B) is None
+        assert cache.get(KEY_A) is not None
+        assert cache.evictions == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MappingCache(capacity=0)
+
+
+class TestPersistentTier:
+    def test_survives_restart(self, tmp_path):
+        first = MappingCache(capacity=4, directory=str(tmp_path), persistent=True)
+        first.put(KEY_A, VALUE)
+
+        reborn = MappingCache(capacity=4, directory=str(tmp_path), persistent=True)
+        value, tier = reborn.get(KEY_A)
+        assert value == VALUE and tier == "disk"
+        # Promoted into the LRU: the second lookup is a memory hit.
+        _value, tier = reborn.get(KEY_A)
+        assert tier == "memory"
+
+    def test_disk_file_is_fingerprinted(self, tmp_path):
+        cache = MappingCache(capacity=4, directory=str(tmp_path), persistent=True)
+        cache.put(KEY_A, VALUE)
+        (path,) = tmp_path.glob("mappings-*.json")
+        payload = json.loads(path.read_text())
+        assert payload["format"] == 1
+        assert len(payload["mappings"]) == 1
+
+    def test_corrupt_file_reads_as_empty(self, tmp_path):
+        cache = MappingCache(capacity=4, directory=str(tmp_path), persistent=True)
+        cache.put(KEY_A, VALUE)
+        (path,) = tmp_path.glob("mappings-*.json")
+        path.write_text("{not json")
+        reborn = MappingCache(capacity=4, directory=str(tmp_path), persistent=True)
+        assert reborn.get(KEY_A) is None
+
+    def test_foreign_fingerprint_ignored(self, tmp_path):
+        cache = MappingCache(capacity=4, directory=str(tmp_path), persistent=True)
+        cache.put(KEY_A, VALUE)
+        (path,) = tmp_path.glob("mappings-*.json")
+        payload = json.loads(path.read_text())
+        payload["fingerprint"] = "0" * 64
+        path.write_text(json.dumps(payload))
+        reborn = MappingCache(capacity=4, directory=str(tmp_path), persistent=True)
+        assert reborn.get(KEY_A) is None
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        cache = MappingCache(capacity=4, directory=str(tmp_path), persistent=True)
+        cache.put(KEY_A, VALUE)
+        cache.put(KEY_B, VALUE)
+        assert not [p for p in os.listdir(tmp_path) if p.endswith(".tmp")]
+
+    def test_stats_shape(self, tmp_path):
+        cache = MappingCache(capacity=4, directory=str(tmp_path), persistent=True)
+        cache.put(KEY_A, VALUE)
+        stats = cache.stats()
+        assert stats["persistent"] is True
+        assert stats["entries"] == 1 and stats["disk_entries"] == 1
+        assert stats["disk_path"].endswith(".json")
+
+
+class TestWithoutPersistence:
+    def test_no_disk_io(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = MappingCache(capacity=4, persistent=False)
+        cache.put(KEY_A, VALUE)
+        assert list(tmp_path.iterdir()) == []
+        assert cache.stats()["persistent"] is False

@@ -1,0 +1,41 @@
+"""One version string, everywhere.
+
+``repro.__version__`` is the single source of truth; the packaging
+metadata and the CLI must agree with it.  (The service's ``/version``
+endpoint is covered in ``tests/service/test_server.py``.)
+"""
+
+import os
+import re
+
+import pytest
+
+import repro
+from repro.cli import main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_version_is_pep440ish():
+    assert re.fullmatch(r"\d+\.\d+\.\d+([a-z0-9.+-]*)?", repro.__version__)
+
+
+def test_pyproject_agrees():
+    text = open(os.path.join(REPO_ROOT, "pyproject.toml")).read()
+    match = re.search(r'^version\s*=\s*"([^"]+)"', text, re.MULTILINE)
+    assert match, "pyproject.toml has no version field"
+    assert match.group(1) == repro.__version__
+
+
+def test_setup_py_agrees():
+    text = open(os.path.join(REPO_ROOT, "setup.py")).read()
+    match = re.search(r'version\s*=\s*"([^"]+)"', text)
+    assert match, "setup.py has no version field"
+    assert match.group(1) == repro.__version__
+
+
+def test_cli_dash_dash_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert repro.__version__ in capsys.readouterr().out
