@@ -1,0 +1,57 @@
+"""Pipeline stage-reuse benchmarks (the BENCH_pipeline.json producer).
+
+Marked ``perf``: excluded from tier-1 runs.  Run explicitly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q -m perf
+
+The tiny-config smoke variants that *do* run under tier-1 live in
+``tests/pipeline/`` (``perf_smoke``-marked structure checks).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.kernels.bench import write_report
+from repro.pipeline.bench import KNOB_POINTS, run_suite
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_suite(repeats=2)
+
+
+def test_warm_sweep_speedup_meets_floor(report):
+    """>= 3x warm-over-cold on the 8-point knob sweep.
+
+    Both entries sweep the same eight knob points; the dependence-heavy
+    banded workload is the most reuse-friendly regime (six of eight
+    points replay everything but the cheap scheduling stage) and must
+    clear the floor.  Taking the max keeps the assertion robust to
+    machine-load noise on any single entry.
+    """
+    entries = report["entries"]
+    assert all(e["knob_points"] == len(KNOB_POINTS) for e in entries)
+    best = max(e["speedup"] for e in entries)
+    assert best >= 3.0, f"stage-reuse speedups too low: {entries}"
+
+
+def test_reuse_never_pathologically_slow(report):
+    """Sharing a store must never regress a sweep: every workload stays
+    clearly faster warm than cold."""
+    for entry in report["entries"]:
+        assert entry["speedup"] >= 1.5, entry
+
+
+def test_report_written(report):
+    out = REPO_ROOT / "BENCH_pipeline.json"
+    write_report(report, str(out))
+    assert out.exists()
+    import json
+
+    loaded = json.loads(out.read_text())
+    assert loaded["entries"] == report["entries"]

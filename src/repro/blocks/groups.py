@@ -38,6 +38,10 @@ class IterationGroup:
     # :meth:`reset_idents`.
     _ident_counter = itertools.count()
     _ident_lock = threading.Lock()
+    # Bumped on every reset: caches that hold groups across resets (the
+    # pipeline artifact store) key on it so pre-reset entries go stale
+    # instead of colliding with freshly numbered groups.
+    _ident_epoch = 0
 
     def __init__(
         self,
@@ -67,6 +71,7 @@ class IterationGroup:
         """
         with cls._ident_lock:
             cls._ident_counter = itertools.count(start)
+            cls._ident_epoch += 1
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("IterationGroup is immutable")

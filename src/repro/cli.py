@@ -95,7 +95,7 @@ def cmd_map(args) -> int:
         machine,
         block_size=args.block_size,
         balance_threshold=args.balance,
-        local_scheduling=args.schedule,
+        local_scheduling=args.schedule and not args.no_local_scheduling,
         alpha=args.alpha,
         beta=args.beta,
     )
@@ -280,7 +280,7 @@ def cmd_submit(args) -> int:
     with open(args.source, "r", encoding="utf-8") as handle:
         source = handle.read()
     knobs = {
-        "local_scheduling": args.schedule,
+        "local_scheduling": args.schedule and not args.no_local_scheduling,
         "balance_threshold": args.balance,
         "alpha": args.alpha,
         "beta": args.beta,
@@ -371,8 +371,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--nest", type=int, default=0, help="nest index (default 0)")
         p.add_argument("--block-size", type=int, default=None,
                        help="data block size in bytes (default: Section 4.1 heuristic)")
-        p.add_argument("--balance", type=float, default=0.10,
-                       help="balance threshold (default 0.10, the paper's)")
+        p.add_argument("--balance", "--balance-threshold", type=float,
+                       default=0.10, dest="balance",
+                       help="load-balance threshold (Sections 3.4/4.1; "
+                            "default 0.10, the paper's)")
         if tracing:
             p.add_argument("--trace", action="store_true",
                            help="print a span tree of the run to stderr")
@@ -383,8 +385,15 @@ def build_parser() -> argparse.ArgumentParser:
     common(map_parser)
     map_parser.add_argument("--schedule", action="store_true",
                             help="apply Figure 7 local scheduling")
-    map_parser.add_argument("--alpha", type=float, default=0.5)
-    map_parser.add_argument("--beta", type=float, default=0.5)
+    map_parser.add_argument("--no-local-scheduling", action="store_true",
+                            help="force the Section 3.5.3 local scheduler "
+                                 "off (overrides --schedule)")
+    map_parser.add_argument("--alpha", type=float, default=0.5,
+                            help="reuse weight in the Figure 7 scheduler "
+                                 "(Section 3.5.3; default 0.5)")
+    map_parser.add_argument("--beta", type=float, default=0.5,
+                            help="footprint weight in the Figure 7 scheduler "
+                                 "(Section 3.5.3; default 0.5)")
     map_parser.set_defaults(func=cmd_map)
 
     sim_parser = sub.add_parser("simulate", help="simulate a scheme vs Base")
@@ -484,12 +493,21 @@ def build_parser() -> argparse.ArgumentParser:
                                help="nest index (default 0)")
     submit_parser.add_argument("--block-size", type=int, default=None,
                                help="data block size in bytes")
-    submit_parser.add_argument("--balance", type=float, default=0.10,
-                               help="balance threshold (default 0.10)")
-    submit_parser.add_argument("--alpha", type=float, default=0.5)
-    submit_parser.add_argument("--beta", type=float, default=0.5)
+    submit_parser.add_argument("--balance", "--balance-threshold", type=float,
+                               default=0.10, dest="balance",
+                               help="load-balance threshold (Sections "
+                                    "3.4/4.1; default 0.10)")
+    submit_parser.add_argument("--alpha", type=float, default=0.5,
+                               help="reuse weight in the Figure 7 scheduler "
+                                    "(Section 3.5.3; default 0.5)")
+    submit_parser.add_argument("--beta", type=float, default=0.5,
+                               help="footprint weight in the Figure 7 "
+                                    "scheduler (Section 3.5.3; default 0.5)")
     submit_parser.add_argument("--schedule", action="store_true",
                                help="apply Figure 7 local scheduling")
+    submit_parser.add_argument("--no-local-scheduling", action="store_true",
+                               help="force the Section 3.5.3 local scheduler "
+                                    "off (overrides --schedule)")
     submit_parser.add_argument("--deadline-ms", type=float, default=None,
                                metavar="MS", help="per-request deadline")
     submit_parser.add_argument("--no-cache", action="store_true",

@@ -43,12 +43,15 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Source files whose content can change simulation results.  Everything
 #: under ``src/repro`` counts except presentation/plumbing: the obs
 #: layer, the CLI, the serving layer (it only transports pipeline inputs
-#: and outputs), and the experiment figure modules (they only arrange
-#: results).  ``harness.py`` and ``versions.py`` stay in because they
-#: hold result-affecting constants (scale, balance threshold) and the
+#: and outputs), the pipeline's cache metadata (the artifact store and
+#: plan persistence hold results, they do not compute them — the stage
+#: bodies in ``pipeline/core.py`` and ``pipeline/knobs.py`` stay in),
+#: and the experiment figure modules (they only arrange results).
+#: ``harness.py`` and ``versions.py`` stay in because they hold
+#: result-affecting constants (scale, balance threshold) and the
 #: retargeting logic.
 _EXEMPT_PREFIXES = ("obs/", "service/")
-_EXEMPT_FILES = ("cli.py",)
+_EXEMPT_FILES = ("cli.py", "pipeline/store.py", "pipeline/persist.py")
 _EXPERIMENT_KEEP = ("experiments/harness.py", "experiments/versions.py")
 
 

@@ -32,8 +32,15 @@ from dataclasses import dataclass, field
 from repro import obs
 from repro.errors import ExperimentError
 from repro.experiments.cache import DiskCache, machine_digest
-from repro.mapping import TopologyAwareMapper, base_plan, base_plus_plan, local_plan
+from repro.mapping import base_plan, base_plus_plan, local_plan
 from repro.mapping.distribute import MappingResult
+
+# Submodule imports, not `from repro.pipeline import ...`: this module is
+# reachable from `repro.pipeline.core` (via repro.experiments.cache), so
+# the pipeline package's __init__ may still be mid-import here.  The
+# submodules themselves have no cycle.
+from repro.pipeline.knobs import Knobs
+from repro.pipeline.store import ArtifactStore
 from repro.runtime import execute_plan
 from repro.sim.engine import SimConfig
 from repro.sim.stats import LevelStats, SimResult
@@ -89,6 +96,10 @@ class FigureResult:
 class _Cache:
     results: dict = field(default_factory=dict)
     mappings: dict = field(default_factory=dict)
+    #: Per-stage pipeline artifacts, shared across every mapping the
+    #: harness computes: knob sweeps (Figure 18's α/β grid, the balance
+    #: ablation) replay unchanged stages instead of recomputing them.
+    artifacts: ArtifactStore = field(default_factory=ArtifactStore)
 
 
 _CACHE = _Cache()
@@ -97,6 +108,30 @@ _CACHE = _Cache()
 def clear_cache() -> None:
     _CACHE.results.clear()
     _CACHE.mappings.clear()
+    _CACHE.artifacts.clear()
+
+
+def _scheme_knobs(
+    scheme: str | None,
+    block_size: int | None,
+    balance_threshold: float,
+    alpha: float,
+    beta: float,
+) -> Knobs:
+    """The canonical knob set a scheme run maps with.
+
+    Every harness key (memo, disk, recorded spec) derives its knob
+    component from this one constructor, so the harness cannot drift
+    from the service or the pipeline on what "the same configuration"
+    means.  ``ta+s`` is the only scheme that schedules locally.
+    """
+    return Knobs(
+        block_size=block_size,
+        balance_threshold=balance_threshold,
+        alpha=alpha,
+        beta=beta,
+        local_scheduling=(scheme == "ta+s"),
+    )
 
 
 #: Persistent result store (None = memory-only).  Mappings deliberately
@@ -182,15 +217,19 @@ def spec_key(spec: RunSpec) -> tuple:
     """The memo key a spec's run would use (mirrors run_scheme/run_version)."""
     if spec.kind == "scheme":
         map_machine = spec.mapping_machine or spec.machine
+        knobs = _scheme_knobs(
+            spec.scheme,
+            spec.block_size,
+            spec.balance_threshold,
+            spec.alpha,
+            spec.beta,
+        )
         return (
             spec.app,
             spec.scheme,
             spec.machine.name,
             map_machine.name,
-            spec.block_size,
-            spec.balance_threshold,
-            spec.alpha,
-            spec.beta,
+            knobs.as_tuple(),
             spec.port_occupancy,
         )
     return ("version", spec.app, spec.version.name, spec.target.name)
@@ -314,30 +353,30 @@ def mapping_for(
     alpha: float = 0.5,
     beta: float = 0.5,
 ) -> MappingResult:
-    """Memoized TopologyAware mapping of one workload for one machine."""
-    key = (
-        app.name,
-        mapping_machine.name,
-        local_scheduling,
-        block_size,
-        balance_threshold,
-        alpha,
-        beta,
-    )
-    cached = _CACHE.mappings.get(key)
-    if cached is not None:
-        obs.count("harness.mapping_memo_hits")
-        return cached
-    obs.count("harness.mapping_memo_misses")
-    mapper = TopologyAwareMapper(
-        mapping_machine,
+    """Memoized TopologyAware mapping of one workload for one machine.
+
+    Sits on two tiers: the whole-:class:`MappingResult` memo keyed by the
+    canonical knob tuple, and under it the shared per-stage artifact
+    store — so even a memo miss (say, new α/β) replays tagging,
+    dependence analysis and distribution from cache.
+    """
+    knobs = Knobs(
         block_size=block_size if block_size is not None else app.block_size(),
         balance_threshold=balance_threshold,
         alpha=alpha,
         beta=beta,
         local_scheduling=local_scheduling,
     )
-    result = mapper.map_nest(app.program(), app.nest())
+    key = (app.name, mapping_machine.name, knobs.as_tuple())
+    cached = _CACHE.mappings.get(key)
+    if cached is not None:
+        obs.count("harness.mapping_memo_hits")
+        return cached
+    obs.count("harness.mapping_memo_misses")
+    from repro.pipeline.core import MappingPipeline
+
+    pipeline = MappingPipeline(mapping_machine, knobs, store=_CACHE.artifacts)
+    result = pipeline.map_nest(app.program(), app.nest())
     _CACHE.mappings[key] = result
     return result
 
@@ -365,15 +404,13 @@ def run_scheme(
     if isinstance(app, str):
         app = workload(app)
     map_machine = mapping_machine or machine
+    knobs = _scheme_knobs(scheme, block_size, balance_threshold, alpha, beta)
     key = (
         app.name,
         scheme,
         machine.name,
         map_machine.name,
-        block_size,
-        balance_threshold,
-        alpha,
-        beta,
+        knobs.as_tuple(),
         port_occupancy,
     )
     disk_key = key + (machine_digest(machine), machine_digest(map_machine))

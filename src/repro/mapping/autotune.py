@@ -14,7 +14,6 @@ from dataclasses import dataclass
 
 from repro.errors import MappingError
 from repro.ir.loops import LoopNest, Program
-from repro.mapping.distribute import TopologyAwareMapper
 from repro.runtime import execute_plan
 from repro.sim.engine import SimConfig
 from repro.topology.tree import Machine
@@ -65,20 +64,26 @@ def autotune_block_size(
     """
     if not candidates:
         raise MappingError("no block-size candidates given")
+    from repro.pipeline import ArtifactStore, Knobs, MappingPipeline
+
+    # One artifact store spans the whole candidates x weights grid: the
+    # inner α/β sweep shares everything through distribution, so only
+    # the scheduling stage reruns per weight pair.
+    store = ArtifactStore()
     trials: list[TuneOutcome] = []
     for block_size in candidates:
         if block_size <= 0:
             raise MappingError(f"invalid block size {block_size}")
         for alpha, beta in weights:
-            mapper = TopologyAwareMapper(
-                machine,
+            knobs = Knobs(
                 block_size=block_size,
                 balance_threshold=balance_threshold,
                 alpha=alpha,
                 beta=beta,
                 local_scheduling=local_scheduling,
             )
-            plan = mapper.map_nest(program, nest).plan()
+            pipeline = MappingPipeline(machine, knobs, store=store)
+            plan = pipeline.map_nest(program, nest).plan()
             cycles = execute_plan(plan, config=config).cycles
             trials.append(TuneOutcome(block_size, alpha, beta, cycles))
     best = min(trials, key=lambda t: (t.cycles, t.block_size))

@@ -1,6 +1,6 @@
 """End-to-end cache topology aware mapping (the paper's main pass).
 
-:class:`TopologyAwareMapper` chains the full pipeline of Section 3:
+:class:`TopologyAwareMapper` runs the full pipeline of Section 3:
 
 1. pick a data block size (Section 4.1 heuristic, or caller-supplied);
 2. partition the data into blocks and tag the iterations (Section 3.3);
@@ -11,29 +11,28 @@
    (``local_scheduling=True``, Section 3.5.3) or dependence-only (the
    paper's plain "Topology Aware" configuration).
 
+The chain itself lives in :mod:`repro.pipeline` — this class is the
+stable front door, binding a machine and a knob set and delegating to a
+:class:`~repro.pipeline.core.MappingPipeline`.  By default every call
+computes from scratch (no artifact store), preserving one-shot CLI
+semantics and honest compile-time measurements; pass ``store=`` to
+share stage artifacts across calls the way the experiment harness, the
+service engine and the autotuner do.
+
 The result is a :class:`MappingResult` whose :meth:`MappingResult.plan`
 is directly executable on the simulator.
 """
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from repro import obs
 from repro.errors import MappingError
 from repro.blocks.datablocks import DataBlockPartition
 from repro.blocks.groups import GroupSet, IterationGroup
-from repro.blocks.tagger import choose_block_size, tag_iterations
 from repro.ir.loops import LoopNest, Program
-from repro.mapping.clustering import hierarchical_distribute
-from repro.mapping.dependence import (
-    GroupDependenceGraph,
-    build_group_dependence_graph,
-    merge_dependent_groups,
-)
-from repro.mapping.schedule import dependence_only_schedule, schedule_groups
+from repro.mapping.dependence import GroupDependenceGraph
 from repro.topology.tree import Machine
 
 
@@ -131,6 +130,9 @@ class TopologyAwareMapper:
     ``dependence_policy`` selects between the two Section 3.5.2 options:
     ``"barrier"`` (schedule with inter-core synchronization) or
     ``"co-cluster"`` (merge dependent groups; no synchronization needed).
+    ``store`` (optional) is a :class:`~repro.pipeline.store.ArtifactStore`
+    shared across calls for per-stage reuse; without one, every call
+    computes the full chain.
     """
 
     def __init__(
@@ -145,12 +147,23 @@ class TopologyAwareMapper:
         max_groups: int | None = 50_000,
         refine: bool = True,
         cluster_strategy: str = "greedy",
+        store=None,
     ):
-        if dependence_policy not in ("barrier", "co-cluster"):
-            raise MappingError(f"unknown dependence policy {dependence_policy!r}")
-        if cluster_strategy not in ("greedy", "kl"):
-            raise MappingError(f"unknown cluster strategy {cluster_strategy!r}")
+        from repro.pipeline.knobs import Knobs
+
+        knobs = Knobs(
+            block_size=block_size,
+            balance_threshold=balance_threshold,
+            alpha=alpha,
+            beta=beta,
+            local_scheduling=local_scheduling,
+            dependence_policy=dependence_policy,
+            cluster_strategy=cluster_strategy,
+            max_groups=max_groups,
+            refine=refine,
+        )
         self.machine = machine
+        self.knobs = knobs
         self.block_size = block_size
         self.balance_threshold = balance_threshold
         self.alpha = alpha
@@ -160,107 +173,16 @@ class TopologyAwareMapper:
         self.max_groups = max_groups
         self.refine = refine
         self.cluster_strategy = cluster_strategy
+        self.store = store
+
+    def _pipeline(self):
+        from repro.pipeline.core import MappingPipeline
+
+        return MappingPipeline(self.machine, self.knobs, store=self.store)
 
     def map_program(self, program: Program) -> list[MappingResult]:
         """Map every nest of a program (each nest independently)."""
-        return [self.map_nest(program, nest) for nest in program.nests]
+        return self._pipeline().map_program(program)
 
     def map_nest(self, program: Program, nest: LoopNest) -> MappingResult:
-        timings: dict[str, float] = {}
-        map_span = obs.span(
-            "map.nest",
-            nest=nest.name,
-            machine=self.machine.name,
-            iterations=nest.iteration_count(),
-        )
-        with map_span as sp:
-            t0 = time.perf_counter()
-            with obs.span("map.partition"):
-                block_size = self.block_size
-                if block_size is None:
-                    l1 = self.machine.cache_path(0)[0].spec.size_bytes
-                    block_size = choose_block_size(program, nest, l1)
-                arrays = [program.arrays[a.name] for a in nest.arrays()]
-                partition = DataBlockPartition(arrays, block_size)
-            timings["partition"] = time.perf_counter() - t0
-
-            t0 = time.perf_counter()
-            with obs.span("map.tagging"):
-                group_set = tag_iterations(nest, partition, max_groups=self.max_groups)
-            timings["tagging"] = time.perf_counter() - t0
-
-            t0 = time.perf_counter()
-            with obs.span("map.dependence", parallel=nest.parallel) as dep_span:
-                groups: list[IterationGroup] = list(group_set.groups)
-                graph: GroupDependenceGraph | None = None
-                if not nest.parallel:
-                    raw = build_group_dependence_graph(nest, groups)
-                    if self.dependence_policy == "co-cluster":
-                        merged = merge_dependent_groups(groups, raw)
-                        obs.count("dependence.co_cluster_merges", len(groups) - len(merged))
-                        groups = merged
-                        graph = None
-                    else:
-                        groups, graph = raw.acyclified(groups)
-                    dep_span.tag(
-                        policy=self.dependence_policy,
-                        edges=graph.num_edges if graph is not None else 0,
-                    )
-            timings["dependence"] = time.perf_counter() - t0
-
-            t0 = time.perf_counter()
-            with obs.span("map.clustering"):
-                assignments = hierarchical_distribute(
-                    groups, self.machine, self.balance_threshold, self.cluster_strategy
-                )
-                if self.refine:
-                    from repro.mapping.balance import Cluster, balance_clusters
-                    from repro.mapping.refine import refine_assignment
-
-                    # Refine against the topology objective inside a wider balance
-                    # window, then re-tighten the balance (splitting groups where
-                    # needed) so the final assignment honors the threshold.
-                    with obs.span("map.refine"):
-                        window = max(self.balance_threshold, 0.08)
-                        assignments = refine_assignment(assignments, self.machine, window)
-                        clusters = [Cluster(groups) for groups in assignments]
-                        balance_clusters(clusters, self.balance_threshold)
-                        assignments = [list(c.groups) for c in clusters]
-            timings["clustering"] = time.perf_counter() - t0
-
-            t0 = time.perf_counter()
-            with obs.span("map.scheduling", local=self.local_scheduling):
-                if self.local_scheduling:
-                    group_rounds = schedule_groups(
-                        assignments, self.machine, graph, self.alpha, self.beta
-                    )
-                    if graph is None or graph.num_edges == 0:
-                        # Dependence-free: the round structure only served the
-                        # scheduler's horizontal pacing; execution needs no
-                        # barriers, so flatten to one synchronization-free round
-                        # (pacing survives through the balanced sizes).
-                        group_rounds = [
-                            [[g for rnd in core_rounds for g in rnd]]
-                            for core_rounds in group_rounds
-                        ]
-                else:
-                    group_rounds = dependence_only_schedule(
-                        assignments, self.machine, graph
-                    )
-            timings["scheduling"] = time.perf_counter() - t0
-
-            sp.tag(groups=len(group_set.groups), block_size=block_size)
-            obs.count("map.nests_mapped")
-
-        label = "topology-aware+sched" if self.local_scheduling else "topology-aware"
-        return MappingResult(
-            self.machine,
-            nest,
-            partition,
-            group_set,
-            graph,
-            assignments,
-            group_rounds,
-            label,
-            timings,
-        )
+        return self._pipeline().map_nest(program, nest)

@@ -1,0 +1,67 @@
+"""Staged mapping pipeline with content-addressed stage artifacts.
+
+The paper's pass is a five-stage chain — block-size selection, iteration
+tagging, dependence lift, hierarchical distribution, local scheduling —
+and for years of this repo's growth that chain existed in three parallel
+copies (the mapper, the experiment harness, the service engine), each
+with whole-result-only caching.  This package is the single copy: an
+explicit :class:`~repro.pipeline.core.Stage` sequence driven by
+:class:`~repro.pipeline.core.MappingPipeline`, where every stage
+produces an immutable artifact keyed by
+
+    (stage, program digest, nest, topology digest, per-stage knob tuple)
+
+so a request that only changes a *late* knob (α/β, balance threshold,
+local scheduling on/off) replays from the deepest cached stage instead
+of re-tagging from scratch.  The knob tuple is cumulative — a stage's
+key covers its own knobs plus every upstream stage's — which is exactly
+the invalidation the chain needs: changing the block size invalidates
+everything, changing α/β invalidates only the schedule.
+
+Layout:
+
+* :mod:`repro.pipeline.knobs` — the canonical :class:`Knobs` dataclass
+  every cache key in the repo derives its knob tuple from;
+* :mod:`repro.pipeline.artifacts` — the immutable, fingerprinted stage
+  outputs (:class:`TagArtifact`, :class:`GroupArtifact`,
+  :class:`DependenceArtifact`, :class:`TreeAssignment`, and the plan);
+* :mod:`repro.pipeline.store` — the in-process LRU artifact store;
+* :mod:`repro.pipeline.persist` — the optional persistent plan tier
+  (same content-fingerprint discipline as :mod:`repro.experiments.cache`);
+* :mod:`repro.pipeline.core` — the stages and the driver;
+* :mod:`repro.pipeline.bench` — the cold-vs-warm sweep benchmark
+  (``BENCH_pipeline.json``).
+
+See ``docs/ARCHITECTURE.md`` for the full diagram.
+"""
+
+from repro.pipeline.artifacts import (
+    BlockChoice,
+    DependenceArtifact,
+    GroupArtifact,
+    PlanArtifact,
+    TagArtifact,
+    TreeAssignment,
+)
+from repro.pipeline.core import MappingPipeline, Stage
+from repro.pipeline.knobs import STAGE_KNOBS, STAGE_ORDER, Knobs
+from repro.pipeline.persist import PlanStore
+from repro.pipeline.store import ArtifactStore, default_store, reset_default_store
+
+__all__ = [
+    "ArtifactStore",
+    "BlockChoice",
+    "DependenceArtifact",
+    "GroupArtifact",
+    "Knobs",
+    "MappingPipeline",
+    "PlanArtifact",
+    "PlanStore",
+    "STAGE_KNOBS",
+    "STAGE_ORDER",
+    "Stage",
+    "TagArtifact",
+    "TreeAssignment",
+    "default_store",
+    "reset_default_store",
+]

@@ -1,0 +1,108 @@
+"""Optional persistent tier for final-stage plan artifacts.
+
+Intermediate artifacts (tag sets, dependence graphs, tree assignments)
+hold live ``IterationGroup`` objects whose idents — which the scheduler
+uses as deterministic tie-breakers — do not survive serialization, so
+persisting them could replay a *valid but different* plan.  The final
+stage's output, by contrast, is pure data: per-core rounds of iteration
+tuples.  This tier persists exactly that, under the same discipline as
+:mod:`repro.experiments.cache`:
+
+* content keys (the pipeline's schedule-stage key, minus the process-
+  local ident epoch), never timestamps;
+* the mapping-relevant code fingerprint baked into the file name
+  (``plans-<fp12>.json``), so editing the mapper starts a fresh file
+  instead of serving stale plans;
+* write-through, atomic replace, corrupt/foreign files read as empty.
+
+:meth:`MappingPipeline.plan` consults this tier before running anything,
+which makes cold-process sweeps (a fresh ``repro tune`` over knobs
+already explored yesterday) skip the whole chain.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import MappingError
+from repro.experiments.cache import code_fingerprint, default_cache_dir
+from repro.ir.loops import LoopNest
+from repro.mapping.distribute import ExecutablePlan
+from repro.topology.tree import Machine
+
+#: Schema tag for the persistent file payload.
+STORE_FORMAT = 1
+
+
+class PlanStore:
+    """One on-disk plan store, bound to one code fingerprint."""
+
+    def __init__(self, directory: str | None = None):
+        self.directory = directory or default_cache_dir()
+        self.fingerprint = code_fingerprint()
+        self.path = os.path.join(
+            self.directory, f"plans-{self.fingerprint[:12]}.json"
+        )
+        self._entries: dict[str, dict] = self._load()
+
+    def _load(self) -> dict[str, dict]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != STORE_FORMAT
+            or payload.get("fingerprint") != self.fingerprint
+        ):
+            return {}
+        entries = payload.get("plans")
+        return entries if isinstance(entries, dict) else {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _encode(key: tuple) -> str:
+        return json.dumps(key, separators=(",", ":"))
+
+    def get(self, key: tuple, machine: Machine, nest: LoopNest) -> ExecutablePlan | None:
+        raw = self._entries.get(self._encode(key))
+        if raw is None:
+            return None
+        try:
+            rounds = tuple(
+                tuple(tuple(tuple(int(x) for x in p) for p in rnd) for rnd in core)
+                for core in raw["rounds"]
+            )
+            plan = ExecutablePlan(machine, nest, rounds, str(raw["label"]))
+            plan.verify_complete()
+            return plan
+        except (KeyError, TypeError, ValueError, MappingError):
+            return None
+
+    def put(self, key: tuple, plan: ExecutablePlan) -> None:
+        encoded = self._encode(key)
+        if encoded in self._entries:
+            return
+        self._entries[encoded] = {
+            "label": plan.label,
+            "rounds": [
+                [[list(p) for p in rnd] for rnd in core] for core in plan.rounds
+            ],
+        }
+        self._flush()
+
+    def _flush(self) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        payload = {
+            "format": STORE_FORMAT,
+            "fingerprint": self.fingerprint,
+            "plans": self._entries,
+        }
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, self.path)

@@ -1,0 +1,106 @@
+"""In-process LRU store for pipeline stage artifacts.
+
+Keys are the driver's content-addressed stage keys; values are the
+immutable artifacts of :mod:`repro.pipeline.artifacts`.  The store is a
+bounded, thread-safe LRU (the service's worker threads share one), with
+hit/miss/eviction counts surfaced both through :meth:`ArtifactStore.stats`
+and the obs decision counters the driver emits per stage.
+
+Stage artifacts hold live :class:`~repro.blocks.groups.IterationGroup`
+objects whose idents come from a process-global counter, so cache keys
+embed the current *ident epoch* (bumped by
+:meth:`IterationGroup.reset_idents`): after a reset — the test suite
+does one per test — every stale key simply misses instead of leaking
+groups from the previous epoch into a fresh pipeline run, where ident
+collisions could corrupt dependence lookups.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.blocks.groups import IterationGroup
+
+
+def ident_epoch() -> int:
+    """The current group-ident epoch (see module docstring)."""
+    return getattr(IterationGroup, "_ident_epoch", 0)
+
+
+class ArtifactStore:
+    """Bounded, thread-safe LRU over stage artifacts."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _encode(key: tuple) -> str:
+        return repr(key)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: tuple):
+        encoded = self._encode(key)
+        with self._lock:
+            value = self._entries.get(encoded)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(encoded)
+            self.hits += 1
+            return value
+
+    def put(self, key: tuple, artifact) -> None:
+        encoded = self._encode(key)
+        with self._lock:
+            self._entries[encoded] = artifact
+            self._entries.move_to_end(encoded)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+#: The process-wide default store, shared by the harness, the service
+#: engine and the autotuner unless they pass their own.
+_DEFAULT: ArtifactStore | None = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_store() -> ArtifactStore:
+    """The shared per-process artifact store (created on first use)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = ArtifactStore()
+        return _DEFAULT
+
+
+def reset_default_store() -> None:
+    """Drop the shared store (tests; frees the artifacts it pinned)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        _DEFAULT = None

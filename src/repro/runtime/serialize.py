@@ -50,9 +50,10 @@ def _machine_fingerprint(machine: Machine) -> dict:
     }
 
 
-def plan_to_json(plan: ExecutablePlan) -> str:
-    """Serialize a plan (rounds of iteration tuples + fingerprints)."""
-    payload = {
+def plan_to_dict(plan: ExecutablePlan) -> dict:
+    """The plan as a plain JSON-serializable dict (rounds of iteration
+    tuples + fingerprints); :func:`plan_to_json` is its dumped form."""
+    return {
         "format": FORMAT_VERSION,
         "label": plan.label,
         "nest": plan.nest.name,
@@ -63,7 +64,11 @@ def plan_to_json(plan: ExecutablePlan) -> str:
             for core_rounds in plan.rounds
         ],
     }
-    return json.dumps(payload)
+
+
+def plan_to_json(plan: ExecutablePlan) -> str:
+    """Serialize a plan (rounds of iteration tuples + fingerprints)."""
+    return json.dumps(plan_to_dict(plan))
 
 
 def plan_from_json(

@@ -1,26 +1,36 @@
 """Per-request pipeline execution for the mapping service.
 
-:func:`compute_mapping` runs the full topology-aware pipeline for one
-validated request and returns the JSON-serializable payload the server
-caches and ships; :func:`baseline_mapping` is the cheap fallback used
-under deadline pressure (the Base scheme — a contiguous block
-distribution needs no tagging, clustering or scheduling, so it costs
-microseconds where the pipeline costs milliseconds).
+:func:`compute_mapping` runs the staged mapping pipeline
+(:class:`~repro.pipeline.core.MappingPipeline`) for one validated
+request and returns the JSON-serializable payload the server caches and
+ships; :func:`baseline_mapping` is the cheap fallback used under
+deadline pressure (the Base scheme — a contiguous block distribution
+needs no tagging, clustering or scheduling, so it costs microseconds
+where the pipeline costs milliseconds).
 
-Both produce the same payload shape, with the plan serialized through
-:mod:`repro.runtime.serialize` so a client can reconstruct and validate
-an :class:`~repro.mapping.distribute.ExecutablePlan` from the response.
+Requests share the process-wide artifact store, so two requests that
+differ only in late knobs (α/β, the balance threshold) replay the early
+stages from cache even when their full-response cache keys differ —
+that reuse sits *under* the response-level
+:class:`~repro.service.mapcache.MappingCache`, which still provides
+exact whole-payload hits.
+
+Both entry points produce the same payload shape, with the plan
+serialized through :mod:`repro.runtime.serialize` so a client can
+reconstruct and validate an
+:class:`~repro.mapping.distribute.ExecutablePlan` from the response.
 """
 
 from __future__ import annotations
 
-import json
 import time
 
 from repro import obs
 from repro.mapping.baselines import base_plan
-from repro.mapping.distribute import ExecutablePlan, TopologyAwareMapper
-from repro.runtime.serialize import plan_to_json
+from repro.mapping.distribute import ExecutablePlan
+from repro.pipeline.core import MappingPipeline
+from repro.pipeline.store import default_store
+from repro.runtime.serialize import plan_to_dict
 from repro.service.protocol import MappingRequest
 
 
@@ -33,30 +43,22 @@ def _payload(
         cores=request.machine.num_cores,
         rounds=plan.num_rounds,
         per_core_iterations=[
-            len(plan.core_iterations(core)) for core in range(len(plan.rounds))
+            sum(len(rnd) for rnd in core_rounds) for core_rounds in plan.rounds
         ],
     )
     return {
         "scheme": plan.label,
         "nest": request.nest.name,
         "machine": request.machine.name,
-        "mapping": json.loads(plan_to_json(plan)),
+        "mapping": plan_to_dict(plan),
         "stats": stats,
     }
 
 
 def compute_mapping(request: MappingRequest) -> dict:
-    """Run the full pipeline; the result is the cacheable response body."""
-    knobs = request.knobs
-    mapper = TopologyAwareMapper(
-        request.machine,
-        block_size=knobs.block_size,
-        balance_threshold=knobs.balance_threshold,
-        alpha=knobs.alpha,
-        beta=knobs.beta,
-        local_scheduling=knobs.local_scheduling,
-        dependence_policy=knobs.dependence_policy,
-        cluster_strategy=knobs.cluster_strategy,
+    """Run the staged pipeline; the result is the cacheable response body."""
+    pipeline = MappingPipeline(
+        request.machine, request.knobs, store=default_store()
     )
     started = time.perf_counter()
     with obs.span(
@@ -64,7 +66,7 @@ def compute_mapping(request: MappingRequest) -> dict:
         nest=request.nest.name,
         machine=request.machine.name,
     ):
-        result = mapper.map_nest(request.program, request.nest)
+        result = pipeline.map_nest(request.program, request.nest)
     elapsed_ms = (time.perf_counter() - started) * 1e3
     obs.count("service.pipeline.runs")
     plan = result.plan()

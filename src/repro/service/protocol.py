@@ -23,12 +23,28 @@ from repro.errors import ReproError
 from repro.experiments.cache import machine_digest
 from repro.ir.loops import LoopNest, Program
 from repro.lang import compile_source
+from repro.pipeline.knobs import Knobs
 from repro.runtime.serialize import program_digest, program_from_dict
 from repro.topology.machines import machine_by_name
 from repro.topology.tree import Machine
 
+__all__ = [
+    "KNOB_DEFAULTS",
+    "BadRequest",
+    "Knobs",
+    "MappingRequest",
+    "Overloaded",
+    "ServiceError",
+    "Unavailable",
+    "parse_request",
+]
+
 #: Knob names accepted in a request's ``knobs`` object, with defaults.
-#: ``block_size=None`` means the Section 4.1 heuristic.
+#: ``block_size=None`` means the Section 4.1 heuristic.  Values mirror
+#: :class:`repro.pipeline.knobs.Knobs` — the canonical knob dataclass
+#: every cache key in the repo derives from — but the wire surface stays
+#: the historical seven (``max_groups``/``refine`` are not request
+#: knobs; clients get the defaults).
 KNOB_DEFAULTS: dict[str, Any] = {
     "block_size": None,
     "balance_threshold": 0.10,
@@ -69,31 +85,6 @@ class Unavailable(ServiceError):
     """The service is draining or a request timed out internally."""
 
     status = 503
-
-
-@dataclass(frozen=True)
-class Knobs:
-    """Mapper parameters, normalized for hashing (the knob tuple)."""
-
-    block_size: int | None = None
-    balance_threshold: float = 0.10
-    alpha: float = 0.5
-    beta: float = 0.5
-    local_scheduling: bool = True
-    dependence_policy: str = "barrier"
-    cluster_strategy: str = "greedy"
-
-    def as_tuple(self) -> tuple:
-        """The canonical knob tuple (part of every cache key)."""
-        return (
-            self.block_size,
-            round(self.balance_threshold, 6),
-            round(self.alpha, 6),
-            round(self.beta, 6),
-            self.local_scheduling,
-            self.dependence_policy,
-            self.cluster_strategy,
-        )
 
 
 @dataclass
@@ -152,7 +143,7 @@ def _parse_knobs(payload: dict) -> Knobs:
     values = dict(KNOB_DEFAULTS)
     values.update(raw)
     try:
-        knobs = Knobs(
+        return Knobs(
             block_size=(
                 None if values["block_size"] is None else int(values["block_size"])
             ),
@@ -163,17 +154,12 @@ def _parse_knobs(payload: dict) -> Knobs:
             dependence_policy=str(values["dependence_policy"]),
             cluster_strategy=str(values["cluster_strategy"]),
         )
+    except ReproError as error:
+        # Knobs.__post_init__ rejects bad policies/strategies/sizes with
+        # the same messages the service historically produced.
+        raise BadRequest(str(error)) from None
     except (TypeError, ValueError) as error:
         raise BadRequest(f"malformed knobs: {error}") from None
-    if knobs.dependence_policy not in ("barrier", "co-cluster"):
-        raise BadRequest(
-            f"unknown dependence policy {knobs.dependence_policy!r}"
-        )
-    if knobs.cluster_strategy not in ("greedy", "kl"):
-        raise BadRequest(f"unknown cluster strategy {knobs.cluster_strategy!r}")
-    if knobs.block_size is not None and knobs.block_size <= 0:
-        raise BadRequest(f"block_size must be positive, got {knobs.block_size}")
-    return knobs
 
 
 def _parse_program(payload: dict) -> Program:

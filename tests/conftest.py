@@ -16,9 +16,15 @@ def _reset_group_idents():
 
     Group idents are process-global; without the reset, tests that pin
     ident values (or orders derived from them) would depend on which
-    tests ran before them.
+    tests ran before them.  The process-wide pipeline artifact store is
+    dropped too: its entries reference pre-reset idents (the reset bumps
+    the ident epoch, so they would only miss — but letting them pile up
+    across thousands of tests wastes memory for nothing).
     """
+    from repro.pipeline import reset_default_store
+
     IterationGroup.reset_idents()
+    reset_default_store()
     yield
 
 

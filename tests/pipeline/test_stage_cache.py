@@ -1,0 +1,235 @@
+"""Stage-cache reuse and invalidation, asserted through obs counters.
+
+The content-addressed stage keys are cumulative over knobs, so a knob
+change invalidates exactly the stages at and after the first stage that
+reads it (ISSUE: "changing α/β after a first compile re-runs only the
+scheduling stage").  Each test runs the pipeline twice against one
+store and reads the per-stage hit/miss counters of the *second* run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.sinks import CollectorSink
+from repro.pipeline import ArtifactStore, Knobs, MappingPipeline
+
+STAGES = ("blocksize", "tagging", "dependence", "distribute", "schedule")
+
+
+def counters_for_run(machine, knobs, store, program):
+    """Map the program's first nest; return that run's counter dict."""
+    col = CollectorSink()
+    with obs.tracing(col):
+        MappingPipeline(machine, knobs, store=store).map_nest(
+            program, program.nests[0]
+        )
+    return col.summary()["counters"]
+
+
+def hit_pattern(counters) -> dict[str, str]:
+    pattern = {}
+    for stage in STAGES:
+        if counters.get(f"pipeline.{stage}.hits"):
+            pattern[stage] = "hit"
+        elif counters.get(f"pipeline.{stage}.misses"):
+            pattern[stage] = "miss"
+        else:
+            pattern[stage] = "absent"
+    return pattern
+
+
+class TestStageReuse:
+    def test_cold_run_misses_every_stage(self, fig9_machine, fig5_program):
+        store = ArtifactStore()
+        counters = counters_for_run(
+            fig9_machine, Knobs(block_size=32), store, fig5_program
+        )
+        assert hit_pattern(counters) == {s: "miss" for s in STAGES}
+        assert counters["pipeline.stage_misses"] == 5
+        assert "pipeline.stage_hits" not in counters
+
+    def test_identical_rerun_hits_every_stage(self, fig9_machine, fig5_program):
+        store = ArtifactStore()
+        knobs = Knobs(block_size=32)
+        counters_for_run(fig9_machine, knobs, store, fig5_program)
+        counters = counters_for_run(fig9_machine, knobs, store, fig5_program)
+        assert hit_pattern(counters) == {s: "hit" for s in STAGES}
+        assert counters["pipeline.stage_hits"] == 5
+
+    def test_alpha_beta_change_reruns_schedule_only(
+        self, fig9_machine, fig5_program
+    ):
+        store = ArtifactStore()
+        base = Knobs(block_size=32, local_scheduling=True)
+        counters_for_run(fig9_machine, base, store, fig5_program)
+        counters = counters_for_run(
+            fig9_machine, base.replace(alpha=0.9, beta=0.1), store, fig5_program
+        )
+        assert hit_pattern(counters) == {
+            "blocksize": "hit",
+            "tagging": "hit",
+            "dependence": "hit",
+            "distribute": "hit",
+            "schedule": "miss",
+        }
+
+    def test_balance_change_reruns_distribute_onward(
+        self, fig9_machine, fig5_program
+    ):
+        store = ArtifactStore()
+        base = Knobs(block_size=32, balance_threshold=0.10)
+        counters_for_run(fig9_machine, base, store, fig5_program)
+        counters = counters_for_run(
+            fig9_machine, base.replace(balance_threshold=0.01), store, fig5_program
+        )
+        assert hit_pattern(counters) == {
+            "blocksize": "hit",
+            "tagging": "hit",
+            "dependence": "hit",
+            "distribute": "miss",
+            "schedule": "miss",
+        }
+
+    def test_block_size_change_invalidates_everything(
+        self, fig9_machine, fig5_program
+    ):
+        store = ArtifactStore()
+        counters_for_run(
+            fig9_machine, Knobs(block_size=32), store, fig5_program
+        )
+        counters = counters_for_run(
+            fig9_machine, Knobs(block_size=64), store, fig5_program
+        )
+        assert hit_pattern(counters) == {s: "miss" for s in STAGES}
+
+    def test_topology_change_invalidates_everything(
+        self, fig9_machine, two_core_machine, fig5_program
+    ):
+        store = ArtifactStore()
+        knobs = Knobs(block_size=32)
+        counters_for_run(fig9_machine, knobs, store, fig5_program)
+        counters = counters_for_run(
+            two_core_machine, knobs, store, fig5_program
+        )
+        assert hit_pattern(counters) == {s: "miss" for s in STAGES}
+
+    def test_program_change_invalidates_everything(
+        self, fig9_machine, fig5_program, stencil_program
+    ):
+        store = ArtifactStore()
+        knobs = Knobs(block_size=32)
+        counters_for_run(fig9_machine, knobs, store, fig5_program)
+        counters = counters_for_run(fig9_machine, knobs, store, stencil_program)
+        assert hit_pattern(counters) == {s: "miss" for s in STAGES}
+
+    def test_dependence_policy_change_keeps_tagging(
+        self, fig9_machine, dependent_program
+    ):
+        store = ArtifactStore()
+        base = Knobs(block_size=32, dependence_policy="barrier")
+        counters_for_run(fig9_machine, base, store, dependent_program)
+        counters = counters_for_run(
+            fig9_machine,
+            base.replace(dependence_policy="co-cluster"),
+            store,
+            dependent_program,
+        )
+        assert hit_pattern(counters) == {
+            "blocksize": "hit",
+            "tagging": "hit",
+            "dependence": "miss",
+            "distribute": "miss",
+            "schedule": "miss",
+        }
+
+    def test_no_store_emits_no_cache_counters(self, fig9_machine, fig5_program):
+        counters = counters_for_run(
+            fig9_machine, Knobs(block_size=32), None, fig5_program
+        )
+        assert not any(k.startswith("pipeline.") for k in counters)
+
+    def test_hit_run_produces_identical_plan(self, fig9_machine, fig5_program):
+        store = ArtifactStore()
+        knobs = Knobs(block_size=32, local_scheduling=True)
+        nest = fig5_program.nests[0]
+        cold = MappingPipeline(fig9_machine, knobs, store=store).map_nest(
+            fig5_program, nest
+        )
+        warm = MappingPipeline(fig9_machine, knobs, store=store).map_nest(
+            fig5_program, nest
+        )
+        assert warm.plan().rounds == cold.plan().rounds
+        assert warm.timings.keys() == cold.timings.keys()
+
+
+class TestCachedSpanTags:
+    def test_spans_tag_hit_and_miss(self, fig9_machine, fig5_program):
+        store = ArtifactStore()
+        knobs = Knobs(block_size=32)
+        nest = fig5_program.nests[0]
+        col = CollectorSink()
+        with obs.tracing(col):
+            MappingPipeline(fig9_machine, knobs, store=store).map_nest(
+                fig5_program, nest
+            )
+            MappingPipeline(fig9_machine, knobs, store=store).map_nest(
+                fig5_program, nest
+            )
+        tags = [
+            r["tags"].get("cache")
+            for r in col.spans()
+            if r["name"] == "map.tagging"
+        ]
+        assert tags == ["miss", "hit"]
+
+    def test_dependence_hit_retains_edge_tags(
+        self, fig9_machine, dependent_program
+    ):
+        """A cached dependence artifact still tags policy/edges (trace
+        consumers must not see less on a warm run)."""
+        store = ArtifactStore()
+        knobs = Knobs(block_size=32)
+        nest = dependent_program.nests[0]
+        col = CollectorSink()
+        with obs.tracing(col):
+            MappingPipeline(fig9_machine, knobs, store=store).map_nest(
+                dependent_program, nest
+            )
+            MappingPipeline(fig9_machine, knobs, store=store).map_nest(
+                dependent_program, nest
+            )
+        spans = [r for r in col.spans() if r["name"] == "map.dependence"]
+        assert len(spans) == 2
+        cold, warm = spans
+        assert warm["tags"].get("cache") == "hit"
+        assert warm["tags"].get("policy") == cold["tags"].get("policy")
+        assert warm["tags"].get("edges") == cold["tags"].get("edges")
+
+
+class TestEpochInvalidation:
+    def test_ident_reset_invalidates_store(self, fig9_machine, fig5_program):
+        from repro.blocks.groups import IterationGroup
+
+        store = ArtifactStore()
+        knobs = Knobs(block_size=32)
+        counters_for_run(fig9_machine, knobs, store, fig5_program)
+        IterationGroup.reset_idents()
+        counters = counters_for_run(fig9_machine, knobs, store, fig5_program)
+        assert hit_pattern(counters) == {s: "miss" for s in STAGES}
+
+
+@pytest.mark.perf_smoke
+class TestWarmFasterSmoke:
+    def test_warm_rerun_skips_compute(self, fig9_machine, fig5_program):
+        """Structure check for the perf benchmark: a warm α/β point
+        computes only the scheduling stage."""
+        store = ArtifactStore()
+        base = Knobs(block_size=32, local_scheduling=True)
+        counters_for_run(fig9_machine, base, store, fig5_program)
+        counters = counters_for_run(
+            fig9_machine, base.replace(alpha=0.7, beta=0.3), store, fig5_program
+        )
+        assert counters["pipeline.stage_hits"] == 4
+        assert counters["pipeline.stage_misses"] == 1
