@@ -1,0 +1,26 @@
+"""Load benchmark entry point for the mapping service.
+
+Thin wrapper over :mod:`repro.service.bench` so CI (and operators) can
+run it without installing the package:
+
+    python scripts/service_load.py --out BENCH_service.json \
+            [--requests 20000] [--workers 4] [--concurrency 16]
+
+Boots the real ``repro serve`` daemon twice — single-process and
+sharded (``--workers N``) — drives the identical deterministic mixed
+cold/warm/degraded schedule through both, and writes throughput,
+p50/p99 latency, cache-tier counts, and the shard-vs-single speedup to
+the JSON artifact.  Exits 1 if any happy-path request draws a 5xx or a
+transport error, or if either daemon fails to drain and exit 0.
+"""
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.service.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -259,11 +259,33 @@ def cmd_tune(args) -> int:
 def cmd_serve(args) -> int:
     from repro.service.server import MappingService, ServiceConfig, _default_workers
 
+    threads = args.threads if args.threads is not None else _default_workers()
+    if args.workers >= 2:
+        # Sharded mode: a front router consistent-hashing requests over
+        # N forked worker processes sharing the plan disk tier.
+        from repro.service.shard import ShardConfig, ShardService
+
+        shard_config = ShardConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            threads=threads,
+            queue_size=args.queue_size,
+            lru_capacity=args.lru_capacity,
+            cache_dir=args.cache_dir,
+            persistent=args.persistent,
+            default_deadline_ms=args.deadline_ms,
+            debug=args.debug,
+            quiet=not args.verbose,
+            router_cache_capacity=0 if args.no_router_cache else 1024,
+            health_interval_s=args.health_interval,
+        )
+        return ShardService(shard_config).serve()
     config = ServiceConfig(
         host=args.host,
         port=args.port,
         queue_size=args.queue_size,
-        workers=args.workers if args.workers is not None else _default_workers(),
+        workers=threads,
         lru_capacity=args.lru_capacity,
         cache_dir=args.cache_dir,
         persistent=args.persistent,
@@ -457,8 +479,20 @@ def build_parser() -> argparse.ArgumentParser:
                               help="bind port (0 picks an ephemeral port)")
     serve_parser.add_argument("--queue-size", type=int, default=64, metavar="Q",
                               help="admission queue capacity (default 64)")
-    serve_parser.add_argument("--workers", type=int, default=None, metavar="N",
-                              help="worker threads (default: up to 4)")
+    serve_parser.add_argument("--workers", type=int, default=1, metavar="N",
+                              help="worker processes; >= 2 enables sharded "
+                                   "mode with a consistent-hash front router "
+                                   "(default 1: single process)")
+    serve_parser.add_argument("--threads", type=int, default=None, metavar="T",
+                              help="admission worker threads per process "
+                                   "(default: up to 4)")
+    serve_parser.add_argument("--no-router-cache", action="store_true",
+                              help="sharded mode: disable the router's "
+                                   "hot-key response cache")
+    serve_parser.add_argument("--health-interval", type=float, default=0.25,
+                              metavar="S",
+                              help="sharded mode: dead-worker sweep period "
+                                   "(default 0.25s)")
     serve_parser.add_argument("--lru-capacity", type=int, default=512,
                               metavar="N", help="in-process cache entries")
     serve_parser.add_argument("--persistent", action="store_true",

@@ -12,7 +12,12 @@ with nothing beyond the standard library:
 * :mod:`repro.service.mapcache` — two-tier (LRU + persistent) result cache;
 * :mod:`repro.service.admission` — bounded queue and worker pool;
 * :mod:`repro.service.server` — the HTTP daemon (``repro serve``);
-* :mod:`repro.service.client` — the client API (``repro submit``).
+* :mod:`repro.service.client` — the client API (``repro submit``);
+* :mod:`repro.service.hashring` — consistent hashing for shard routing;
+* :mod:`repro.service.shard` — the multi-process sharded mode
+  (``repro serve --workers N``): front router, forked workers,
+  health-checked restarts, aggregated stats;
+* :mod:`repro.service.bench` — the load benchmark (``BENCH_service.json``).
 
 Quick start::
 
@@ -29,6 +34,7 @@ the cache-tier behavior.
 """
 
 from repro.service.client import ServiceClient
+from repro.service.hashring import HashRing
 from repro.service.mapcache import MappingCache
 from repro.service.protocol import (
     BadRequest,
@@ -39,9 +45,11 @@ from repro.service.protocol import (
     parse_request,
 )
 from repro.service.server import MappingService, ServiceConfig
+from repro.service.shard import ShardConfig, ShardService
 
 __all__ = [
     "BadRequest",
+    "HashRing",
     "MappingCache",
     "MappingRequest",
     "MappingService",
@@ -49,6 +57,8 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "ShardConfig",
+    "ShardService",
     "Unavailable",
     "parse_request",
 ]

@@ -55,11 +55,30 @@ def _payload(
     }
 
 
-def compute_mapping(request: MappingRequest) -> dict:
-    """Run the staged pipeline; the result is the cacheable response body."""
+def compute_mapping(request: MappingRequest, plans=None) -> dict:
+    """Run the staged pipeline; the result is the cacheable response body.
+
+    ``plans`` optionally names the shared
+    :class:`~repro.pipeline.persist.PlanStore` disk tier: a hit serves
+    the persisted final plan (possibly computed by a sibling worker
+    process of the shard) without running any stage, and a computed plan
+    is written through for the siblings.
+    """
     pipeline = MappingPipeline(
-        request.machine, request.knobs, store=default_store()
+        request.machine, request.knobs, store=default_store(), plans=plans
     )
+    if plans is not None:
+        plan_key = pipeline.plan_key(request.program, request.nest)
+        started = time.perf_counter()
+        cached = plans.get(plan_key, request.machine, request.nest)
+        if cached is not None:
+            obs.count("service.plan_tier.hits")
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            return _payload(
+                request, cached,
+                {"pipeline_ms": round(elapsed_ms, 3), "plan_tier": "disk"},
+            )
+        obs.count("service.plan_tier.misses")
     started = time.perf_counter()
     with obs.span(
         "service.pipeline",
@@ -70,6 +89,8 @@ def compute_mapping(request: MappingRequest) -> dict:
     elapsed_ms = (time.perf_counter() - started) * 1e3
     obs.count("service.pipeline.runs")
     plan = result.plan()
+    if plans is not None:
+        plans.put(plan_key, plan)
     stats = {
         "groups": len(result.group_set),
         "blocks": result.partition.num_blocks,

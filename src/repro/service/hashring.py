@@ -1,0 +1,98 @@
+"""Consistent-hash ring for the sharded mapping service.
+
+The front router assigns every request to a worker *slot* by hashing
+the request's program digest onto a ring of virtual nodes (``replicas``
+points per slot, sha256-placed).  Two properties make this the right
+structure for the service:
+
+* **affinity** — the same program digest always lands on the same
+  worker, so a worker's in-process stage-artifact store and mapping LRU
+  stay hot for "its" programs, and concurrent identical requests meet
+  in one process where the coalescing table can merge them;
+* **minimal disruption** — adding or removing one of N slots remaps
+  only the keys that hash into the changed slot's arcs (≈K/N of K keys),
+  so a worker restart or a resize does not shuffle the whole key space.
+
+The ring is deterministic in the set of nodes: insertion order does not
+matter, and there is no random placement, so two routers built over the
+same worker set route identically (property-tested in
+``tests/service/test_hashring.py``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing"]
+
+
+def _point(value: str) -> int:
+    """A 64-bit ring position for one string."""
+    return int.from_bytes(hashlib.sha256(value.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over string node names."""
+
+    def __init__(self, nodes: tuple | list = (), replicas: int = 64):
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        self.replicas = replicas
+        self._nodes: set[str] = set()
+        self._points: list[tuple[int, str]] = []
+        self._hashes: list[int] = []
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ------------------------------------------------------
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        """Add a node (raises on duplicates — slots are unique)."""
+        if not isinstance(node, str) or not node:
+            raise ValueError(f"node must be a non-empty string, got {node!r}")
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} is already on the ring")
+        self._nodes.add(node)
+        self._rebuild()
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise KeyError(node)
+        self._nodes.remove(node)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        # Ties between virtual points are broken by node name, so the
+        # ring is a pure function of the node *set*.
+        points = sorted(
+            (_point(f"{node}#{replica}"), node)
+            for node in self._nodes
+            for replica in range(self.replicas)
+        )
+        self._points = points
+        self._hashes = [h for h, _node in points]
+
+    # -- routing ---------------------------------------------------------
+    def node_for(self, key: str) -> str:
+        """The owning node of ``key`` (the first point at/after its hash)."""
+        if not self._points:
+            raise ValueError("cannot route on an empty hash ring")
+        index = bisect.bisect_left(self._hashes, _point(key)) % len(self._points)
+        return self._points[index][1]
+
+    def distribution(self, keys) -> dict[str, int]:
+        """Key counts per node — a balance diagnostic for tests/stats."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts

@@ -21,6 +21,7 @@ import threading
 from collections import OrderedDict
 
 from repro.experiments.cache import code_fingerprint, default_cache_dir
+from repro.util.filelock import FileLock
 
 #: JSON schema tag for the persistent tier's file payload.
 STORE_FORMAT = 1
@@ -33,9 +34,13 @@ def _encode_key(key: tuple) -> str:
 class _DiskStore:
     """The persistent tier: one JSON file per code fingerprint.
 
-    Same discipline as :class:`repro.experiments.cache.DiskCache`:
-    write-through with atomic replace, corrupt/foreign files read as
-    empty, single writer (the serving process).
+    Same discipline as :class:`repro.pipeline.persist.PlanStore`:
+    write-through, corrupt/foreign files read as empty, and — because
+    the sharded service runs N worker processes over one cache
+    directory — every flush is a locked read-merge-replace instead of a
+    last-writer-wins ``os.replace``, and a miss re-checks the file's
+    stat signature so entries persisted by sibling processes become
+    visible without a restart.
     """
 
     def __init__(self, directory: str | None = None):
@@ -44,9 +49,18 @@ class _DiskStore:
         self.path = os.path.join(
             self.directory, f"mappings-{self.fingerprint[:12]}.json"
         )
-        self._entries: dict[str, dict] = self._load()
+        self._disk_sig: tuple | None = None
+        self._entries: dict[str, dict] = {}
+        self._reload_if_changed()
 
-    def _load(self) -> dict[str, dict]:
+    def _signature(self) -> tuple | None:
+        try:
+            st = os.stat(self.path)
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size, st.st_ino)
+
+    def _read_disk(self) -> dict[str, dict]:
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
@@ -61,11 +75,23 @@ class _DiskStore:
         entries = payload.get("mappings")
         return entries if isinstance(entries, dict) else {}
 
+    def _reload_if_changed(self) -> None:
+        sig = self._signature()
+        if sig == self._disk_sig:
+            return
+        merged = self._read_disk()
+        merged.update(self._entries)
+        self._entries = merged
+        self._disk_sig = sig
+
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, encoded: str) -> dict | None:
         value = self._entries.get(encoded)
+        if value is None:
+            self._reload_if_changed()
+            value = self._entries.get(encoded)
         return value if isinstance(value, dict) else None
 
     def put(self, encoded: str, value: dict) -> None:
@@ -76,15 +102,20 @@ class _DiskStore:
 
     def _flush(self) -> None:
         os.makedirs(self.directory, exist_ok=True)
-        payload = {
-            "format": STORE_FORMAT,
-            "fingerprint": self.fingerprint,
-            "mappings": self._entries,
-        }
-        tmp = self.path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp, self.path)
+        with FileLock(self.path + ".lock"):
+            merged = self._read_disk()
+            merged.update(self._entries)
+            self._entries = merged
+            payload = {
+                "format": STORE_FORMAT,
+                "fingerprint": self.fingerprint,
+                "mappings": merged,
+            }
+            tmp = f"{self.path}.{os.getpid()}.tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, self.path)
+            self._disk_sig = self._signature()
 
 
 class MappingCache:

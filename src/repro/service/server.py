@@ -47,7 +47,7 @@ from repro import obs
 from repro.errors import ReproError
 from repro.service.admission import AdmissionQueue, Job
 from repro.service.engine import baseline_mapping, compute_mapping
-from repro.service.mapcache import MappingCache
+from repro.service.mapcache import MappingCache, _encode_key
 from repro.service.protocol import (
     MappingRequest,
     ServiceError,
@@ -176,6 +176,20 @@ class MappingService:
             directory=config.cache_dir,
             persistent=config.persistent,
         )
+        # The shared final-plan disk tier (repro.pipeline.persist): with
+        # persistence on, every worker process of a shard writes through
+        # to the same plans-<fp>.json, so a plan computed anywhere serves
+        # everywhere (the store is lock+merge safe across processes).
+        self.plans = None
+        if config.persistent:
+            from repro.pipeline.persist import PlanStore
+
+            self.plans = PlanStore(config.cache_dir)
+        # Coalescing table: cache_key -> the Job already computing that
+        # key.  Followers wait on the leader's Job instead of enqueueing
+        # a duplicate compute (hot cold keys cost one pipeline run).
+        self._inflight: dict[str, Job] = {}
+        self._inflight_lock = threading.Lock()
         self.admission = AdmissionQueue(
             handler=self._process_job,
             queue_size=config.queue_size,
@@ -209,7 +223,7 @@ class MappingService:
             # for /metrics without paying for span serialization.
             self._own_recorder = obs.configure()
         handler = _make_handler(self)
-        self._httpd = ThreadingHTTPServer(
+        self._httpd = _ServiceHTTPServer(
             (self.config.host, self.config.port), handler
         )
         self.admission.start()
@@ -260,7 +274,14 @@ class MappingService:
             flush=True,
         )
         try:
-            self._stop_requested.wait()
+            # Timed wait, not a bare .wait(): the kernel may deliver the
+            # signal to a busy handler thread, and the Python-level
+            # handler only ever runs on the main thread — which must
+            # re-enter the eval loop for that to happen.  An untimed
+            # semaphore wait never does, and the daemon ignores SIGTERM
+            # under load.
+            while not self._stop_requested.wait(timeout=0.2):
+                pass
         finally:
             print("repro service draining...", flush=True)
             self.stop()
@@ -297,8 +318,59 @@ class MappingService:
         self.stats.bump("cache.miss" if not request.no_cache else "cache.bypass")
         if self.draining:
             raise Unavailable("service is draining")
-        job = Job(request=request, request_id=request_id)
-        self.admission.submit(job)  # raises Overloaded on a full queue
+        if request.no_cache:
+            # Bypass requests demand a fresh compute: they neither join
+            # an in-flight job nor become one others may join.
+            job = Job(request=request, request_id=request_id)
+            self.admission.submit(job)  # raises Overloaded on a full queue
+            value = self._await(job, request_id)
+            return 200, self._respond(
+                request, request_id, value["payload"],
+                degraded=bool(value.get("degraded")), cache="bypass",
+                started=started, queue_wait_ms=job.queue_wait_ms,
+                degraded_reason=value.get("degraded_reason"),
+            )
+        # Coalescing: exactly one thread becomes the leader for a cold
+        # key; the check-and-register is atomic, so concurrent identical
+        # requests cost one pipeline compute however they interleave.
+        encoded = _encode_key(request.cache_key)
+        with self._inflight_lock:
+            job = self._inflight.get(encoded)
+            leader = job is None
+            if leader:
+                job = Job(request=request, request_id=request_id)
+                self._inflight[encoded] = job
+        if not leader:
+            self.stats.bump("coalesced")
+            obs.count("service.coalesced")
+            value = self._await(job, request_id)
+            return 200, self._respond(
+                request, request_id, value["payload"],
+                degraded=bool(value.get("degraded")), cache="coalesced",
+                started=started, queue_wait_ms=job.queue_wait_ms,
+                degraded_reason=value.get("degraded_reason"),
+            )
+        try:
+            self.admission.submit(job)  # raises Overloaded on a full queue
+            value = self._await(job, request_id)
+            degraded = bool(value.get("degraded"))
+            if not degraded:
+                # Publish to the cache *before* retiring the in-flight
+                # entry, so a request arriving in between finds one of
+                # the two — never a second compute.
+                self.cache.put(request.cache_key, value["payload"])
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(encoded, None)
+        return 200, self._respond(
+            request, request_id, value["payload"],
+            degraded=degraded, cache="none",
+            started=started, queue_wait_ms=job.queue_wait_ms,
+            degraded_reason=value.get("degraded_reason"),
+        )
+
+    def _await(self, job: Job, request_id: str) -> dict:
+        """Wait for a job (own or a coalesced leader's) to finish."""
         if not job.done.wait(timeout=self.config.hard_timeout_s):
             self.stats.bump("timeouts")
             raise Unavailable(
@@ -307,16 +379,7 @@ class MappingService:
             )
         if job.error is not None:
             raise job.error
-        value = job.response
-        degraded = bool(value.get("degraded"))
-        if not request.no_cache and not degraded:
-            self.cache.put(request.cache_key, value["payload"])
-        return 200, self._respond(
-            request, request_id, value["payload"],
-            degraded=degraded, cache="bypass" if request.no_cache else "none",
-            started=started, queue_wait_ms=job.queue_wait_ms,
-            degraded_reason=value.get("degraded_reason"),
-        )
+        return job.response
 
     def _respond(
         self,
@@ -365,7 +428,9 @@ class MappingService:
                 "degraded_reason": degrade_reason,
             }
         started = time.perf_counter()
-        payload = self._run_traced(job, compute_mapping)
+        payload = self._run_traced(
+            job, lambda request: compute_mapping(request, plans=self.plans)
+        )
         elapsed_ms = (time.perf_counter() - started) * 1e3
         self.stats.bump("pipeline_runs")
         self.stats.observe_pipeline(elapsed_ms, request.nest.iteration_count())
@@ -465,6 +530,17 @@ class MappingService:
 
 
 # -- HTTP plumbing -------------------------------------------------------
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    """The daemon's listener with a burst-proof accept backlog.
+
+    The stdlib default (``request_queue_size = 5``) resets connections
+    when more than a handful of clients connect in the same instant —
+    real under the load benchmark's thread pool.
+    """
+
+    request_queue_size = 128
+
+
 def _make_handler(service: MappingService):
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"

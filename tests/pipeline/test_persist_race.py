@@ -1,0 +1,149 @@
+"""Cross-process safety of the persistent plan tier.
+
+The seed implementation flushed with a blind ``os.replace``: two
+processes persisting *different* plans concurrently each rewrote the
+whole file from their private in-memory view, so the slower writer
+silently erased the faster one's entry (last-writer-wins).  These tests
+pin the fix — locked read-merge-replace — both as a deterministic
+in-process interleaving (two store instances with stale views) and as a
+real two-subprocess race synchronized by a barrier (no sleeps).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import sys
+
+import pytest
+
+from repro.lang import compile_source
+from repro.mapping.baselines import base_plan
+from repro.pipeline import PlanStore
+from repro.topology.machines import machine_by_name
+
+SOURCE = """
+param m = 16;
+array B[16];
+parallel for (i = 0; i < m; i++)
+  B[i] = B[i] + B[m - 1 - i];
+"""
+
+
+def _tiny_plan():
+    program = compile_source(SOURCE, name="race")
+    nest = program.nests[0]
+    machine = machine_by_name("dunnington")
+    return base_plan(nest, machine), machine, nest
+
+
+def _mp_context():
+    if sys.platform.startswith("linux"):
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")  # pragma: no cover
+
+
+def _racing_writer(directory: str, label: str, barrier) -> None:
+    """One writing process: load an (empty) view, sync, then persist."""
+    plan, _machine, _nest = _tiny_plan()
+    store = PlanStore(directory)  # both processes load before either writes
+    barrier.wait(timeout=30)
+    store.put(("race", label), plan)
+
+
+class TestConcurrentWrites:
+    def test_interleaved_stale_views_merge(self, tmp_path):
+        """Two stale in-memory views must merge, not overwrite."""
+        plan, machine, nest = _tiny_plan()
+        first = PlanStore(str(tmp_path))
+        second = PlanStore(str(tmp_path))  # loaded before first writes
+        first.put(("k", "a"), plan)
+        second.put(("k", "b"), plan)  # pre-fix: clobbered first's entry
+
+        fresh = PlanStore(str(tmp_path))
+        assert fresh.get(("k", "a"), machine, nest) is not None
+        assert fresh.get(("k", "b"), machine, nest) is not None
+
+    def test_two_subprocess_race_keeps_both_entries(self, tmp_path):
+        """The real thing: two processes, barrier-synchronized flushes."""
+        ctx = _mp_context()
+        barrier = ctx.Barrier(2)
+        children = [
+            ctx.Process(
+                target=_racing_writer, args=(str(tmp_path), label, barrier)
+            )
+            for label in ("a", "b")
+        ]
+        for child in children:
+            child.start()
+        for child in children:
+            child.join(timeout=60)
+            assert child.exitcode == 0
+        _plan, machine, nest = _tiny_plan()
+        fresh = PlanStore(str(tmp_path))
+        assert len(fresh) == 2
+        assert fresh.get(("race", "a"), machine, nest) is not None
+        assert fresh.get(("race", "b"), machine, nest) is not None
+
+    def test_reload_sees_sibling_writes(self, tmp_path):
+        """A get miss re-reads the file, so sibling writes become visible."""
+        plan, machine, nest = _tiny_plan()
+        reader = PlanStore(str(tmp_path))
+        writer = PlanStore(str(tmp_path))
+        writer.put(("k", "w"), plan)
+        got = reader.get(("k", "w"), machine, nest)
+        assert got is not None
+        assert got.rounds == plan.rounds
+
+
+class TestCompaction:
+    def _fill(self, tmp_path, count):
+        plan, machine, nest = _tiny_plan()
+        store = PlanStore(str(tmp_path))
+        for index in range(count):
+            store.put(("k", index), plan)
+        return store, machine, nest
+
+    def test_compact_drops_malformed_entries(self, tmp_path):
+        store, machine, nest = self._fill(tmp_path, 3)
+        # Hand-inject a malformed entry the way a torn writer might.
+        with open(store.path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["plans"]["garbage"] = {"label": 7}
+        with open(store.path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+        summary = PlanStore(str(tmp_path)).compact()
+        assert summary == {
+            "kept": 3, "dropped_invalid": 1, "dropped_overflow": 0,
+        }
+        fresh = PlanStore(str(tmp_path))
+        assert len(fresh) == 3
+        assert fresh.get(("k", 0), machine, nest) is not None
+
+    def test_compact_caps_entries_keeping_newest(self, tmp_path):
+        store, machine, nest = self._fill(tmp_path, 5)
+        summary = store.compact(max_entries=2)
+        assert summary["kept"] == 2
+        assert summary["dropped_overflow"] == 3
+        fresh = PlanStore(str(tmp_path))
+        assert fresh.get(("k", 4), machine, nest) is not None
+        assert fresh.get(("k", 0), machine, nest) is None
+
+    def test_compact_is_single_writer(self, tmp_path):
+        """A second compactor loses the election and returns None."""
+        from repro.util.filelock import FileLock
+
+        store, _machine, _nest = self._fill(tmp_path, 1)
+        election = FileLock(store.path + ".compact.lock")
+        assert election.acquire(blocking=False)
+        try:
+            assert PlanStore(str(tmp_path)).compact() is None
+        finally:
+            election.release()
+        assert PlanStore(str(tmp_path)).compact() is not None
+
+    def test_compact_rejects_negative_cap(self, tmp_path):
+        store, _machine, _nest = self._fill(tmp_path, 1)
+        with pytest.raises(ValueError):
+            store.compact(max_entries=-1)

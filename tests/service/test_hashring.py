@@ -1,0 +1,131 @@
+"""Property-based tests for the consistent-hash ring.
+
+The two properties that make the ring safe to serve behind:
+
+* **determinism** — routing is a pure function of the node *set*
+  (insertion order and construction history are irrelevant), so any two
+  routers agree and a restarted router routes identically;
+* **minimal disruption** — removing a node only moves the keys that
+  node owned, and adding a node only steals keys for itself; every
+  other key keeps its owner.  (That is the strong, exact form of the
+  "~K/N keys remap" guarantee.)
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.hashring import HashRing
+
+#: Node-name alphabets kept small so set overlaps happen often.
+node_names = st.text(
+    alphabet="abcdefgh0123456789-", min_size=1, max_size=12
+)
+node_sets = st.sets(node_names, min_size=1, max_size=10)
+keys = st.lists(
+    st.text(min_size=0, max_size=32), min_size=1, max_size=60
+)
+
+
+class TestDeterminism:
+    @given(nodes=node_sets, key=st.text(max_size=64))
+    @settings(max_examples=120, deadline=None)
+    def test_same_key_same_node_across_builds(self, nodes, key):
+        ordered = sorted(nodes)
+        forward = HashRing(ordered)
+        backward = HashRing(list(reversed(ordered)))
+        assert forward.node_for(key) == backward.node_for(key)
+
+    @given(nodes=node_sets, key=st.text(max_size=64))
+    @settings(max_examples=120, deadline=None)
+    def test_history_independence(self, nodes, key):
+        """add+remove noise must not change where keys land."""
+        direct = HashRing(sorted(nodes))
+        churned = HashRing(sorted(nodes))
+        churned.add("__transient__")
+        churned.remove("__transient__")
+        assert direct.node_for(key) == churned.node_for(key)
+
+    @given(nodes=node_sets, key=st.text(max_size=64))
+    @settings(max_examples=120, deadline=None)
+    def test_routing_targets_a_member(self, nodes, key):
+        ring = HashRing(sorted(nodes))
+        assert ring.node_for(key) in nodes
+
+
+class TestMinimalDisruption:
+    @given(nodes=st.sets(node_names, min_size=2, max_size=10), ks=keys)
+    @settings(max_examples=100, deadline=None)
+    def test_remove_only_moves_the_removed_nodes_keys(self, nodes, ks):
+        ring = HashRing(sorted(nodes))
+        before = {key: ring.node_for(key) for key in ks}
+        victim = sorted(nodes)[0]
+        ring.remove(victim)
+        for key, owner in before.items():
+            if owner != victim:
+                assert ring.node_for(key) == owner
+
+    @given(nodes=node_sets, ks=keys, new_node=node_names)
+    @settings(max_examples=100, deadline=None)
+    def test_add_only_steals_for_the_new_node(self, nodes, ks, new_node):
+        if new_node in nodes:
+            nodes = nodes - {new_node}
+            if not nodes:
+                return
+        ring = HashRing(sorted(nodes))
+        before = {key: ring.node_for(key) for key in ks}
+        ring.add(new_node)
+        for key, owner in before.items():
+            after = ring.node_for(key)
+            assert after == owner or after == new_node
+
+    @given(nodes=st.sets(node_names, min_size=2, max_size=10), ks=keys)
+    @settings(max_examples=60, deadline=None)
+    def test_remove_then_add_restores_the_mapping(self, nodes, ks):
+        ring = HashRing(sorted(nodes))
+        before = {key: ring.node_for(key) for key in ks}
+        victim = sorted(nodes)[-1]
+        ring.remove(victim)
+        ring.add(victim)
+        assert {key: ring.node_for(key) for key in ks} == before
+
+
+class TestBalanceAndErrors:
+    def test_expected_share_is_roughly_uniform(self):
+        """Deterministic balance check: 8 slots, 4000 keys, replicas=64.
+
+        sha256 placement is fixed, so this is not flaky; the bound is
+        loose (no slot above 2x the fair share, none starved).
+        """
+        ring = HashRing([f"w{i}" for i in range(8)], replicas=64)
+        counts = ring.distribution(f"key-{i}" for i in range(4000))
+        fair = 4000 / 8
+        assert all(count > 0 for count in counts.values())
+        assert max(counts.values()) < 2 * fair
+
+    def test_empty_ring_refuses_to_route(self):
+        with pytest.raises(ValueError):
+            HashRing().node_for("anything")
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add("a")
+
+    def test_remove_unknown_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            HashRing(["a"]).remove("b")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+        with pytest.raises(ValueError):
+            HashRing([""])
+
+    def test_membership_introspection(self):
+        ring = HashRing(["b", "a"])
+        assert len(ring) == 2
+        assert "a" in ring and "c" not in ring
+        assert ring.nodes == ["a", "b"]

@@ -1,7 +1,9 @@
 """The two-tier mapping cache in isolation."""
 
 import json
+import multiprocessing
 import os
+import sys
 
 import pytest
 
@@ -98,3 +100,56 @@ class TestWithoutPersistence:
         cache.put(KEY_A, VALUE)
         assert list(tmp_path.iterdir()) == []
         assert cache.stats()["persistent"] is False
+
+
+def _mp_context():
+    if sys.platform.startswith("linux"):
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")  # pragma: no cover
+
+
+def _racing_put(directory, key, value, barrier):
+    """One writing process: load an (empty) view, sync, then persist."""
+    cache = MappingCache(capacity=4, directory=directory, persistent=True)
+    barrier.wait(timeout=30)
+    cache.put(key, value)
+
+
+class TestConcurrentWriters:
+    """N shard workers share one cache directory; flushes must merge."""
+
+    def test_interleaved_stale_views_merge(self, tmp_path):
+        first = MappingCache(capacity=4, directory=str(tmp_path), persistent=True)
+        second = MappingCache(capacity=4, directory=str(tmp_path), persistent=True)
+        first.put(KEY_A, {"v": "a"})
+        second.put(KEY_B, {"v": "b"})  # stale view: must merge, not clobber
+
+        fresh = MappingCache(capacity=4, directory=str(tmp_path), persistent=True)
+        assert fresh.get(KEY_A) == ({"v": "a"}, "disk")
+        assert fresh.get(KEY_B) == ({"v": "b"}, "disk")
+
+    def test_miss_revalidates_against_sibling_writes(self, tmp_path):
+        reader = MappingCache(capacity=4, directory=str(tmp_path), persistent=True)
+        writer = MappingCache(capacity=4, directory=str(tmp_path), persistent=True)
+        writer.put(KEY_A, VALUE)
+        # No restart: the miss re-checks the file's stat signature.
+        assert reader.get(KEY_A) == (VALUE, "disk")
+
+    def test_two_subprocess_race_keeps_both_entries(self, tmp_path):
+        ctx = _mp_context()
+        barrier = ctx.Barrier(2)
+        children = [
+            ctx.Process(
+                target=_racing_put,
+                args=(str(tmp_path), key, {"v": label}, barrier),
+            )
+            for key, label in ((KEY_A, "a"), (KEY_B, "b"))
+        ]
+        for child in children:
+            child.start()
+        for child in children:
+            child.join(timeout=60)
+            assert child.exitcode == 0
+        fresh = MappingCache(capacity=4, directory=str(tmp_path), persistent=True)
+        assert fresh.get(KEY_A) == ({"v": "a"}, "disk")
+        assert fresh.get(KEY_B) == ({"v": "b"}, "disk")
