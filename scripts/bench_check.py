@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Compare freshly-run benchmark reports against the committed baselines.
+
+The repo pins one ``BENCH_<suite>.json`` per benchmark family (kernels,
+sim, pipeline, remap, service).  CI re-runs the suites and this script
+fails the build when any speedup regresses by more than ``--threshold``
+(default 20%) relative to its committed baseline.
+
+Three deliberate softenings keep the gate honest instead of flaky:
+
+* **Informational metrics** — a baseline speedup below
+  ``--min-baseline`` (default 1.3x) is noise-dominated on shared CI
+  runners; regressions there are reported in the diff but never fail
+  the build.
+* **Config-mismatch skip** — a suite whose recorded config differs from
+  the baseline's (e.g. the committed ``BENCH_service.json`` was taken
+  with 4 workers, CI runs 2) is skipped with a note: the numbers are
+  not comparable.
+* **Missing suites** — a baseline with no freshly-run counterpart is
+  skipped with a note, so the gate can adopt suites incrementally.
+
+A machine-readable diff (every metric, baseline vs current, status) is
+written to ``--out`` for upload as a CI artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Baseline files the gate knows how to read.
+SUITES = ("kernels", "sim", "pipeline", "remap", "service")
+
+
+# -- metric extraction ---------------------------------------------------
+def _entries_metrics(report: dict, ident) -> dict[str, float]:
+    return {
+        ident(entry): float(entry["speedup"])
+        for entry in report.get("entries", ())
+        if "speedup" in entry
+    }
+
+
+def metrics_kernels(report: dict) -> dict[str, float]:
+    return _entries_metrics(report, lambda e: f"{e['kernel']}:{e['config']}")
+
+
+def metrics_sim(report: dict) -> dict[str, float]:
+    return _entries_metrics(report, lambda e: f"{e['machine']}:q{e['quantum']}")
+
+
+def metrics_pipeline(report: dict) -> dict[str, float]:
+    return _entries_metrics(report, lambda e: e["workload"])
+
+
+def metrics_remap(report: dict) -> dict[str, float]:
+    metrics = _entries_metrics(
+        report, lambda e: f"{e['driver']}:{e['workload']}"
+    )
+    overall = report.get("overall", {})
+    if "speedup" in overall:
+        metrics["overall"] = float(overall["speedup"])
+    return metrics
+
+
+def metrics_service(report: dict) -> dict[str, float]:
+    """Shard-over-single throughput ratio — the one scalar the service
+    load harness is designed to demonstrate."""
+    by_mode = {run.get("mode"): run for run in report.get("runs", ())}
+    single = by_mode.get("single", {}).get("throughput_rps")
+    shard = by_mode.get("shard", {}).get("throughput_rps")
+    if not single or not shard:
+        return {}
+    return {"shard_vs_single_throughput": round(shard / single, 3)}
+
+
+def service_config(report: dict) -> dict:
+    """The comparability key for the service suite (seed excluded: it
+    does not change the workload shape, only its interleaving)."""
+    config = dict(report.get("config", {}))
+    config.pop("seed", None)
+    return config
+
+
+EXTRACTORS = {
+    "kernels": metrics_kernels,
+    "sim": metrics_sim,
+    "pipeline": metrics_pipeline,
+    "remap": metrics_remap,
+    "service": metrics_service,
+}
+
+
+# -- comparison ----------------------------------------------------------
+def compare_suite(
+    suite: str,
+    baseline: dict,
+    current: dict,
+    threshold: float,
+    min_baseline: float,
+) -> dict:
+    """One suite's verdict: {status, metrics, failures}."""
+    if suite == "service" and service_config(baseline) != service_config(current):
+        return {
+            "status": "skipped",
+            "reason": "config mismatch: baseline "
+            f"{service_config(baseline)} vs current {service_config(current)}",
+            "metrics": {},
+        }
+    base_metrics = EXTRACTORS[suite](baseline)
+    cur_metrics = EXTRACTORS[suite](current)
+    metrics = {}
+    failures = []
+    for name, base_value in sorted(base_metrics.items()):
+        row = {"baseline": base_value}
+        if name not in cur_metrics:
+            row["status"] = "missing"
+            failures.append(name)
+        else:
+            cur_value = cur_metrics[name]
+            row["current"] = cur_value
+            row["ratio"] = round(cur_value / base_value, 3)
+            regressed = cur_value < base_value * (1.0 - threshold)
+            informational = base_value < min_baseline
+            if regressed and informational:
+                row["status"] = "info-regression"
+            elif regressed:
+                row["status"] = "regression"
+                failures.append(name)
+            else:
+                row["status"] = "ok"
+            if informational:
+                row["informational"] = True
+        metrics[name] = row
+    for name in sorted(set(cur_metrics) - set(base_metrics)):
+        metrics[name] = {"current": cur_metrics[name], "status": "new"}
+    return {
+        "status": "fail" if failures else "ok",
+        "metrics": metrics,
+        "failures": failures,
+    }
+
+
+def check(
+    baseline_dir: Path,
+    current_dir: Path,
+    threshold: float = 0.20,
+    min_baseline: float = 1.3,
+) -> dict:
+    """Compare every known suite; returns the full diff report."""
+    suites = {}
+    failed = []
+    for suite in SUITES:
+        name = f"BENCH_{suite}.json"
+        base_path = baseline_dir / name
+        cur_path = current_dir / name
+        if not base_path.exists():
+            suites[suite] = {"status": "skipped", "reason": "no baseline"}
+            continue
+        if not cur_path.exists():
+            suites[suite] = {"status": "skipped", "reason": "no current run"}
+            continue
+        baseline = json.loads(base_path.read_text())
+        current = json.loads(cur_path.read_text())
+        verdict = compare_suite(
+            suite, baseline, current, threshold, min_baseline
+        )
+        suites[suite] = verdict
+        if verdict["status"] == "fail":
+            failed.extend(f"{suite}:{name}" for name in verdict["failures"])
+    return {
+        "threshold": threshold,
+        "min_baseline": min_baseline,
+        "suites": suites,
+        "failed": failed,
+        "ok": not failed,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=".",
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--current",
+        required=True,
+        help="directory holding the freshly-run BENCH_*.json reports",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="fail when a speedup drops below baseline*(1-threshold)",
+    )
+    parser.add_argument(
+        "--min-baseline",
+        type=float,
+        default=1.3,
+        help="baselines below this speedup are informational-only",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the JSON diff report here"
+    )
+    args = parser.parse_args(argv)
+
+    report = check(
+        Path(args.baseline),
+        Path(args.current),
+        threshold=args.threshold,
+        min_baseline=args.min_baseline,
+    )
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
+
+    for suite, verdict in report["suites"].items():
+        if verdict["status"] == "skipped":
+            print(f"{suite:>9}: skipped ({verdict['reason']})")
+            continue
+        for name, row in verdict.get("metrics", {}).items():
+            mark = {
+                "ok": " ",
+                "regression": "!",
+                "info-regression": "~",
+                "missing": "?",
+                "new": "+",
+            }[row["status"]]
+            base = row.get("baseline", float("nan"))
+            cur = row.get("current", float("nan"))
+            print(
+                f"{suite:>9}: {mark} {name:<32} "
+                f"baseline {base:7.2f}x  current {cur:7.2f}x  "
+                f"[{row['status']}]"
+            )
+    if report["failed"]:
+        print(f"FAIL: {len(report['failed'])} regression(s): "
+              + ", ".join(report["failed"]))
+        return 1
+    print("ok: no benchmark regressions beyond "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Incremental-remap benchmark entry point (the BENCH_remap.json producer).
+
+Thin wrapper over :mod:`repro.remap.bench` so CI (and operators) can
+run it without installing the package:
+
+    python scripts/remap_bench.py --out BENCH_remap.json \
+            [--stencil-n 20] [--band-m 256]
+
+Applies a scripted event schedule and a watcher-driven behaviour-model
+stream through the incremental remapper, re-maps every post-event state
+cold, asserts bit-identity, and writes per-entry and overall
+cold-vs-remap latency (the overall speedup must clear the 10x target).
+"""
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.remap.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

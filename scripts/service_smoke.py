@@ -21,6 +21,7 @@ import signal
 import statistics
 import subprocess
 import sys
+import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -47,17 +48,39 @@ def boot_daemon(workers):
     env["PYTHONPATH"] = SRC + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    # stderr goes to a file, not a pipe: nothing drains a pipe during
+    # the run, and on failure we want the worker tracebacks back.
+    stderr_file = tempfile.NamedTemporaryFile(
+        mode="w+", prefix="repro-smoke-", suffix=".stderr", delete=False
+    )
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
          "--queue-size", "64", "--workers", str(workers)],
-        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        stdout=subprocess.PIPE, stderr=stderr_file, text=True, env=env,
     )
+    proc.stderr_path = stderr_file.name
     banner = proc.stdout.readline()
     match = re.search(r"http://[\d.]+:(\d+)", banner)
     if not match:
         proc.kill()
-        raise SystemExit(f"no port in daemon banner: {banner!r}")
+        proc.wait(timeout=10)
+        raise SystemExit(
+            f"no port in daemon banner: {banner!r}: "
+            f"{stderr_tail(proc, limit=500)}"
+        )
     return proc, int(match.group(1))
+
+
+def stderr_tail(proc, limit=4000):
+    """The last ``limit`` characters of the daemon's stderr file."""
+    try:
+        with open(proc.stderr_path, encoding="utf-8",
+                  errors="replace") as handle:
+            text = handle.read()
+        os.unlink(proc.stderr_path)
+    except OSError:
+        return ""
+    return text[-limit:]
 
 
 def fire(client, index, failures):
@@ -115,6 +138,7 @@ def main(argv=None):
             failures.append("daemon did not exit within 60s of SIGTERM")
     if exit_code not in (None, 0):
         failures.append(f"daemon exited {exit_code}, expected 0")
+    daemon_stderr = stderr_tail(proc)
 
     latencies = sorted(ms for _label, _status, ms, _tier in results)
     statuses = {}
@@ -150,6 +174,12 @@ def main(argv=None):
                        "daemon_exit_code")}, indent=2))
     if failures:
         print("FAILURES:", *failures, sep="\n  ", file=sys.stderr)
+        if daemon_stderr:
+            report["daemon_stderr_tail"] = daemon_stderr
+            with open(args.out, "w") as handle:
+                json.dump(report, handle, indent=2)
+            print(f"--- daemon stderr tail ---\n{daemon_stderr}",
+                  file=sys.stderr)
         return 1
     print(f"service smoke OK -> {args.out}")
     return 0

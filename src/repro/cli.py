@@ -10,6 +10,7 @@ Usage::
     python -m repro cache info
     python -m repro serve --port 8321 --workers 4
     python -m repro submit SOURCE.loop --machine dunnington
+    python -m repro remap SOURCE.loop --event '{"kind": "core_loss", "cores": [2]}'
     python -m repro service-stats
 
 ``map`` compiles an affine loop program, runs the topology-aware mapper
@@ -352,6 +353,127 @@ def cmd_submit(args) -> int:
     return 0
 
 
+def cmd_remap(args) -> int:
+    """Apply remap events locally (incremental Remapper) or via /remap."""
+    events = []
+    for raw in args.event:
+        try:
+            decoded = json.loads(raw)
+        except json.JSONDecodeError as error:
+            print(f"error: bad --event JSON: {error}", file=sys.stderr)
+            return 1
+        if not isinstance(decoded, dict):
+            print("error: --event must be a JSON object", file=sys.stderr)
+            return 1
+        events.append(decoded)
+
+    knobs = {
+        "local_scheduling": args.schedule,
+        "balance_threshold": args.balance,
+        "alpha": args.alpha,
+        "beta": args.beta,
+    }
+    if args.block_size is not None:
+        knobs["block_size"] = args.block_size
+
+    if args.via_service:
+        return _remap_via_service(args, events, knobs)
+
+    from repro.pipeline.knobs import Knobs
+    from repro.remap import Remapper
+    from repro.remap.events import parse_event
+
+    program = _load_program(args.source)
+    machine = _machine(args)
+    remapper = Remapper(program, machine, knobs=Knobs(**knobs))
+    rows = []
+    outcomes = []
+    for raw in events:
+        outcome = remapper.apply(parse_event(raw))
+        outcomes.append(outcome)
+        rows.append((
+            outcome.kind,
+            ",".join(str(n) for n in outcome.affected),
+            outcome.machine.num_cores,
+            outcome.stages_replayed,
+            outcome.stages_recomputed,
+            outcome.carried,
+            f"{outcome.elapsed_ms:.1f}",
+        ))
+    if args.json:
+        print(json.dumps([
+            {
+                "event": o.kind,
+                "affected": list(o.affected),
+                "machine": o.machine.name,
+                "cores": o.machine.num_cores,
+                "stages_replayed": o.stages_replayed,
+                "stages_recomputed": o.stages_recomputed,
+                "carried": o.carried,
+                "elapsed_ms": round(o.elapsed_ms, 3),
+            }
+            for o in outcomes
+        ], indent=2))
+        return 0
+    print(f"remapper on {machine.name}: "
+          f"{len(program.nests)} nest(s) primed, {len(events)} event(s)")
+    print(format_table(
+        ["event", "nests", "cores", "replayed", "recomputed", "carried", "ms"],
+        rows,
+    ))
+    return 0
+
+
+def _remap_via_service(args, events: list[dict], knobs: dict) -> int:
+    from repro.service.client import ServiceClient
+
+    with open(args.source, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    client = ServiceClient(host=args.host, port=args.port, timeout=args.timeout)
+    # The wire protocol is stateless: the client carries the accumulated
+    # dead-core set between calls so each /remap states the full pre state.
+    dead: set[int] = set(args.dead_cores or ())
+    rows = []
+    responses = []
+    for raw in events:
+        response = client.remap(
+            event=raw,
+            source=source,
+            machine=args.machine,
+            nest=args.nest,
+            scale=float(args.scale),
+            knobs=knobs,
+            dead_cores=sorted(dead),
+            name=args.source.rsplit("/", 1)[-1].split(".")[0],
+        )
+        responses.append(response)
+        kind = raw.get("kind")
+        if kind == "core_loss":
+            dead.update(raw.get("cores", ()))
+        elif kind == "core_hotplug":
+            dead.difference_update(raw.get("cores", ()))
+        elif kind == "topology_edit":
+            dead.clear()
+        stanza = response["remap"]
+        rows.append((
+            kind,
+            response["nest"],
+            stanza["cores"],
+            stanza["stages_replayed"],
+            stanza["stages_recomputed"],
+            stanza["carried"],
+            f"{response['elapsed_ms']:.1f}",
+        ))
+    if args.json:
+        print(json.dumps(responses, indent=2))
+        return 0
+    print(format_table(
+        ["event", "nest", "cores", "replayed", "recomputed", "carried", "ms"],
+        rows,
+    ))
+    return 0
+
+
 def cmd_service_stats(args) -> int:
     from repro.service.client import ServiceClient
 
@@ -549,6 +671,51 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser.add_argument("--json", action="store_true",
                                help="print the raw JSON response")
     submit_parser.set_defaults(func=cmd_submit)
+
+    remap_parser = sub.add_parser(
+        "remap", help="apply dynamic events through the incremental remapper"
+    )
+    remap_parser.add_argument("source", help="affine loop program file")
+    remap_parser.add_argument("--event", action="append", required=True,
+                              metavar="JSON",
+                              help="one event as JSON (repeatable), e.g. "
+                                   '\'{"kind": "core_loss", "cores": [2]}\' or '
+                                   '\'{"kind": "phase_change", '
+                                   '"knobs": {"alpha": 0.8}}\'')
+    remap_parser.add_argument("--machine", default="dunnington",
+                              help="base machine name")
+    remap_parser.add_argument("--topology", default=None,
+                              help="file with a topology spec string "
+                                   "(overrides --machine; local mode only)")
+    remap_parser.add_argument("--scale", type=int, default=32,
+                              help="divide cache capacities by this factor "
+                                   "(default 32)")
+    remap_parser.add_argument("--nest", type=int, default=0,
+                              help="nest index for --via-service (local mode "
+                                   "remaps every nest)")
+    remap_parser.add_argument("--block-size", type=int, default=None,
+                              help="data block size in bytes")
+    remap_parser.add_argument("--balance", "--balance-threshold", type=float,
+                              default=0.10, dest="balance",
+                              help="load-balance threshold (default 0.10)")
+    remap_parser.add_argument("--alpha", type=float, default=0.5,
+                              help="reuse weight in the Figure 7 scheduler")
+    remap_parser.add_argument("--beta", type=float, default=0.5,
+                              help="footprint weight in the Figure 7 scheduler")
+    remap_parser.add_argument("--schedule", action="store_true",
+                              help="apply Figure 7 local scheduling")
+    remap_parser.add_argument("--via-service", action="store_true",
+                              help="send the events to a running service's "
+                                   "/remap instead of remapping in-process")
+    remap_parser.add_argument("--dead-cores", type=lambda s: [
+                                  int(c) for c in s.split(",") if c
+                              ], default=None, metavar="IDS",
+                              help="--via-service: comma-separated cores "
+                                   "already offline before the first event")
+    remap_parser.add_argument("--json", action="store_true",
+                              help="print raw JSON instead of the table")
+    _service_endpoint(remap_parser)
+    remap_parser.set_defaults(func=cmd_remap)
 
     stats_parser = sub.add_parser(
         "service-stats", help="print a running service's /stats (or /metrics)"

@@ -93,6 +93,12 @@ class SimulationError(ReproError):
     """Errors from the multicore cache simulator (``repro.sim``)."""
 
 
+class RemapError(ReproError):
+    """Errors from the online incremental remapper (``repro.remap``):
+    malformed events, a core-loss event naming unknown or already-dead
+    cores, or a hot-plug for cores that never went away."""
+
+
 class WorkloadError(ReproError):
     """An unknown workload was requested or a workload failed to build."""
 

@@ -121,6 +121,82 @@ def balance_clusters(clusters: list[Cluster], threshold: float) -> None:
         obs.count("balance.forced_moves", forced)
 
 
+def balance_to_targets(clusters: list[Cluster], targets: list[float], threshold: float) -> None:
+    """Equalize cluster sizes in place toward per-cluster ``targets``.
+
+    The weighted variant of :func:`balance_clusters`, used when the
+    cache tree is not level-uniform (e.g. after core loss) and sibling
+    subtrees own different core counts: each cluster's window is
+    ``target * (1 +- threshold)`` instead of a common average.  The
+    move/split/forced scheme — and its termination argument — is the
+    same: every pass strictly shrinks the most-over-window donor.
+    """
+    k = len(clusters)
+    if k != len(targets):
+        raise MappingError(f"{k} clusters but {len(targets)} targets")
+    if k <= 1:
+        return
+    if not 0 <= threshold < 1:
+        raise MappingError(f"balance threshold must be in [0, 1), got {threshold}")
+    total = sum(c.size for c in clusters)
+    if any(t <= 0 for t in targets):
+        raise MappingError("balance targets must be positive")
+    scale = total / sum(targets)
+    limits = [(t * scale * (1 - threshold), t * scale * (1 + threshold)) for t in targets]
+
+    guard = 0
+    max_steps = 4 * k + 4 * sum(len(c.groups) for c in clusters) + 64
+    with obs.span("balance.targets", clusters=k, total=total, threshold=threshold) as sp:
+        moves = splits = forced = 0
+        while True:
+            di = max(range(k), key=lambda i: clusters[i].size - limits[i][1])
+            donor = clusters[di]
+            low_d, up_d = limits[di]
+            if donor.size < up_d + 1:
+                break
+            guard += 1
+            if guard > max_steps:
+                raise MappingError("weighted balancing failed to converge")  # pragma: no cover
+            under = [i for i in range(k) if clusters[i].size < limits[i][0]]
+            pool = under or [i for i in range(k) if i != di]
+            ri = min(pool, key=lambda i: (clusters[i].size - limits[i][0], i))
+            recipient = clusters[ri]
+            low_r, up_r = limits[ri]
+
+            eligible = [
+                g
+                for g in donor.groups
+                if donor.size - g.size >= low_d and recipient.size + g.size <= up_r
+            ]
+            if eligible:
+                best = max(eligible, key=lambda g: (dot(g.tag, recipient.tag), g.size, -g.ident))
+                donor.remove(best)
+                recipient.add(best)
+                moves += 1
+                continue
+
+            need = min(int(donor.size - (low_d + up_d) / 2), int(up_r - recipient.size))
+            need = max(1, need)
+            candidates = [g for g in donor.groups if g.size > 1]
+            if not candidates:
+                best = max(donor.groups, key=lambda g: (dot(g.tag, recipient.tag), -g.ident))
+                donor.remove(best)
+                recipient.add(best)
+                forced += 1
+                continue
+            victim = max(candidates, key=lambda g: (dot(g.tag, recipient.tag), g.size, -g.ident))
+            cut = min(need, victim.size - 1)
+            moved, kept = victim.split(cut)
+            donor.remove(victim)
+            donor.add(kept)
+            recipient.add(moved)
+            splits += 1
+        sp.tag(moves=moves, splits=splits, forced=forced)
+        obs.count("balance.moves", moves)
+        obs.count("balance.splits", splits)
+        obs.count("balance.forced_moves", forced)
+
+
 def verify_balance(clusters: list[Cluster], threshold: float, slack: float = 0.0) -> bool:
     """True when every cluster is within the (threshold + slack) window.
 

@@ -20,8 +20,8 @@ from repro.errors import MappingError
 from repro.blocks.groups import IterationGroup
 from repro.blocks.tags import dot
 from repro.kernels import fits_lane_budget, note_fallback, resolve_backend
-from repro.mapping.balance import Cluster, balance_clusters
-from repro.topology.tree import Machine
+from repro.mapping.balance import Cluster, balance_clusters, balance_to_targets
+from repro.topology.tree import Machine, TopologyNode
 
 
 def cluster_one_level(
@@ -45,6 +45,46 @@ def cluster_one_level(
     is identical for every backend, because heap entries are the same
     exact integers either way.
     """
+    result = _cluster_to_k(groups, k, backend)
+    balance_clusters(result, threshold)
+    return result
+
+
+def cluster_weighted(
+    groups: Sequence[IterationGroup],
+    weights: Sequence[int],
+    threshold: float,
+    backend: str = "auto",
+) -> list[Cluster]:
+    """Cluster into ``len(weights)`` clusters sized proportionally to ``weights``.
+
+    Used by the tree descent when sibling subtrees own unequal core
+    counts (a pruned tree after core loss, or an asymmetric hierarchy):
+    the merge/split phase is shared with :func:`cluster_one_level`, then
+    clusters are matched to weight slots largest-to-largest and
+    rebalanced toward the proportional targets.
+    """
+    k = len(weights)
+    if any(w <= 0 for w in weights):
+        raise MappingError(f"cluster weights must be positive, got {list(weights)}")
+    result = _cluster_to_k(groups, k, backend)
+    total = sum(c.size for c in result)
+    wsum = sum(weights)
+    targets = [total * w / wsum for w in weights]
+    # Deterministic matching: heaviest cluster takes the heaviest target.
+    slot_order = sorted(range(k), key=lambda i: (-targets[i], i))
+    by_size = sorted(result, key=lambda c: (-c.size, min(g.ident for g in c.groups)))
+    slots: list[Cluster] = [None] * k  # type: ignore[list-item]
+    for slot_index, cluster in zip(slot_order, by_size):
+        slots[slot_index] = cluster
+    balance_to_targets(slots, targets, threshold)
+    return slots
+
+
+def _cluster_to_k(
+    groups: Sequence[IterationGroup], k: int, backend: str = "auto"
+) -> list[Cluster]:
+    """Greedy merge + split to exactly ``k`` clusters (no balancing)."""
     if k <= 0:
         raise MappingError("cluster count must be positive")
     clusters: list[Cluster | None] = [Cluster([g]) for g in groups]
@@ -161,7 +201,6 @@ def cluster_one_level(
         result.remove(big)
         result.extend([first, second])
 
-    balance_clusters(result, threshold)
     return result
 
 
@@ -201,6 +240,8 @@ def hierarchical_distribute(
         raise MappingError("no iteration groups to distribute")
     if strategy not in ("greedy", "kl"):
         raise MappingError(f"unknown clustering strategy {strategy!r}")
+    if not machine.is_level_uniform():
+        return tree_distribute(groups, machine, threshold, strategy, backend)
     degrees = machine.clustering_degrees()
     with obs.span(
         "cluster.distribute",
@@ -232,6 +273,67 @@ def hierarchical_distribute(
         if len(cluster_sets) != machine.num_cores:
             raise MappingError(
                 f"descent produced {len(cluster_sets)} clusters for "
+                f"{machine.num_cores} cores"
+            )
+        return cluster_sets
+
+
+def tree_distribute(
+    groups: Sequence[IterationGroup],
+    machine: Machine,
+    threshold: float = 0.10,
+    strategy: str = "greedy",
+    backend: str = "auto",
+) -> list[list[IterationGroup]]:
+    """Figure 6 generalized to non-level-uniform trees.
+
+    Core loss prunes the tree asymmetrically, so the flat per-level
+    descent of :func:`hierarchical_distribute` (which assumes one
+    branching degree per level) no longer applies.  This variant walks
+    the tree per *node*: at every node with several children, the
+    node's groups are clustered into one cluster per child — sized
+    equally when the children own equal core counts (the per-node
+    decision then coincides with the flat descent's), proportionally to
+    ``cores_below`` otherwise — and each cluster recurses into its
+    child.  Leaves collect in left-to-right order, i.e. core-id order.
+    """
+    if not groups:
+        raise MappingError("no iteration groups to distribute")
+    if strategy not in ("greedy", "kl"):
+        raise MappingError(f"unknown clustering strategy {strategy!r}")
+
+    def descend(node: TopologyNode, current: list[IterationGroup]) -> list[list[IterationGroup]]:
+        if node.kind == "core":
+            return [current]
+        children = node.children
+        if len(children) == 1:
+            return descend(children[0], current)
+        obs.count("cluster.levels")
+        weights = [len(child.cores_below()) for child in children]
+        if len(set(weights)) == 1:
+            if strategy == "kl" and len(children) == 2 and len(current) >= 2:
+                from repro.mapping.kl import cluster_one_level_kl
+
+                clusters = cluster_one_level_kl(current, threshold)
+            else:
+                clusters = cluster_one_level(current, len(children), threshold, backend=backend)
+        else:
+            clusters = cluster_weighted(current, weights, threshold, backend=backend)
+        out: list[list[IterationGroup]] = []
+        for child, cluster in zip(children, clusters):
+            out.extend(descend(child, list(cluster.groups)))
+        return out
+
+    with obs.span(
+        "cluster.distribute.tree",
+        machine=machine.name,
+        groups=len(groups),
+        strategy=strategy,
+    ):
+        cluster_sets = descend(machine.root, list(groups))
+        if len(cluster_sets) != machine.num_cores:
+            raise MappingError(
+                f"tree descent produced {len(cluster_sets)} clusters for "
                 f"{machine.num_cores} cores"
             )
         return cluster_sets

@@ -203,11 +203,17 @@ class MappingPipeline:
         knobs: Knobs | None = None,
         store: ArtifactStore | None = None,
         plans: PlanStore | None = None,
+        observer: Callable[[str, bool], None] | None = None,
     ):
         self.machine = machine
         self.knobs = knobs if knobs is not None else Knobs()
         self.store = store
         self.plans = plans
+        # Per-pipeline stage observer: called as observer(stage_name,
+        # hit) once per stage execution.  Unlike the global store
+        # counters this is race-free under concurrent pipelines, which
+        # is what the remapper's replayed/recomputed accounting needs.
+        self.observer = observer
 
     # -- keys -----------------------------------------------------------
 
@@ -249,6 +255,8 @@ class MappingPipeline:
         t0 = time.perf_counter()
         with obs.span(stage.span_name, **span_kwargs) as sp:
             artifact = self.store.get(key) if self.store is not None else None
+            if self.observer is not None:
+                self.observer(stage.name, artifact is not None)
             if artifact is not None:
                 obs.count("pipeline.stage_hits")
                 obs.count(f"pipeline.{stage.name}.hits")

@@ -60,6 +60,16 @@ class ArtifactStore:
             self.hits += 1
             return value
 
+    def peek(self, key: tuple):
+        """Non-counting lookup: no LRU promotion, no hit/miss accounting.
+
+        Used by the remapper's artifact carry-forward, which copies a
+        machine-independent prefix old-key -> new-key and must not
+        distort the store's hit-rate statistics while doing so.
+        """
+        with self._lock:
+            return self._entries.get(self._encode(key))
+
     def put(self, key: tuple, artifact) -> None:
         encoded = self._encode(key)
         with self._lock:

@@ -1,0 +1,52 @@
+"""Online incremental remapping for dynamic workloads.
+
+The paper maps once, at compile time.  This package is the run-time
+counterpart (ROADMAP: "Online remapping for dynamic workloads"; cf.
+Paulino & Delgado's run-time decomposition in PAPERS.md): a
+:class:`~repro.remap.core.Remapper` holds the live mapping state of a
+program and reacts to :mod:`~repro.remap.events` — phase changes, core
+loss/hot-plug, topology edits — by replaying every still-valid pipeline
+stage from the :class:`~repro.pipeline.store.ArtifactStore` and
+recomputing only the dirtied suffix.  An
+:class:`~repro.remap.watch.ExecutionWatcher` turns the
+:class:`~repro.sim.dynamic.BehaviorModel` observation stream into those
+events.
+
+Every remapped plan is bit-identical to a cold map of the post-event
+state; the differential suite and the :mod:`repro.remap.bench` harness
+(``BENCH_remap.json``) both pin that while measuring the latency win.
+
+The service exposes the same machinery per-request via ``POST /remap``
+(see :mod:`repro.service`), and the CLI as ``repro remap``.
+"""
+
+from repro.remap.core import Remapper, RemapOutcome, carry_prefix, cold_plan
+from repro.remap.events import (
+    CoreHotplug,
+    CoreLoss,
+    PhaseChange,
+    RemapEvent,
+    TopologyEdit,
+    event_kind,
+    event_to_dict,
+    parse_event,
+)
+from repro.remap.watch import ExecutionWatcher, WatchPolicy, knobs_for_signals
+
+__all__ = [
+    "CoreHotplug",
+    "CoreLoss",
+    "ExecutionWatcher",
+    "PhaseChange",
+    "RemapEvent",
+    "RemapOutcome",
+    "Remapper",
+    "TopologyEdit",
+    "WatchPolicy",
+    "carry_prefix",
+    "cold_plan",
+    "event_kind",
+    "event_to_dict",
+    "knobs_for_signals",
+    "parse_event",
+]

@@ -40,12 +40,26 @@ FORMAT_VERSION = 1
 PROGRAM_FORMAT_VERSION = 1
 
 
+def _tree_shape(node) -> str:
+    if node.kind == "core":
+        return "c"
+    return "(" + ",".join(_tree_shape(child) for child in node.children) + ")"
+
+
 def _machine_fingerprint(machine: Machine) -> dict:
+    # Pruned/asymmetric trees (e.g. ``Machine.without_cores``) have no
+    # per-level degree vector; a bracketed shape signature keeps the
+    # fingerprint discriminating without changing the uniform format.
+    degrees: object
+    if machine.is_level_uniform():
+        degrees = list(machine.clustering_degrees())
+    else:
+        degrees = _tree_shape(machine.root)
     return {
         "name": machine.name,
         "cores": machine.num_cores,
         "levels": list(machine.cache_levels()),
-        "degrees": list(machine.clustering_degrees()),
+        "degrees": degrees,
         "total_cache_bytes": machine.total_cache_bytes(),
     }
 

@@ -29,7 +29,13 @@ _SENTINEL = object()
 
 @dataclass
 class Job:
-    """One admitted request travelling from handler thread to worker."""
+    """One admitted request travelling from handler thread to worker.
+
+    ``kind`` selects the worker-side flow: ``"map"`` (the default) runs
+    the degradation check + pipeline; ``"remap"`` runs the incremental
+    remap of ``remap`` (a :class:`~repro.service.protocol.RemapRequest`
+    whose ``post`` is this job's ``request``).
+    """
 
     request: MappingRequest
     request_id: str
@@ -38,6 +44,8 @@ class Job:
     response: dict | None = None
     error: BaseException | None = None
     queue_wait_ms: float = 0.0
+    kind: str = "map"
+    remap: Any = None
 
     def finish(self, response: dict | None = None, error: BaseException | None = None) -> None:
         self.response = response

@@ -33,6 +33,7 @@ import re
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -151,25 +152,54 @@ def _repo_src() -> str:
 
 
 def boot_daemon(workers: int, threads: int, queue_size: int):
-    """Start ``repro serve`` as a subprocess; returns (proc, port)."""
+    """Start ``repro serve`` as a subprocess; returns (proc, port).
+
+    The daemon's (and thus every worker's) stderr goes to a temp file,
+    not a pipe: a pipe nobody drains for a 20k-request run would fill
+    and block the daemon, and on failure we want the tail back —
+    ``daemon_stderr_tail(proc)`` reads it.
+    """
     env = dict(os.environ)
     src = _repo_src()
     env["PYTHONPATH"] = src + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    stderr_file = tempfile.NamedTemporaryFile(
+        mode="w+", prefix="repro-serve-", suffix=".stderr", delete=False
+    )
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
          "--workers", str(workers), "--threads", str(threads),
          "--queue-size", str(queue_size)],
-        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        stdout=subprocess.PIPE, stderr=stderr_file, text=True, env=env,
     )
+    proc.stderr_path = stderr_file.name
     banner = proc.stdout.readline()
     match = re.search(r"http://[\d.]+:(\d+)", banner)
     if not match:
         proc.kill()
-        stderr = proc.stderr.read()[:500]
+        proc.wait(timeout=10)
+        stderr = daemon_stderr_tail(proc, limit=500)
         raise RuntimeError(f"no port in daemon banner {banner!r}: {stderr}")
     return proc, int(match.group(1))
+
+
+def daemon_stderr_tail(proc, limit: int = 4000) -> str:
+    """The last ``limit`` characters the daemon (or its workers) wrote
+    to stderr; the temp file is removed on the way out."""
+    path = getattr(proc, "stderr_path", None)
+    if not path:
+        return ""
+    try:
+        with open(path, encoding="utf-8", errors="replace") as handle:
+            text = handle.read()
+    except OSError:
+        return ""
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+    return text[-limit:]
 
 
 def shutdown_daemon(proc) -> int | None:
@@ -289,10 +319,14 @@ def run_one_mode(config: BenchConfig, workers: int,
         result = run_load(port, schedule, config, mode=mode)
     finally:
         exit_code = shutdown_daemon(proc)
+        stderr_tail = daemon_stderr_tail(proc)
     summary = summarize(result)
     summary["workers"] = workers
     summary["daemon_exit_code"] = exit_code
-    return summary, count_5xx(result), exit_code
+    bad = count_5xx(result)
+    if stderr_tail and (bad or exit_code != 0):
+        summary["daemon_stderr_tail"] = stderr_tail
+    return summary, bad, exit_code
 
 
 def run_benchmark(config: BenchConfig | None = None, *,
@@ -387,6 +421,14 @@ def main(argv=None) -> int:
             f"failures -> {args.out}",
             file=sys.stderr,
         )
+        for run in report["runs"]:
+            tail = run.get("daemon_stderr_tail")
+            if tail:
+                print(
+                    f"--- daemon stderr tail ({run['mode']}, "
+                    f"workers={run['workers']}) ---\n{tail}",
+                    file=sys.stderr,
+                )
         return 1
     print(f"service load OK -> {args.out}")
     return 0

@@ -134,6 +134,60 @@ class ServiceClient:
             body["name"] = name
         return self._json("POST", "/map", body)
 
+    def remap(
+        self,
+        event: dict,
+        source: str | None = None,
+        program: Program | dict | None = None,
+        machine: str | None = None,
+        topology: str | None = None,
+        nest: int | str = 0,
+        scale: float = 1.0,
+        knobs: dict[str, Any] | None = None,
+        dead_cores: list[int] | None = None,
+        deadline_ms: float | None = None,
+        no_cache: bool = False,
+        debug_sleep_ms: float | None = None,
+        name: str | None = None,
+    ) -> dict:
+        """Submit one incremental remap (``POST /remap``).
+
+        The base fields describe the state the caller was mapped under
+        (base machine, knobs, plus ``dead_cores`` already offline);
+        ``event`` is the transition — see
+        :func:`repro.service.protocol.parse_remap_request`.  The
+        response carries the post-event plan and a ``"remap"`` stanza
+        with the replayed/recomputed stage accounting.
+        """
+        body: dict[str, Any] = {"nest": nest, "event": event}
+        if source is not None:
+            body["source"] = source
+        if program is not None:
+            body["program"] = (
+                program_to_dict(program)
+                if isinstance(program, Program)
+                else program
+            )
+        if machine is not None:
+            body["machine"] = machine
+        if topology is not None:
+            body["topology"] = topology
+        if scale != 1.0:
+            body["scale"] = scale
+        if knobs:
+            body["knobs"] = knobs
+        if dead_cores:
+            body["dead_cores"] = list(dead_cores)
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        if no_cache:
+            body["no_cache"] = True
+        if debug_sleep_ms is not None:
+            body["debug_sleep_ms"] = debug_sleep_ms
+        if name is not None:
+            body["name"] = name
+        return self._json("POST", "/remap", body)
+
     def health(self) -> dict:
         return self._json("GET", "/healthz")
 

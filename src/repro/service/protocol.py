@@ -34,8 +34,10 @@ __all__ = [
     "Knobs",
     "MappingRequest",
     "Overloaded",
+    "RemapRequest",
     "ServiceError",
     "Unavailable",
+    "parse_remap_request",
     "parse_request",
 ]
 
@@ -262,3 +264,167 @@ def parse_request(
         no_cache=no_cache,
         debug_sleep_ms=debug_sleep_ms,
     )
+
+
+# -- /remap ----------------------------------------------------------------
+
+#: Knobs a phase-change event may adjust: the wire surface plus the
+#: tagging guard (phase shifts legitimately coarsen/refine grouping).
+_EVENT_KNOBS = set(KNOB_DEFAULTS) | {"max_groups"}
+
+_INT_EVENT_KNOBS = frozenset({"block_size", "max_groups"})
+_FLOAT_EVENT_KNOBS = frozenset({"balance_threshold", "alpha", "beta"})
+_BOOL_EVENT_KNOBS = frozenset({"local_scheduling"})
+
+
+@dataclass
+class RemapRequest:
+    """One validated remap request: pre-event and post-event states.
+
+    ``pre`` is the state the caller was running under (base machine
+    minus ``dead_cores``, the request knobs); ``post`` is the state the
+    event transitions to.  The engine carries the machine-independent
+    stage prefix from pre-keys to post-keys and maps ``post`` — the
+    response's plan is always a plan *of the post state*.
+    """
+
+    pre: MappingRequest
+    post: MappingRequest
+    event: dict  # canonical echo, JSON-serializable
+
+
+def _parse_core_list(raw: Any, field_name: str) -> tuple[int, ...]:
+    if not isinstance(raw, list) or any(
+        isinstance(c, bool) or not isinstance(c, int) or c < 0 for c in raw
+    ):
+        raise BadRequest(f"{field_name!r} must be a list of non-negative core ids")
+    if len(set(raw)) != len(raw):
+        raise BadRequest(f"duplicate core ids in {field_name!r}")
+    return tuple(sorted(raw))
+
+
+def _coerce_event_knob(name: str, value: Any):
+    try:
+        if name in _INT_EVENT_KNOBS:
+            return None if value is None else int(value)
+        if name in _FLOAT_EVENT_KNOBS:
+            return float(value)
+        if name in _BOOL_EVENT_KNOBS:
+            if not isinstance(value, bool):
+                raise BadRequest(f"knob {name!r} must be a boolean")
+            return value
+        return str(value)
+    except (TypeError, ValueError) as error:
+        raise BadRequest(f"malformed knob {name!r}: {error}") from None
+
+
+def _prune(machine: Machine, dead: tuple[int, ...], what: str) -> Machine:
+    try:
+        return machine.without_cores(dead)
+    except ReproError as error:
+        raise BadRequest(f"{what}: {error}") from None
+
+
+def parse_remap_request(
+    payload: Any,
+    default_deadline_ms: float | None = None,
+    allow_debug: bool = False,
+) -> RemapRequest:
+    """Validate a ``/remap`` body into a :class:`RemapRequest`.
+
+    The body is a regular ``/map`` body — describing the *base* machine
+    and the knobs the caller was mapped with — plus:
+
+    * ``dead_cores`` (optional): physical core ids already offline
+      before this event (the caller's accumulated dead-set);
+    * ``event`` (required): ``{"kind": "phase_change", "knobs": {...}}``,
+      ``{"kind": "core_loss"|"core_hotplug", "cores": [...]}``, or
+      ``{"kind": "topology_edit", "topology": spec | "machine": name
+      [, "scale": s]}``.
+
+    Core ids are always physical ids of the *base* machine.
+    """
+    base = parse_request(payload, default_deadline_ms, allow_debug)
+    raw_event = payload.get("event")
+    if not isinstance(raw_event, dict):
+        raise BadRequest("'event' must be an object")
+    dead = _parse_core_list(payload.get("dead_cores", []), "dead_cores")
+    base_cores = set(base.machine.core_ids())
+    if set(dead) - base_cores:
+        raise BadRequest(
+            f"dead_cores {sorted(set(dead) - base_cores)} not in the base machine"
+        )
+    pre_machine = _prune(base.machine, dead, "dead_cores")
+
+    from repro.remap.events import (
+        CoreHotplug,
+        CoreLoss,
+        PhaseChange,
+        TopologyEdit,
+        event_to_dict,
+        parse_event,
+    )
+
+    try:
+        event = parse_event(raw_event)
+    except ReproError as error:
+        raise BadRequest(str(error)) from None
+
+    post_knobs = base.knobs
+    if isinstance(event, PhaseChange):
+        unknown = sorted(set(event.knob_changes) - _EVENT_KNOBS)
+        if unknown:
+            raise BadRequest(
+                f"unknown event knobs {unknown}; known: {sorted(_EVENT_KNOBS)}"
+            )
+        changes = {
+            name: _coerce_event_knob(name, value)
+            for name, value in event.knob_changes.items()
+        }
+        try:
+            post_knobs = base.knobs.replace(**changes)
+        except ReproError as error:
+            raise BadRequest(str(error)) from None
+        post_machine = pre_machine
+        echo: dict = {"kind": "phase_change", "knobs": changes}
+    elif isinstance(event, CoreLoss):
+        overlap = sorted(set(event.cores) & set(dead))
+        if overlap:
+            raise BadRequest(f"core_loss for already-dead cores {overlap}")
+        if set(event.cores) - base_cores:
+            raise BadRequest(
+                f"core_loss for unknown cores "
+                f"{sorted(set(event.cores) - base_cores)}"
+            )
+        post_machine = _prune(base.machine, tuple(sorted(set(dead) | set(event.cores))), "core_loss")
+        echo = event_to_dict(event)
+    elif isinstance(event, CoreHotplug):
+        missing = sorted(set(event.cores) - set(dead))
+        if missing:
+            raise BadRequest(f"core_hotplug for cores not in dead_cores: {missing}")
+        post_machine = _prune(base.machine, tuple(sorted(set(dead) - set(event.cores))), "core_hotplug")
+        echo = event_to_dict(event)
+    elif isinstance(event, TopologyEdit):
+        post_machine = event.machine
+        echo = event_to_dict(event)
+    else:  # pragma: no cover - parse_event is exhaustive
+        raise BadRequest(f"unknown event kind {raw_event.get('kind')!r}")
+
+    pre = MappingRequest(
+        program=base.program,
+        nest=base.nest,
+        machine=pre_machine,
+        knobs=base.knobs,
+        program_key=base.program_key,
+    )
+    post = MappingRequest(
+        program=base.program,
+        nest=base.nest,
+        machine=post_machine,
+        knobs=post_knobs,
+        deadline_ms=base.deadline_ms,
+        no_cache=base.no_cache,
+        debug_sleep_ms=base.debug_sleep_ms,
+        program_key=base.program_key,
+    )
+    return RemapRequest(pre=pre, post=post, event=echo)

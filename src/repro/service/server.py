@@ -9,6 +9,13 @@ worker pool, two-tier cache, and stats — behind a stdlib
     Cache hits answer from the handler thread; misses queue for a
     worker.  A full queue answers ``429`` with ``Retry-After``; a
     draining server answers ``503``.
+``POST /remap``
+    Incrementally remap after a phase change, core loss/hot-plug or
+    topology edit (see :func:`~repro.service.protocol.parse_remap_request`
+    and :func:`~repro.service.engine.compute_remap`).  Always runs the
+    incremental pipeline — no cache read, no coalescing, no
+    degradation — and publishes the post-state payload to the mapping
+    cache for later ``/map`` traffic.
 ``GET /healthz``, ``GET /stats``, ``GET /metrics``, ``GET /version``
     Liveness, JSON stats (including cache hit counters and queue depth),
     Prometheus-style text metrics bridged from the :mod:`repro.obs`
@@ -46,12 +53,13 @@ import repro
 from repro import obs
 from repro.errors import ReproError
 from repro.service.admission import AdmissionQueue, Job
-from repro.service.engine import baseline_mapping, compute_mapping
+from repro.service.engine import baseline_mapping, compute_mapping, compute_remap
 from repro.service.mapcache import MappingCache, _encode_key
 from repro.service.protocol import (
     MappingRequest,
     ServiceError,
     Unavailable,
+    parse_remap_request,
     parse_request,
 )
 
@@ -369,6 +377,42 @@ class MappingService:
             degraded_reason=value.get("degraded_reason"),
         )
 
+    def handle_remap(self, payload: dict) -> tuple[int, dict]:
+        """The ``POST /remap`` flow: parse pre/post states, remap post.
+
+        Unlike ``/map`` there is no response-cache read, no coalescing
+        and no deadline degradation — a remap is an explicit "my state
+        changed, recompute what's dirty" and must always run the
+        (incremental) pipeline.  The computed post-state payload *is*
+        published to the mapping cache, so follow-up ``/map`` traffic
+        for the post state hits.
+        """
+        started = time.monotonic()
+        request_id = uuid.uuid4().hex[:12]
+        self.stats.bump("requests")
+        self.stats.bump("remap_requests")
+        remap = parse_remap_request(
+            payload,
+            default_deadline_ms=self.config.default_deadline_ms,
+            allow_debug=self.config.debug,
+        )
+        if self.draining:
+            raise Unavailable("service is draining")
+        job = Job(
+            request=remap.post, request_id=request_id, kind="remap", remap=remap
+        )
+        self.admission.submit(job)  # raises Overloaded on a full queue
+        value = self._await(job, request_id)
+        payload_out = value["payload"]
+        if not remap.post.no_cache:
+            cacheable = {k: v for k, v in payload_out.items() if k != "remap"}
+            self.cache.put(remap.post.cache_key, cacheable)
+        return 200, self._respond(
+            remap.post, request_id, payload_out,
+            degraded=False, cache="none",
+            started=started, queue_wait_ms=job.queue_wait_ms,
+        )
+
     def _await(self, job: Job, request_id: str) -> dict:
         """Wait for a job (own or a coalesced leader's) to finish."""
         if not job.done.wait(timeout=self.config.hard_timeout_s):
@@ -419,6 +463,15 @@ class MappingService:
         request = job.request
         if self.config.debug and request.debug_sleep_ms:
             time.sleep(request.debug_sleep_ms / 1e3)
+        if job.kind == "remap":
+            # Remap timings stay out of the EWMA degradation predictor:
+            # a replayed remap costs ~1ms and would teach the predictor
+            # that cold pipelines are free.
+            payload = self._run_traced(
+                job, lambda request: compute_remap(job.remap, plans=self.plans)
+            )
+            self.stats.bump("remap_runs")
+            return {"payload": payload, "degraded": False}
         degrade_reason = self._should_degrade(job)
         if degrade_reason is not None:
             payload = self._run_traced(job, baseline_mapping)
@@ -618,7 +671,9 @@ def _make_handler(service: MappingService):
 
         def do_POST(self) -> None:  # noqa: N802 - stdlib casing
             path = self.path.split("?", 1)[0]
-            if path != "/map":
+            routes = {"/map": service.handle_map, "/remap": service.handle_remap}
+            handler = routes.get(path)
+            if handler is None:
                 self._send_json(404, {"ok": False, "error": f"no route {path!r}"})
                 return
             from repro.service.protocol import BadRequest
@@ -636,7 +691,7 @@ def _make_handler(service: MappingService):
                     payload = json.loads(self.rfile.read(length))
                 except json.JSONDecodeError as error:
                     raise BadRequest(f"malformed JSON body: {error}") from None
-                status, body = service.handle_map(payload)
+                status, body = handler(payload)
                 service.stats.bump(f"http.{status}")
                 self._send_json(status, body)
             except Exception as error:  # noqa: BLE001 - boundary

@@ -61,13 +61,11 @@ import hashlib
 import http.client
 import json
 import multiprocessing
-import os
 import signal
 import socket
 import sys
 import threading
 import time
-import uuid
 from collections import OrderedDict
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -514,12 +512,24 @@ class ShardService:
         finally:
             connection.close()
 
-    def handle_map(self, raw: bytes) -> tuple[int, dict[str, str], bytes]:
-        """Route one ``POST /map`` body; returns (status, headers, body)."""
+    def handle_map(
+        self, raw: bytes, path: str = "/map"
+    ) -> tuple[int, dict[str, str], bytes]:
+        """Route one ``POST /map`` or ``POST /remap`` body.
+
+        Both verbs route by the same program digest, so a ``/remap``
+        lands on the worker whose artifact store is warm from that
+        program's earlier ``/map`` traffic — that warmth is exactly what
+        makes the remap incremental.  Returns (status, headers, body).
+        """
         started = time.monotonic()
         self.bump("requests")
+        if path == "/remap":
+            self.bump("remap_requests")
         if self._cache is not None:
-            digest = hashlib.sha256(raw).hexdigest()
+            # The digest is namespaced by path: a /map and a /remap with
+            # identical bodies must never serve each other's responses.
+            digest = hashlib.sha256(path.encode() + b"\0" + raw).hexdigest()
             hit = self._cache.get(digest)
             if hit is not None:
                 self.bump("router_cache.hits")
@@ -548,7 +558,7 @@ class ShardService:
                     f"worker {slot} is down and could not be restarted"
                 )
         try:
-            status, headers, data = self._proxy(handle, "POST", "/map", raw)
+            status, headers, data = self._proxy(handle, "POST", path, raw)
         except _WorkerDown as error:
             # Mid-request failure: the compute may or may not have run,
             # so never retry silently — answer a clean 503 and restart
@@ -566,12 +576,17 @@ class ShardService:
         if "retry-after" in headers:
             out_headers["Retry-After"] = headers["retry-after"]
         if status == 200:
-            data = self._annotate(slot, no_cache, digest_raw=raw, data=data)
+            data = self._annotate(slot, no_cache, digest_raw=raw, data=data, path=path)
         self.latency.add((time.monotonic() - started) * 1e3)
         return status, out_headers, data
 
     def _annotate(
-        self, slot: str, no_cache: bool, digest_raw: bytes, data: bytes
+        self,
+        slot: str,
+        no_cache: bool,
+        digest_raw: bytes,
+        data: bytes,
+        path: str = "/map",
     ) -> bytes:
         """Tag a 200 response with its worker; cache it when cacheable."""
         try:
@@ -591,7 +606,7 @@ class ShardService:
             replay = dict(parsed)
             replay["cache"] = "router"
             self._cache.put(
-                hashlib.sha256(digest_raw).hexdigest(),
+                hashlib.sha256(path.encode() + b"\0" + digest_raw).hexdigest(),
                 json.dumps(replay).encode(),
             )
         return json.dumps(parsed).encode()
@@ -785,7 +800,7 @@ def _make_router_handler(service: ShardService):
 
         def do_POST(self) -> None:  # noqa: N802 - stdlib casing
             path = self.path.split("?", 1)[0]
-            if path != "/map":
+            if path not in ("/map", "/remap"):
                 self._send(404, _error_body(f"no route {path!r}"))
                 return
             try:
@@ -805,7 +820,7 @@ def _make_router_handler(service: ShardService):
                 raw = self.rfile.read(length)
                 service.track_inflight(+1)
                 try:
-                    status, headers, data = service.handle_map(raw)
+                    status, headers, data = service.handle_map(raw, path=path)
                 finally:
                     service.track_inflight(-1)
                 self._send(status, data, headers=headers)

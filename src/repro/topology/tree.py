@@ -218,10 +218,79 @@ class Machine:
         rec(self.root)
         if not shared_nodes:
             return tuple((c,) for c in self.core_ids())
-        groups = tuple(node.cores_below() for node in shared_nodes)
+        groups = [node.cores_below() for node in shared_nodes]
+        # On a pruned/asymmetric tree a core can sit under no shared
+        # cache at all (its sharing siblings are gone) while others
+        # still do; such stragglers schedule as singleton sets so the
+        # grouping always partitions the cores.
+        covered = {c for g in groups for c in g}
+        groups.extend((c,) for c in self.core_ids() if c not in covered)
         return tuple(sorted(groups))
 
+    def is_level_uniform(self) -> bool:
+        """True when :meth:`clustering_degrees` is well defined.
+
+        A machine stops being level-uniform when cores are removed
+        (:meth:`without_cores`) or an asymmetric hierarchy is described
+        directly; the mapper then falls back to the per-node tree
+        descent instead of the flat per-level one.
+        """
+        frontier: list[TopologyNode] = [self.root]
+        while frontier and frontier[0].kind != "core":
+            if len({len(n.children) for n in frontier}) != 1:
+                return False
+            if len({n.kind for n in frontier}) != 1:
+                return False
+            frontier = [c for node in frontier for c in node.children]
+        return all(n.kind == "core" for n in frontier)
+
     # -- derived machines -----------------------------------------------------------
+
+    def without_cores(self, dead: Sequence[int]) -> Machine:
+        """Machine with the given cores removed (core loss / offline).
+
+        Dead core leaves are pruned, caches left with nothing below them
+        disappear, and the survivors are renumbered ``0..n-1`` in
+        left-to-right tree order (the invariant every mapper query
+        relies on).  Core ``k`` of the derived machine is therefore the
+        ``k``-th surviving physical core; callers that need to talk
+        about physical ids again (hot-plug) must keep the dead set
+        themselves and re-derive from the base machine.
+        """
+        dead_set = frozenset(dead)
+        if not dead_set:
+            return self
+        present = set(self.core_ids())
+        unknown = sorted(dead_set - present)
+        if unknown:
+            raise TopologyError(f"machine {self.name!r}: no such cores {unknown}")
+        survivors = [c for c in self.core_ids() if c not in dead_set]
+        if not survivors:
+            raise TopologyError(f"machine {self.name!r}: cannot remove every core")
+        renumber = {old: new for new, old in enumerate(survivors)}
+
+        def rebuild(node: TopologyNode) -> TopologyNode | None:
+            if node.kind == "core":
+                if node.core_id in dead_set:
+                    return None
+                return TopologyNode.core(renumber[node.core_id])
+            children = [r for c in node.children if (r := rebuild(c)) is not None]
+            if not children:
+                return None
+            if node.kind == "cache":
+                return TopologyNode.cache(node.spec, children)
+            return TopologyNode.memory(children)
+
+        root = rebuild(self.root)
+        assert root is not None  # survivors is non-empty
+        suffix = ",".join(str(c) for c in sorted(dead_set))
+        return Machine(
+            f"{self.name}-less{suffix}",
+            self.clock_ghz,
+            self.memory_latency,
+            root,
+            self.sockets,
+        )
 
     def truncated(self, keep_levels: int) -> Machine:
         """Machine whose tree only models the first ``keep_levels`` cache levels.

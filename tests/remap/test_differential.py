@@ -1,0 +1,91 @@
+"""The remapper's contract: every remapped plan is bit-identical to a
+cold map of the post-event state.
+
+Each case applies a short event history and compares the remapper's
+plan for every affected nest against a store-less pipeline run of the
+exact same (program, nest, machine, knobs) state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.bench import bench_machine
+from repro.remap.core import Remapper, cold_plan
+from repro.remap.events import (
+    CoreHotplug,
+    CoreLoss,
+    PhaseChange,
+    TopologyEdit,
+)
+
+HISTORIES = {
+    "phase_only": [
+        PhaseChange.of(alpha=0.8, beta=0.2),
+        PhaseChange.of(alpha=0.2, beta=0.8),
+        PhaseChange.of(alpha=0.8, beta=0.2),
+    ],
+    "balance_change": [
+        PhaseChange.of(balance_threshold=0.05),
+    ],
+    "loss_then_phase": [
+        CoreLoss((2,)),
+        PhaseChange.of(alpha=0.9, beta=0.1),
+    ],
+    "loss_hotplug_cycle": [
+        CoreLoss((1, 6)),
+        CoreHotplug((1,)),
+        CoreHotplug((6,)),
+        CoreLoss((1, 6)),
+    ],
+    "topology_edits": [
+        TopologyEdit(bench_machine(4)),
+        TopologyEdit(bench_machine(8)),
+    ],
+    "edit_after_loss": [
+        CoreLoss((3,)),
+        TopologyEdit(bench_machine(4)),
+        CoreLoss((0,)),
+    ],
+}
+
+
+def _check_history(program, machine, knobs, events):
+    remapper = Remapper(program, machine, knobs=knobs)
+    for event in events:
+        outcome = remapper.apply(event)
+        for name in outcome.affected:
+            nest = next(n for n in program.nests if n.name == name)
+            cold = cold_plan(program, nest, outcome.machine, outcome.knobs[name])
+            assert cold.rounds == outcome.plans[name].rounds, (
+                f"remap diverged from cold map after {outcome.kind}"
+            )
+            assert cold.label == outcome.plans[name].label
+
+
+@pytest.mark.parametrize("history", sorted(HISTORIES))
+def test_stencil_remap_matches_cold(history, stencil_program, machine, knobs):
+    _check_history(stencil_program, machine, knobs, HISTORIES[history])
+
+
+@pytest.mark.parametrize(
+    "history", ["phase_only", "loss_hotplug_cycle", "edit_after_loss"]
+)
+def test_banded_remap_matches_cold(history, banded_program, machine, knobs):
+    _check_history(banded_program, machine, knobs, HISTORIES[history])
+
+
+def test_unpinned_block_size_across_l1_change(stencil_program, machine):
+    """A topology edit that changes L1 capacity with block_size unpinned
+    must still match cold: the carry is refused, everything recomputes."""
+    from repro.pipeline.knobs import Knobs
+
+    knobs = Knobs(alpha=0.5, beta=0.5)
+    remapper = Remapper(stencil_program, machine, knobs=knobs)
+    edited = machine.with_scaled_caches(0.5)
+    outcome = remapper.apply(TopologyEdit(edited))
+    assert outcome.carried == 0
+    name = outcome.affected[0]
+    nest = next(n for n in stencil_program.nests if n.name == name)
+    cold = cold_plan(stencil_program, nest, edited, knobs)
+    assert cold.rounds == outcome.plans[name].rounds

@@ -1,0 +1,153 @@
+"""ExecutionWatcher: behaviour samples in, remap events out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.knobs import Knobs
+from repro.remap.core import Remapper
+from repro.remap.watch import ExecutionWatcher, WatchPolicy, knobs_for_signals
+from repro.sim.dynamic import BehaviorModel, CoreEvent, ExecutionSample, PhaseSpec
+
+
+def _sample(step, cores, cycles, sharing, nest="stencil"):
+    return ExecutionSample(
+        step=step,
+        nest=nest,
+        phase="p",
+        active_cores=tuple(cores),
+        core_cycles=tuple(cycles),
+        sharing=sharing,
+    )
+
+
+class TestKnobsForSignals:
+    def test_high_sharing_raises_alpha(self):
+        policy = WatchPolicy()
+        changes = knobs_for_signals(policy, Knobs(), imbalance=0.02, sharing=0.9)
+        assert changes["alpha"] > 0.5
+        assert changes["beta"] == round(1 - changes["alpha"], 1)
+
+    def test_quantization_suppresses_drift(self):
+        policy = WatchPolicy()
+        current = Knobs()
+        first = knobs_for_signals(policy, current, 0.02, 0.52)
+        settled = current.replace(**first) if first else current
+        # A tiny drift in sharing quantizes to the same knobs: no event.
+        assert knobs_for_signals(policy, settled, 0.02, 0.53) == {}
+
+    def test_high_imbalance_tightens_balance(self):
+        policy = WatchPolicy()
+        changes = knobs_for_signals(policy, Knobs(), imbalance=0.5, sharing=0.38)
+        assert changes["balance_threshold"] == policy.tight_balance
+
+    def test_local_scheduling_only_turns_on(self):
+        policy = WatchPolicy()
+        off = Knobs(local_scheduling=False)
+        changes = knobs_for_signals(policy, off, imbalance=0.0, sharing=0.9)
+        assert changes["local_scheduling"] is True
+        on = Knobs(local_scheduling=True)
+        changes = knobs_for_signals(policy, on, imbalance=0.0, sharing=0.1)
+        assert "local_scheduling" not in changes
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            WatchPolicy(imbalance_jump=0.0)
+
+
+class TestWatcher:
+    def test_core_disappearance_emits_loss(self, stencil_program, machine, knobs):
+        remapper = Remapper(stencil_program, machine, knobs=knobs)
+        watcher = ExecutionWatcher(remapper)
+        nest = stencil_program.nests[0].name
+        all_cores = machine.core_ids()
+        watcher.feed(_sample(0, all_cores, [100] * len(all_cores), 0.2, nest))
+        without_3 = [c for c in all_cores if c != 3]
+        outcomes = watcher.feed(
+            _sample(1, without_3, [100] * len(without_3), 0.2, nest)
+        )
+        kinds = [o.kind for o in outcomes]
+        assert "core_loss" in kinds
+        assert remapper.dead == {3}
+
+    def test_core_return_emits_hotplug(self, stencil_program, machine, knobs):
+        remapper = Remapper(stencil_program, machine, knobs=knobs)
+        watcher = ExecutionWatcher(remapper)
+        nest = stencil_program.nests[0].name
+        all_cores = machine.core_ids()
+        without_3 = [c for c in all_cores if c != 3]
+        watcher.feed(_sample(0, all_cores, [100] * len(all_cores), 0.2, nest))
+        watcher.feed(_sample(1, without_3, [100] * len(without_3), 0.2, nest))
+        outcomes = watcher.feed(
+            _sample(2, all_cores, [100] * len(all_cores), 0.2, nest)
+        )
+        assert [o.kind for o in outcomes] == ["core_hotplug"]
+        assert remapper.dead == set()
+
+    def test_steady_signals_cause_no_churn(self, stencil_program, machine, knobs):
+        remapper = Remapper(stencil_program, machine, knobs=knobs)
+        watcher = ExecutionWatcher(remapper)
+        nest = stencil_program.nests[0].name
+        cores = machine.core_ids()
+        watcher.feed(_sample(0, cores, [100] * len(cores), 0.2, nest))
+        applied_before = remapper.events_applied
+        for step in range(1, 6):
+            watcher.feed(_sample(step, cores, [100] * len(cores), 0.2, nest))
+        assert remapper.events_applied == applied_before
+
+    def test_signal_jump_emits_phase_change(self, stencil_program, machine, knobs):
+        remapper = Remapper(stencil_program, machine, knobs=knobs)
+        watcher = ExecutionWatcher(remapper)
+        nest = stencil_program.nests[0].name
+        cores = machine.core_ids()
+        watcher.feed(_sample(0, cores, [100] * len(cores), 0.2, nest))
+        outcomes = watcher.feed(
+            _sample(1, cores, [100] * len(cores), 0.9, nest)
+        )
+        assert [o.kind for o in outcomes] == ["phase_change"]
+        assert remapper.knobs_for(nest).alpha > 0.5
+
+
+class TestBehaviorModelIntegration:
+    def test_model_stream_drives_remapper(self, stencil_program, machine, knobs):
+        nest = stencil_program.nests[0].name
+        phases = (
+            PhaseSpec("smooth", steps=2, imbalance=0.02, sharing=0.20),
+            PhaseSpec("hot", steps=2, imbalance=0.50, sharing=0.70),
+            PhaseSpec("smooth2", steps=2, imbalance=0.02, sharing=0.20),
+        )
+        lost = machine.core_ids()[1]
+        model = BehaviorModel(
+            nest_name=nest,
+            machine=machine,
+            phases=phases,
+            core_events=(
+                CoreEvent(step=1, kind="loss", cores=(lost,)),
+                CoreEvent(step=5, kind="hotplug", cores=(lost,)),
+            ),
+            seed=3,
+        )
+        remapper = Remapper(stencil_program, machine, knobs=knobs)
+        watcher = ExecutionWatcher(remapper)
+        outcomes = watcher.run(model.samples())
+        kinds = {o.kind for o in outcomes}
+        assert "core_loss" in kinds and "core_hotplug" in kinds
+        assert "phase_change" in kinds
+        assert watcher.samples_seen == model.total_steps()
+        assert remapper.dead == set()
+
+    def test_same_seed_same_events(self, stencil_program, machine, knobs):
+        nest = stencil_program.nests[0].name
+        phases = (
+            PhaseSpec("a", steps=2, imbalance=0.05, sharing=0.2),
+            PhaseSpec("b", steps=2, imbalance=0.6, sharing=0.7),
+        )
+
+        def run_once():
+            model = BehaviorModel(nest, machine, phases, seed=11)
+            remapper = Remapper(stencil_program, machine, knobs=knobs)
+            return [
+                o.kind for o in ExecutionWatcher(remapper).run(model.samples())
+            ]
+
+        assert run_once() == run_once()

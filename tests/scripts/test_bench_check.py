@@ -1,0 +1,200 @@
+"""The CI benchmark-regression gate (``scripts/bench_check.py``)."""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "bench_check", REPO_ROOT / "scripts" / "bench_check.py"
+)
+bench_check = importlib.util.module_from_spec(spec)
+sys.modules.setdefault("bench_check", bench_check)
+spec.loader.exec_module(bench_check)
+
+
+KERNELS = {
+    "suite": "repro.kernels microbenchmarks",
+    "entries": [
+        {"kernel": "tagging", "config": "stencil-64", "speedup": 6.2},
+        {"kernel": "affinity-matrix", "config": "stencil-64", "speedup": 20.9},
+        {"kernel": "clustering", "config": "stencil-64", "speedup": 1.16},
+    ],
+}
+
+REMAP = {
+    "suite": "repro.remap incremental remap benchmark",
+    "entries": [
+        {"driver": "scripted", "workload": "stencil20", "speedup": 29.5},
+        {"driver": "watched", "workload": "band256", "speedup": 13.4},
+    ],
+    "overall": {"speedup": 28.4},
+}
+
+SERVICE = {
+    "config": {"requests": 20000, "workers": 4, "seed": 1},
+    "runs": [
+        {"mode": "single", "throughput_rps": 350.0},
+        {"mode": "shard", "throughput_rps": 1050.0},
+    ],
+}
+
+
+def write_dirs(tmp_path, baseline: dict, current: dict):
+    base = tmp_path / "base"
+    cur = tmp_path / "cur"
+    base.mkdir()
+    cur.mkdir()
+    for directory, reports in ((base, baseline), (cur, current)):
+        for suite, report in reports.items():
+            (directory / f"BENCH_{suite}.json").write_text(json.dumps(report))
+    return base, cur
+
+
+def degrade(report: dict, factor: float) -> dict:
+    """Scale every speedup (entry-level and overall) by ``factor``."""
+    report = copy.deepcopy(report)
+    for entry in report.get("entries", ()):
+        entry["speedup"] = round(entry["speedup"] * factor, 2)
+    if "overall" in report:
+        report["overall"]["speedup"] = round(
+            report["overall"]["speedup"] * factor, 2
+        )
+    for run in report.get("runs", ()):
+        run["throughput_rps"] = round(run["throughput_rps"] * factor, 2)
+    return report
+
+
+class TestGate:
+    def test_identical_reports_pass(self, tmp_path):
+        base, cur = write_dirs(
+            tmp_path, {"kernels": KERNELS, "remap": REMAP},
+            {"kernels": KERNELS, "remap": REMAP},
+        )
+        report = bench_check.check(base, cur)
+        assert report["ok"]
+        assert report["failed"] == []
+
+    def test_25pct_degradation_fails(self, tmp_path):
+        """The acceptance scenario: a hand-degraded 25% drop must trip
+        the default 20% gate."""
+        base, cur = write_dirs(
+            tmp_path,
+            {"kernels": KERNELS, "remap": REMAP},
+            {"kernels": degrade(KERNELS, 0.75), "remap": degrade(REMAP, 0.75)},
+        )
+        report = bench_check.check(base, cur)
+        assert not report["ok"]
+        assert "remap:overall" in report["failed"]
+        assert "kernels:tagging:stencil-64" in report["failed"]
+        # The noise-dominated 1.16x clustering kernel stays informational.
+        assert "kernels:clustering:stencil-64" not in report["failed"]
+        row = report["suites"]["kernels"]["metrics"]["clustering:stencil-64"]
+        assert row["status"] == "info-regression"
+
+    def test_15pct_drop_within_tolerance(self, tmp_path):
+        base, cur = write_dirs(
+            tmp_path, {"remap": REMAP}, {"remap": degrade(REMAP, 0.85)}
+        )
+        assert bench_check.check(base, cur)["ok"]
+
+    def test_missing_metric_fails(self, tmp_path):
+        shrunk = copy.deepcopy(REMAP)
+        del shrunk["entries"][1]
+        base, cur = write_dirs(tmp_path, {"remap": REMAP}, {"remap": shrunk})
+        report = bench_check.check(base, cur)
+        assert not report["ok"]
+        assert "remap:watched:band256" in report["failed"]
+
+    def test_new_metric_is_reported_not_failed(self, tmp_path):
+        grown = copy.deepcopy(REMAP)
+        grown["entries"].append(
+            {"driver": "scripted", "workload": "band999", "speedup": 11.0}
+        )
+        base, cur = write_dirs(tmp_path, {"remap": REMAP}, {"remap": grown})
+        report = bench_check.check(base, cur)
+        assert report["ok"]
+        row = report["suites"]["remap"]["metrics"]["scripted:band999"]
+        assert row["status"] == "new"
+
+    def test_missing_current_file_is_skipped(self, tmp_path):
+        base, cur = write_dirs(tmp_path, {"remap": REMAP}, {})
+        report = bench_check.check(base, cur)
+        assert report["ok"]
+        assert report["suites"]["remap"]["status"] == "skipped"
+
+    def test_service_config_mismatch_skips(self, tmp_path):
+        mismatched = copy.deepcopy(SERVICE)
+        mismatched["config"]["workers"] = 2
+        mismatched = degrade(mismatched, 0.5)  # would fail if compared
+        base, cur = write_dirs(
+            tmp_path, {"service": SERVICE}, {"service": mismatched}
+        )
+        report = bench_check.check(base, cur)
+        assert report["ok"]
+        assert report["suites"]["service"]["status"] == "skipped"
+        assert "config mismatch" in report["suites"]["service"]["reason"]
+
+    def test_service_same_config_compares_ratio(self, tmp_path):
+        slower_shard = copy.deepcopy(SERVICE)
+        slower_shard["runs"][1]["throughput_rps"] = 400.0  # 3x -> 1.14x
+        slower_shard["config"]["seed"] = 2  # seed differences never skip
+        base, cur = write_dirs(
+            tmp_path, {"service": SERVICE}, {"service": slower_shard}
+        )
+        report = bench_check.check(base, cur)
+        assert not report["ok"]
+        assert report["failed"] == ["service:shard_vs_single_throughput"]
+
+
+class TestCli:
+    def test_main_writes_diff_and_exits_nonzero(self, tmp_path, capsys):
+        base, cur = write_dirs(
+            tmp_path, {"remap": REMAP}, {"remap": degrade(REMAP, 0.75)}
+        )
+        out = tmp_path / "diff.json"
+        code = bench_check.main(
+            ["--baseline", str(base), "--current", str(cur),
+             "--out", str(out)]
+        )
+        assert code == 1
+        diff = json.loads(out.read_text())
+        assert not diff["ok"]
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_main_green_run(self, tmp_path, capsys):
+        base, cur = write_dirs(tmp_path, {"remap": REMAP}, {"remap": REMAP})
+        code = bench_check.main(
+            ["--baseline", str(base), "--current", str(cur)]
+        )
+        assert code == 0
+        assert "no benchmark regressions" in capsys.readouterr().out
+
+    def test_real_baselines_parse(self):
+        """Every committed baseline is readable by its extractor and
+        yields at least one metric (the repo root compared to itself is
+        a green run by construction)."""
+        report = bench_check.check(REPO_ROOT, REPO_ROOT)
+        assert report["ok"]
+        for suite in ("kernels", "sim", "pipeline", "remap"):
+            verdict = report["suites"][suite]
+            assert verdict["status"] == "ok", (suite, verdict)
+            assert verdict["metrics"]
+
+    def test_against_25pct_degraded_real_baseline(self, tmp_path):
+        """Scratch-run acceptance check against the *real* committed
+        BENCH_remap.json, degraded by 25%."""
+        real = json.loads((REPO_ROOT / "BENCH_remap.json").read_text())
+        cur = tmp_path / "cur"
+        cur.mkdir()
+        (cur / "BENCH_remap.json").write_text(
+            json.dumps(degrade(real, 0.75))
+        )
+        report = bench_check.check(REPO_ROOT, cur)
+        assert not report["ok"]
+        assert any(name.startswith("remap:") for name in report["failed"])

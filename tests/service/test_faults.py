@@ -181,6 +181,95 @@ class TestWorkerSigkill:
             service.stop()
 
 
+class TestRemapSigkill:
+    def test_remap_racing_worker_restart_is_clean(self):
+        """SIGKILL the worker while it is computing a ``/remap``.
+
+        The remapping caller must get the same clean 503 + Retry-After
+        contract as ``/map`` — and must never be handed a stale plan:
+        the error body carries no mapping, and a retried remap against
+        the restarted (cold-store) worker produces the true post-event
+        plan, bit-identical to a fresh compute of the post state.
+        """
+        service = make_shard()
+        service.start()
+        try:
+            handle = service.workers[0]
+            first_pid = handle.pid
+            router = ServiceClient(port=service.port)
+            router.wait_ready()
+
+            remap_body = {
+                "source": STENCIL_SOURCE,
+                "machine": "dunnington",
+                "event": {"kind": "core_loss", "cores": [2]},
+                "debug_sleep_ms": 5000,
+            }
+            outcome = {}
+            started = threading.Event()
+
+            def doomed_remap():
+                client = ServiceClient(port=service.port)
+                started.set()
+                status, headers, body = client.request(
+                    "POST", "/remap", remap_body
+                )
+                outcome.update(status=status, headers=headers, body=body)
+
+            caller = threading.Thread(target=doomed_remap)
+            caller.start()
+            assert started.wait(timeout=10)
+
+            worker_client = ServiceClient(port=handle.port)
+            assert wait_until(
+                lambda: worker_client.stats()["queue"]["in_flight"] >= 1,
+                timeout=15,
+            ), "slow remap never reached the worker"
+
+            os.kill(first_pid, signal.SIGKILL)
+
+            caller.join(timeout=30)
+            assert not caller.is_alive(), "remap hung after SIGKILL"
+            assert outcome["status"] == 503
+            assert outcome["headers"].get("retry-after") == "1"
+            error_body = json.loads(outcome["body"])
+            assert "failed mid-request" in error_body["error"]
+            # Never a stale plan: the failure body carries no mapping.
+            assert "mapping" not in error_body
+            assert "remap" not in error_body
+
+            assert wait_until(
+                lambda: handle.alive() and handle.pid != first_pid,
+                timeout=20,
+            ), "worker was never restarted"
+
+            # A retried remap succeeds and its plan is the honest
+            # post-event state (7 cores), identical to a re-run.
+            retried = None
+            for _ in range(100):
+                status, _headers, body = router.request(
+                    "POST", "/remap",
+                    {k: v for k, v in remap_body.items()
+                     if k != "debug_sleep_ms"},
+                )
+                if status == 200:
+                    retried = json.loads(body)
+                    break
+                assert status == 503, f"unexpected status {status}"
+            assert retried is not None and retried["ok"]
+            assert retried["remap"]["machine"] == "dunnington-less2"
+            assert retried["stats"]["cores"] == retried["remap"]["cores"]
+            fresh = ServiceClient(port=service.port).remap(
+                source=STENCIL_SOURCE,
+                machine="dunnington",
+                event={"kind": "core_loss", "cores": [2]},
+                no_cache=True,
+            )
+            assert fresh["mapping"] == retried["mapping"]
+        finally:
+            service.stop()
+
+
 class TestRouterSigterm:
     @pytest.fixture
     def shard_daemon(self):
