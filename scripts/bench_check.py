@@ -31,7 +31,11 @@ import sys
 from pathlib import Path
 
 #: Baseline files the gate knows how to read.
-SUITES = ("kernels", "sim", "pipeline", "remap", "service")
+SUITES = ("kernels", "sim", "pipeline", "remap", "service", "ingest")
+
+#: Suites whose metrics never fail the build regardless of baseline
+#: magnitude: millisecond-scale latency numbers are runner-noise-bound.
+INFORMATIONAL_SUITES = ("ingest",)
 
 
 # -- metric extraction ---------------------------------------------------
@@ -65,6 +69,12 @@ def metrics_remap(report: dict) -> dict[str, float]:
     return metrics
 
 
+def metrics_ingest(report: dict) -> dict[str, float]:
+    """Budget ratio (budget_ms / measured_ms) per fixture: >1 is under
+    budget; a drop means topology ingestion got slower."""
+    return _entries_metrics(report, lambda e: e["fixture"])
+
+
 def metrics_service(report: dict) -> dict[str, float]:
     """Shard-over-single throughput ratio — the one scalar the service
     load harness is designed to demonstrate."""
@@ -90,6 +100,7 @@ EXTRACTORS = {
     "pipeline": metrics_pipeline,
     "remap": metrics_remap,
     "service": metrics_service,
+    "ingest": metrics_ingest,
 }
 
 
@@ -123,7 +134,9 @@ def compare_suite(
             row["current"] = cur_value
             row["ratio"] = round(cur_value / base_value, 3)
             regressed = cur_value < base_value * (1.0 - threshold)
-            informational = base_value < min_baseline
+            informational = (
+                base_value < min_baseline or suite in INFORMATIONAL_SUITES
+            )
             if regressed and informational:
                 row["status"] = "info-regression"
             elif regressed:

@@ -28,12 +28,13 @@ import sys
 from contextlib import contextmanager
 
 from repro import obs
-from repro.errors import ReproError
+from repro.errors import ReproError, UnknownMachineError
 from repro.blocks.tags import render
 from repro.lang import compile_source
 from repro.mapping import TopologyAwareMapper, base_plan, base_plus_plan, local_plan
 from repro.runtime import execute_plan
 from repro.topology.machines import _REGISTRY, machine_by_name
+from repro.topology.resolve import resolve_machine
 from repro.util.tables import format_table
 
 
@@ -68,16 +69,26 @@ def _machine(args):
         with open(args.topology, "r", encoding="utf-8") as handle:
             machine = parse_topology(handle.read())
     else:
-        machine = machine_by_name(args.machine)
+        machine = resolve_machine(args.machine, getattr(args, "smt", None))
     if args.scale != 1:
         machine = machine.with_scaled_caches(1.0 / args.scale)
     return machine
 
 
 def cmd_machines(_args) -> int:
+    from repro.topology.ingest.zoo import zoo_entries
+
     for name in _REGISTRY:
         print(machine_by_name(name).describe())
         print()
+    entries = zoo_entries()
+    if entries:
+        print("machine zoo (use --machine zoo:<name>):")
+        rows = [
+            (f"zoo:{name}", entry.cores_hint(), entry.description)
+            for name, entry in sorted(entries.items())
+        ]
+        print(format_table(["name", "cores", "description"], rows))
     return 0
 
 
@@ -474,6 +485,134 @@ def _remap_via_service(args, events: list[dict], knobs: dict) -> int:
     return 0
 
 
+def _topo_machine(args, spec: str):
+    """Resolve a ``topo`` operand: a machine spec or a bare dump path."""
+    import os
+
+    if os.path.exists(spec) and ":" not in spec:
+        from repro.topology.ingest import NormalizeOptions, ingest_sysfs
+
+        options = NormalizeOptions(
+            smt_policy=args.smt or "merge",
+            name=getattr(args, "name", None),
+            clock_ghz=getattr(args, "clock", None),
+            memory_latency=getattr(args, "memory_latency", None),
+        )
+        return ingest_sysfs(spec, options)
+    return resolve_machine(spec, getattr(args, "smt", None))
+
+
+def cmd_topo_ingest(args) -> int:
+    from repro.experiments.cache import machine_digest
+    from repro.runtime.serialize import machine_to_dict
+    from repro.topology.ingest import (
+        NormalizeOptions,
+        cross_validate,
+        load_lscpu,
+        load_sysfs,
+        normalize,
+    )
+    from repro.topology.render import render_tree
+
+    options = NormalizeOptions(
+        smt_policy=args.smt or "merge",
+        name=args.name,
+        clock_ghz=args.clock,
+        memory_latency=args.memory_latency,
+    )
+    raw = load_sysfs(args.path)
+    issues = []
+    if args.lscpu:
+        issues = cross_validate(raw, load_lscpu(args.lscpu))
+    machine = normalize(raw, options)
+    digest = machine_digest(machine)
+    if args.json:
+        payload = machine_to_dict(machine)
+        payload["digest"] = digest
+        if issues:
+            payload["crosscheck"] = issues
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_tree(machine))
+        print(f"digest {digest}")
+        if raw.offline:
+            print(f"offline cpus: {','.join(str(c) for c in raw.offline)}")
+        for issue in issues:
+            print(f"crosscheck: {issue}", file=sys.stderr)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            payload = machine_to_dict(machine)
+            payload["digest"] = digest
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return 0
+
+
+def cmd_topo_show(args) -> int:
+    from repro.experiments.cache import machine_digest
+    from repro.runtime.serialize import machine_to_dict
+    from repro.topology.render import render_tree
+
+    machine = _topo_machine(args, args.machine)
+    if args.json:
+        payload = machine_to_dict(machine)
+        payload["digest"] = machine_digest(machine)
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_tree(machine))
+        print(f"digest {machine_digest(machine)}")
+    return 0
+
+
+def cmd_topo_validate(args) -> int:
+    from repro.experiments.cache import machine_digest
+
+    try:
+        machine = _topo_machine(args, args.machine)
+    except ReproError as error:
+        print(f"INVALID: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {machine.name} ({machine.num_cores} cores, "
+        f"{len(machine.cache_nodes())} caches, digest {machine_digest(machine)})"
+    )
+    return 0
+
+
+def cmd_topo_list(args) -> int:
+    from repro.topology.ingest.zoo import zoo_entries
+
+    rows = []
+    for name in _REGISTRY:
+        machine = machine_by_name(name)
+        rows.append((name, "builtin", machine.num_cores, ""))
+    for name, entry in sorted(zoo_entries().items()):
+        rows.append((f"zoo:{name}", "zoo", entry.cores_hint(), entry.description))
+    print(format_table(["name", "kind", "cores", "description"], rows))
+    return 0
+
+
+def cmd_topo_diff(args) -> int:
+    from repro.experiments.cache import machine_digest
+    from repro.topology.render import render_tree
+
+    left = _topo_machine(args, args.left)
+    right = _topo_machine(args, args.right)
+    digest_left, digest_right = machine_digest(left), machine_digest(right)
+    if digest_left == digest_right:
+        print(f"identical trees (digest {digest_left})")
+        return 0
+    lines_left = render_tree(left).splitlines()
+    lines_right = render_tree(right).splitlines()
+    import difflib
+
+    for line in difflib.unified_diff(
+        lines_left, lines_right, fromfile=args.left, tofile=args.right, lineterm=""
+    ):
+        print(line)
+    return 1
+
+
 def cmd_service_stats(args) -> int:
     from repro.service.client import ServiceClient
 
@@ -732,6 +871,69 @@ def build_parser() -> argparse.ArgumentParser:
     tune_parser.add_argument("--schedule", action="store_true",
                              help="tune the combined (scheduled) scheme")
     tune_parser.set_defaults(func=cmd_tune)
+
+    topo_parser = sub.add_parser(
+        "topo", help="ingest, inspect and validate machine topologies"
+    )
+    topo_sub = topo_parser.add_subparsers(dest="topo_command", required=True)
+
+    def smt_option(p):
+        p.add_argument("--smt", default=None, choices=("merge", "threads"),
+                       help="SMT sibling policy for ingested dumps: fold "
+                            "siblings into one core ('merge', default) or "
+                            "model threads as cores sharing an L1")
+
+    ingest_parser = topo_sub.add_parser(
+        "ingest", help="read a sysfs tree (live /sys, dump dir, or tar)"
+    )
+    ingest_parser.add_argument("path", help="/sys, a dump directory, or a "
+                                            ".tar/.tar.gz archive of one")
+    ingest_parser.add_argument("--lscpu", default=None, metavar="FILE",
+                               help="saved 'lscpu -J' output to cross-validate")
+    smt_option(ingest_parser)
+    ingest_parser.add_argument("--name", default=None, help="machine name")
+    ingest_parser.add_argument("--clock", type=float, default=None,
+                               metavar="GHZ", help="override the clock")
+    ingest_parser.add_argument("--memory-latency", type=int, default=None,
+                               metavar="CYCLES",
+                               help="off-chip latency (default: 100ns at the "
+                                    "machine clock)")
+    ingest_parser.add_argument("--json", action="store_true",
+                               help="print the full machine as JSON")
+    ingest_parser.add_argument("--out", default=None, metavar="FILE",
+                               help="also write the machine JSON to FILE")
+    ingest_parser.set_defaults(func=cmd_topo_ingest)
+
+    show_parser = topo_sub.add_parser(
+        "show", help="render a machine spec as a tree"
+    )
+    show_parser.add_argument("machine", help="builtin name, zoo:<name>, "
+                                             "sysfs:<path>, lscpu:<path>, or "
+                                             "a dump path")
+    smt_option(show_parser)
+    show_parser.add_argument("--json", action="store_true",
+                             help="print the full machine as JSON")
+    show_parser.set_defaults(func=cmd_topo_show)
+
+    validate_parser = topo_sub.add_parser(
+        "validate", help="check that a machine spec or dump ingests cleanly"
+    )
+    validate_parser.add_argument("machine", help="machine spec or dump path")
+    smt_option(validate_parser)
+    validate_parser.set_defaults(func=cmd_topo_validate)
+
+    list_parser = topo_sub.add_parser(
+        "list", help="list builtin and zoo machines"
+    )
+    list_parser.set_defaults(func=cmd_topo_list)
+
+    diff_parser = topo_sub.add_parser(
+        "diff", help="structurally compare two machine specs"
+    )
+    diff_parser.add_argument("left", help="machine spec or dump path")
+    diff_parser.add_argument("right", help="machine spec or dump path")
+    smt_option(diff_parser)
+    diff_parser.set_defaults(func=cmd_topo_diff)
     return parser
 
 
@@ -743,6 +945,13 @@ def main(argv: list[str] | None = None) -> int:
             getattr(args, "trace_out", None), getattr(args, "trace", False)
         ):
             return args.func(args)
+    except UnknownMachineError as error:
+        # A usage error, like argparse's own: print the menu, exit 2.
+        print(f"error: unknown machine {error.spec!r}", file=sys.stderr)
+        print("known machines:", file=sys.stderr)
+        for name in error.known:
+            print(f"  {name}", file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -65,6 +65,22 @@ class TopologyError(ReproError):
     """Malformed cache hierarchy descriptions (``repro.topology``)."""
 
 
+class UnknownMachineError(TopologyError):
+    """A machine name/spec did not resolve to any builtin or zoo machine.
+
+    ``known`` lists every name that would have worked, so CLIs can print
+    the menu and exit with a usage error instead of a generic failure.
+    """
+
+    def __init__(self, spec: str, known: list[str]):
+        self.spec = spec
+        self.known = list(known)
+        super().__init__(
+            f"unknown machine {spec!r}; known: {', '.join(self.known)} "
+            f"(also sysfs:<path> and lscpu:<path>)"
+        )
+
+
 class BlockingError(ReproError):
     """Errors in data-block partitioning or iteration tagging."""
 

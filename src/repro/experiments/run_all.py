@@ -46,12 +46,16 @@ from repro.experiments import (
     fig18_deep_hierarchies,
     fig19_small_caches,
     fig20_levels_optimal,
+    zoo_sweep,
 )
 
 QUICK_APPS = ("galgel", "equake", "facesim", "namd", "h264", "applu")
 
 
-def _steps(apps):
+def _steps(apps, machines=None):
+    zoo_apps = None
+    if apps is not None:
+        zoo_apps = tuple(a for a in apps if a in zoo_sweep.SWEEP_APPS) or None
     return [
         ("Table 1", lambda: tables.table1()),
         ("Table 2", lambda: tables.table2()),
@@ -65,6 +69,7 @@ def _steps(apps):
         ("Figure 18", lambda: fig18_deep_hierarchies.run(apps)),
         ("Figure 19", lambda: fig19_small_caches.run(apps)),
         ("Figure 20", lambda: fig20_levels_optimal.run(apps)),
+        ("Machine zoo", lambda: zoo_sweep.run(zoo_apps, machines)),
         ("Ablation a/b", lambda: ablation_alpha_beta.run()),
         ("Ablation compile time", lambda: ablation_compile_time.run(apps)),
         ("Ablation dynamic", lambda: ablation_dynamic.run(apps)),
@@ -108,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--only", default=None, metavar="SUBSTR",
                         help="run only steps whose name contains SUBSTR "
                              "(matched against e.g. 'figure_13')")
+    parser.add_argument("--machine", action="append", default=None,
+                        metavar="SPEC", dest="machines",
+                        help="restrict the machine-zoo sweep to SPEC "
+                             "(repeatable; builtin name, zoo:<name>, "
+                             "sysfs:<path>, or lscpu:<path>)")
     parser.add_argument("--no-cache", action="store_true",
                         help="skip the persistent result cache entirely")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -167,7 +177,21 @@ def main(argv: list[str] | None = None) -> int:
     apps = QUICK_APPS if args.quick else None
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
 
-    steps = _steps(apps)
+    if args.machines:
+        # Validate the specs up front: an unknown machine is a usage
+        # error (exit 2 with the menu), same contract as --only.
+        from repro.errors import UnknownMachineError
+        from repro.topology.resolve import resolve_machine
+
+        try:
+            for spec in args.machines:
+                resolve_machine(spec)
+        except UnknownMachineError as error:
+            print(f"error: unknown machine {error.spec!r}; known machines: "
+                  f"{', '.join(error.known)}", file=sys.stderr)
+            return 2
+
+    steps = _steps(apps, args.machines)
     if args.only:
         all_slugs = [_slug(label) for label, _runner in steps]
         steps = [s for s in steps if _matches(args.only, s[0])]

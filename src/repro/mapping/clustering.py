@@ -73,7 +73,9 @@ def cluster_weighted(
     targets = [total * w / wsum for w in weights]
     # Deterministic matching: heaviest cluster takes the heaviest target.
     slot_order = sorted(range(k), key=lambda i: (-targets[i], i))
-    by_size = sorted(result, key=lambda c: (-c.size, min(g.ident for g in c.groups)))
+    by_size = sorted(
+        result, key=lambda c: (-c.size, min((g.ident for g in c.groups), default=-1))
+    )
     slots: list[Cluster] = [None] * k  # type: ignore[list-item]
     for slot_index, cluster in zip(slot_order, by_size):
         slots[slot_index] = cluster
@@ -89,8 +91,10 @@ def _cluster_to_k(
         raise MappingError("cluster count must be positive")
     clusters: list[Cluster | None] = [Cluster([g]) for g in groups]
     alive = len(clusters)
-    if alive < k and not groups:
-        raise MappingError("cannot cluster an empty group list")
+    if not clusters:
+        # No groups at all (an already-empty branch of the descent): every
+        # cluster is empty and the cores below it idle.
+        return [Cluster() for _ in range(k)]
 
     # Merging only ORs tags together, so the widest input tag bounds every
     # cluster tag ever formed — the lane budget can be checked up front.
@@ -184,20 +188,22 @@ def _cluster_to_k(
     result = [c for c in clusters if c is not None]
 
     while len(result) < k:
-        obs.count("cluster.splits")
         result.sort(key=lambda c: -c.size)
         big = result[0]
         if len(big.groups) >= 2:
             first, second = _split_cluster(big)
         else:
-            group = big.groups[0]
-            if group.size < 2:
-                raise MappingError(
-                    f"cannot form {k} clusters from "
-                    f"{sum(c.size for c in result)} iterations"
-                )
+            group = big.groups[0] if big.groups else None
+            if group is None or group.size < 2:
+                # Nothing left to split: fewer iterations than clusters.
+                # Pad with empty clusters — the surplus cores idle — so a
+                # degenerate (but legal) tiny nest still maps.
+                obs.count("cluster.idle_padding", k - len(result))
+                result.extend(Cluster() for _ in range(k - len(result)))
+                break
             left, right = group.split(group.size // 2)
             first, second = Cluster([left]), Cluster([right])
+        obs.count("cluster.splits")
         result.remove(big)
         result.extend([first, second])
 

@@ -204,9 +204,9 @@ def _parse_edit_machine(raw: dict) -> Machine:
     else:
         if not isinstance(name, str):
             raise RemapError("'machine' must be a name string")
-        from repro.topology.machines import machine_by_name
+        from repro.topology.resolve import resolve_machine
 
-        machine = machine_by_name(name)
+        machine = resolve_machine(name)
     scale = raw.get("scale")
     if scale is not None:
         if not isinstance(scale, (int, float)) or scale <= 0:

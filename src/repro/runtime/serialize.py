@@ -64,6 +64,87 @@ def _machine_fingerprint(machine: Machine) -> dict:
     }
 
 
+#: Format tag for serialized machines (``repro topo ingest --json``).
+MACHINE_FORMAT_VERSION = 1
+
+
+def machine_to_dict(machine: Machine) -> dict:
+    """The full machine tree as a plain JSON-serializable dict.
+
+    Unlike :func:`_machine_fingerprint` (a summary for validation) this
+    is lossless: :func:`machine_from_dict` rebuilds an equal tree, so an
+    ingested topology can be archived next to the plans mapped on it.
+    """
+
+    def node(n) -> dict:
+        if n.kind == "core":
+            return {"kind": "core", "core_id": n.core_id}
+        out: dict = {"kind": n.kind}
+        if n.kind == "cache":
+            out["spec"] = {
+                "level": n.spec.level,
+                "size_bytes": n.spec.size_bytes,
+                "associativity": n.spec.associativity,
+                "line_size": n.spec.line_size,
+                "latency": n.spec.latency,
+            }
+        out["children"] = [node(child) for child in n.children]
+        return out
+
+    return {
+        "format": MACHINE_FORMAT_VERSION,
+        "name": machine.name,
+        "clock_ghz": machine.clock_ghz,
+        "memory_latency": machine.memory_latency,
+        "sockets": machine.sockets,
+        "root": node(machine.root),
+    }
+
+
+def machine_from_dict(payload: dict) -> Machine:
+    """Rebuild a :class:`Machine` serialized by :func:`machine_to_dict`."""
+    from repro.topology.cache import CacheSpec
+    from repro.topology.tree import TopologyNode
+
+    if not isinstance(payload, dict) or "root" not in payload:
+        raise SimulationError("machine payload: missing 'root'")
+    version = payload.get("format", MACHINE_FORMAT_VERSION)
+    if version != MACHINE_FORMAT_VERSION:
+        raise SimulationError(f"machine payload: unsupported format {version!r}")
+
+    def node(raw: dict) -> TopologyNode:
+        kind = raw.get("kind")
+        if kind == "core":
+            return TopologyNode.core(int(raw["core_id"]))
+        children = [node(child) for child in raw.get("children", ())]
+        if kind == "cache":
+            spec = raw.get("spec") or {}
+            return TopologyNode.cache(
+                CacheSpec(
+                    level=str(spec["level"]),
+                    size_bytes=int(spec["size_bytes"]),
+                    associativity=int(spec["associativity"]),
+                    line_size=int(spec["line_size"]),
+                    latency=int(spec["latency"]),
+                ),
+                children,
+            )
+        if kind == "memory":
+            return TopologyNode.memory(children)
+        raise SimulationError(f"machine payload: unknown node kind {kind!r}")
+
+    try:
+        return Machine(
+            name=str(payload.get("name", "machine")),
+            clock_ghz=float(payload.get("clock_ghz", 1.0)),
+            memory_latency=int(payload.get("memory_latency", 1)),
+            root=node(payload["root"]),
+            sockets=int(payload.get("sockets", 1)),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise SimulationError(f"machine payload: {error}") from None
+
+
 def plan_to_dict(plan: ExecutablePlan) -> dict:
     """The plan as a plain JSON-serializable dict (rounds of iteration
     tuples + fingerprints); :func:`plan_to_json` is its dumped form."""

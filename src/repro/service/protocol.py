@@ -25,7 +25,6 @@ from repro.ir.loops import LoopNest, Program
 from repro.lang import compile_source
 from repro.pipeline.knobs import Knobs
 from repro.runtime.serialize import program_digest, program_from_dict
-from repro.topology.machines import machine_by_name
 from repro.topology.tree import Machine
 
 __all__ = [
@@ -193,7 +192,9 @@ def _parse_machine(payload: dict) -> Machine:
         if name is not None:
             if not isinstance(name, str):
                 raise BadRequest("'machine' must be a machine name")
-            machine = machine_by_name(name)
+            from repro.topology.resolve import resolve_machine
+
+            machine = resolve_machine(name)
         else:
             if not isinstance(spec, str):
                 raise BadRequest("'topology' must be a topology spec string")

@@ -1,0 +1,74 @@
+"""Real-hardware topology ingestion.
+
+Three stages, deliberately separated:
+
+* loaders (:mod:`.sysfs`, :mod:`.lscpu`) read a source faithfully into a
+  :class:`~repro.topology.ingest.raw.RawTopology` — hardware-thread ids,
+  per-instance sharing sets, nothing invented;
+* the normalizer (:mod:`.normalize`) applies policy — SMT folding,
+  latency defaults, geometry repair, tree validation — and emits the
+  mapper's :class:`~repro.topology.tree.Machine`;
+* the zoo (:mod:`.zoo`) is the committed fixture corpus behind
+  ``--machine zoo:<name>``.
+
+The two convenience entry points bundle load+normalize::
+
+    machine = ingest_sysfs("/sys")                   # live machine
+    machine = ingest_sysfs("dump.tar.gz")            # fixture archive
+    machine = ingest_lscpu("lscpu.json")             # saved lscpu -J
+"""
+
+from __future__ import annotations
+
+from repro.topology.ingest.lscpu import cross_validate, load_lscpu, parse_lscpu_text
+from repro.topology.ingest.normalize import (
+    NormalizeOptions,
+    SMT_POLICIES,
+    default_latency,
+    normalize,
+)
+from repro.topology.ingest.raw import (
+    RawCache,
+    RawTopology,
+    parse_cpu_list,
+    parse_cpu_mask,
+    parse_size,
+)
+from repro.topology.ingest.sysfs import load_sysfs
+from repro.topology.ingest.zoo import ZooEntry, zoo_dir, zoo_entries, zoo_machine, zoo_names
+from repro.topology.tree import Machine
+
+
+def ingest_sysfs(path: str, options: NormalizeOptions | None = None) -> Machine:
+    """Load a sysfs tree (live, copied, or tarred) and normalize it."""
+    return normalize(load_sysfs(path), options)
+
+
+def ingest_lscpu(path: str, options: NormalizeOptions | None = None) -> Machine:
+    """Load a saved ``lscpu -J`` document and normalize it."""
+    return normalize(load_lscpu(path), options)
+
+
+__all__ = [
+    "Machine",
+    "NormalizeOptions",
+    "RawCache",
+    "RawTopology",
+    "SMT_POLICIES",
+    "ZooEntry",
+    "cross_validate",
+    "default_latency",
+    "ingest_lscpu",
+    "ingest_sysfs",
+    "load_lscpu",
+    "load_sysfs",
+    "normalize",
+    "parse_cpu_list",
+    "parse_cpu_mask",
+    "parse_lscpu_text",
+    "parse_size",
+    "zoo_dir",
+    "zoo_entries",
+    "zoo_machine",
+    "zoo_names",
+]

@@ -1,0 +1,228 @@
+"""Load ``lscpu -J`` output into a :class:`RawTopology`.
+
+``lscpu`` reports *aggregate* geometry — counts per socket, total cache
+capacity per level with an instance count — not a per-cpu sharing map.
+The loader therefore reconstructs a **uniform** topology from the
+counts: cpus are split into equal consecutive blocks per socket, SMT
+siblings are consecutive blocks per core, and each cache level's
+instances divide the cpus evenly.  That is correct for the symmetric
+servers lscpu is usually run on and explicitly approximate for anything
+asymmetric — which is why sysfs is the primary source and lscpu mainly
+serves :func:`cross_validate`.
+
+Accepted input is the JSON document ``lscpu -J`` prints: a top-level
+``{"lscpu": [...]}`` list of ``{"field": ..., "data": ...}`` entries,
+optionally nested under ``children`` (newer util-linux releases).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro import obs
+from repro.errors import TopologyError
+from repro.topology.ingest.raw import (
+    RawCache,
+    RawTopology,
+    parse_cpu_list,
+    parse_size,
+)
+
+_CACHE_FIELD = re.compile(r"^L(\d+)([di]?) cache$", re.IGNORECASE)
+_INSTANCES = re.compile(r"^(.*?)\s*\((\d+)\s+instances?\)\s*$")
+_MODEL_GHZ = re.compile(r"@\s*(\d+(?:\.\d+)?)\s*GHz", re.IGNORECASE)
+
+
+def _flatten(entries, fields: dict[str, str]) -> None:
+    for entry in entries:
+        field = str(entry.get("field", "")).strip().rstrip(":")
+        data = entry.get("data")
+        if field and data is not None and field not in fields:
+            fields[field] = str(data)
+        children = entry.get("children")
+        if children:
+            _flatten(children, fields)
+
+
+def parse_lscpu_json(text: str, source: str = "lscpu") -> dict[str, str]:
+    """The flattened ``field -> data`` table from an ``lscpu -J`` document."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise TopologyError(f"{source}: not valid JSON: {error}") from None
+    entries = document.get("lscpu") if isinstance(document, dict) else None
+    if not isinstance(entries, list):
+        raise TopologyError(f"{source}: missing top-level 'lscpu' list")
+    fields: dict[str, str] = {}
+    _flatten(entries, fields)
+    if not fields:
+        raise TopologyError(f"{source}: no field entries")
+    return fields
+
+
+def _int_field(fields: dict[str, str], name: str, default: int | None = None) -> int | None:
+    text = fields.get(name)
+    if text is None:
+        return default
+    try:
+        return int(text.strip())
+    except ValueError:
+        raise TopologyError(f"lscpu field {name!r}: malformed integer {text!r}") from None
+
+
+def _cache_entries(fields: dict[str, str]) -> list[tuple[int, str, int, int]]:
+    """``(level, type, per_instance_bytes, instances)`` from the cache rows."""
+    out = []
+    for field, data in fields.items():
+        m = _CACHE_FIELD.match(field)
+        if not m:
+            continue
+        level = int(m.group(1))
+        suffix = m.group(2).lower()
+        if suffix == "i":
+            obs.count("topology.ingest.icache_dropped")
+            continue
+        ctype = "Data" if suffix == "d" else "Unified"
+        text, instances = data, 1
+        inst = _INSTANCES.match(data)
+        if inst:
+            text, instances = inst.group(1), int(inst.group(2))
+        total = parse_size(text, what=f"lscpu {field}")
+        instances = max(1, instances)
+        out.append((level, ctype, max(1, total // instances), instances))
+    return sorted(out)
+
+
+def _clock_ghz(fields: dict[str, str]) -> float | None:
+    model = fields.get("Model name", "")
+    m = _MODEL_GHZ.search(model)
+    if m:
+        return float(m.group(1))
+    for name in ("CPU max MHz", "CPU MHz"):
+        text = fields.get(name)
+        if text:
+            try:
+                return round(float(text) / 1000.0, 3)
+            except ValueError:
+                continue
+    return None
+
+
+def _blocks(cpus: list[int], count: int) -> list[frozenset[int]]:
+    """Split cpus into ``count`` equal consecutive blocks (uniform guess)."""
+    if count <= 0 or len(cpus) % count:
+        return [frozenset(cpus)]
+    per = len(cpus) // count
+    return [frozenset(cpus[k : k + per]) for k in range(0, len(cpus), per)]
+
+
+def load_lscpu(path: str) -> RawTopology:
+    """Parse a saved ``lscpu -J`` document into a RawTopology."""
+    with obs.span("topology.ingest.lscpu", path=path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as error:
+            raise TopologyError(f"cannot read lscpu dump {path!r}: {error}") from None
+        return parse_lscpu_text(text, source=f"lscpu:{path}")
+
+
+def parse_lscpu_text(text: str, source: str = "lscpu") -> RawTopology:
+    fields = parse_lscpu_json(text, source)
+
+    ncpus = _int_field(fields, "CPU(s)")
+    online_text = fields.get("On-line CPU(s) list")
+    if online_text is not None:
+        cpus = sorted(parse_cpu_list(online_text, what="On-line CPU(s) list"))
+    elif ncpus:
+        cpus = list(range(ncpus))
+    else:
+        raise TopologyError(f"{source}: neither 'CPU(s)' nor an online list present")
+    if not cpus:
+        raise TopologyError(f"{source}: no online cpus")
+    obs.count("topology.ingest.cpus", len(cpus))
+
+    threads = _int_field(fields, "Thread(s) per core", 1) or 1
+    cores_per_socket = _int_field(fields, "Core(s) per socket", 0) or 0
+    sockets = _int_field(fields, "Socket(s)", 1) or 1
+
+    packages = {
+        pkg: block for pkg, block in enumerate(_blocks(cpus, sockets))
+    }
+    siblings: dict[int, frozenset[int]] = {}
+    if threads > 1 and len(cpus) % threads == 0:
+        for block in _blocks(cpus, len(cpus) // threads):
+            for cpu in block:
+                siblings[cpu] = block
+    else:
+        for cpu in cpus:
+            siblings[cpu] = frozenset((cpu,))
+
+    caches = []
+    for level, ctype, size, instances in _cache_entries(fields):
+        for block in _blocks(cpus, instances):
+            caches.append(
+                RawCache(level=level, type=ctype, size_bytes=size, shared_cpus=block)
+            )
+    obs.count("topology.ingest.caches", len(caches))
+
+    raw = RawTopology(
+        source=source,
+        cpus=tuple(cpus),
+        packages=packages,
+        core_siblings=siblings,
+        caches=tuple(caches),
+        clock_ghz=_clock_ghz(fields),
+    )
+    raw.validate()
+    # Record the uniform reconstruction so reports can flag it.
+    if cores_per_socket and sockets and threads:
+        expected = cores_per_socket * sockets * threads
+        if expected != len(cpus):
+            obs.count("topology.ingest.lscpu_count_mismatch")
+    return raw
+
+
+def cross_validate(sysfs: RawTopology, lscpu: RawTopology) -> list[str]:
+    """Compare a sysfs topology against an lscpu one; return discrepancies.
+
+    A different cpu count is a hard error (the two dumps describe
+    different machines); weaker disagreements — per-level capacity,
+    package count, clock — come back as human-readable strings for the
+    caller to print.  An empty list means the sources agree.
+    """
+    if len(sysfs.cpus) != len(lscpu.cpus):
+        raise TopologyError(
+            f"cross-validation failed: {sysfs.source} has {len(sysfs.cpus)} "
+            f"online cpus but {lscpu.source} has {len(lscpu.cpus)}"
+        )
+    issues: list[str] = []
+    if set(sysfs.cpus) != set(lscpu.cpus):
+        issues.append(
+            f"cpu id sets differ: sysfs {sorted(sysfs.cpus)} vs "
+            f"lscpu {sorted(lscpu.cpus)}"
+        )
+    if len(sysfs.packages) != len(lscpu.packages):
+        issues.append(
+            f"package counts differ: sysfs {len(sysfs.packages)} vs "
+            f"lscpu {len(lscpu.packages)}"
+        )
+    sys_bytes = sysfs.level_bytes()
+    ls_bytes = lscpu.level_bytes()
+    for level in sorted(set(sys_bytes) | set(ls_bytes)):
+        a, b = sys_bytes.get(level), ls_bytes.get(level)
+        if a is None or b is None:
+            issues.append(
+                f"L{level} present only in {'sysfs' if b is None else 'lscpu'}"
+            )
+        elif a != b:
+            # Tolerate < 1% slack (lscpu rounds to whole KiB/MiB).
+            if abs(a - b) * 100 > max(a, b):
+                issues.append(
+                    f"L{level} total capacity differs: sysfs {a} bytes vs "
+                    f"lscpu {b} bytes"
+                )
+    if issues:
+        obs.count("topology.ingest.crosscheck_issues", len(issues))
+    return issues

@@ -1,0 +1,370 @@
+"""Turn a :class:`RawTopology` into the mapper's :class:`Machine`.
+
+Real dumps differ from the hand-written machine library in four ways the
+normalizer has to absorb:
+
+* **SMT** — hardware threads are not cores.  The ``smt_policy`` knob
+  picks between folding each sibling set into one logical core
+  (``"merge"``, the default — the paper's machines are thread-per-core)
+  and modelling every hardware thread as a core that shares its L1 with
+  its siblings (``"threads"``).
+* **Geometry gaps** — dumps carry sizes but rarely timings, sometimes no
+  associativity, and occasionally sizes that violate the library's
+  power-of-two line invariants.  Missing values get documented defaults
+  (see ``docs/TOPOLOGY.md``); impossible ones are *adjusted* (and
+  counted), never fatal.
+* **Numbering** — cpu ids may be holey (``0-5,8-13``) and offline cpus
+  absent.  Leaves are renumbered ``0..n-1`` in deterministic tree order,
+  the invariant every mapper query relies on.
+* **Shape** — the sharing sets must form a tree (a *laminar family*).
+  A dump where two caches overlap without nesting is rejected with a
+  precise :class:`TopologyError`; it cannot be mapped.
+
+The output is deterministic: the same raw topology always yields the
+same tree, child order, and core numbering, so fixture digests are
+stable.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+from repro import obs
+from repro.errors import TopologyError
+from repro.topology.cache import CacheSpec
+from repro.topology.ingest.raw import RawCache, RawTopology
+from repro.topology.tree import Machine, TopologyNode
+
+KB = 1024
+MB = 1024 * KB
+
+#: SMT sibling folding policies.
+SMT_POLICIES = ("merge", "threads")
+
+#: Default access latency (core cycles) per cache level, for dumps that
+#: carry no timing.  Values sit inside the ranges of the paper's Table 1
+#: machines; sizes far from the reference adjust them (see
+#: :func:`default_latency`).
+BASE_LATENCY = {1: 4, 2: 12, 3: 30, 4: 45, 5: 55}
+
+#: Reference capacity per level for the size adjustment.
+REFERENCE_BYTES = {1: 32 * KB, 2: 512 * KB, 3: 8 * MB, 4: 16 * MB, 5: 32 * MB}
+
+DEFAULT_LINE_SIZE = 64
+DEFAULT_CLOCK_GHZ = 2.0
+DEFAULT_MEMORY_NS = 100.0
+
+
+@dataclass(frozen=True)
+class NormalizeOptions:
+    """Policy knobs for :func:`normalize`.
+
+    ``memory_latency`` (cycles) wins over ``memory_latency_ns`` (which
+    is converted at the machine's clock); both model the off-chip
+    access the dump cannot describe.
+    """
+
+    smt_policy: str = "merge"
+    name: str | None = None
+    clock_ghz: float | None = None
+    memory_latency: int | None = None
+    memory_latency_ns: float = DEFAULT_MEMORY_NS
+
+    def __post_init__(self) -> None:
+        if self.smt_policy not in SMT_POLICIES:
+            raise TopologyError(
+                f"unknown smt policy {self.smt_policy!r}; known: {SMT_POLICIES}"
+            )
+        if self.memory_latency is not None and self.memory_latency <= 0:
+            raise TopologyError("memory latency must be positive")
+        if self.memory_latency_ns <= 0:
+            raise TopologyError("memory latency (ns) must be positive")
+
+
+def default_latency(level: int, size_bytes: int) -> int:
+    """Latency default for a cache the dump gave no timing for.
+
+    Base value per level, plus two cycles per doubling above the
+    reference capacity (minus two per halving, floored at half the
+    base): a 105 MB L3 should not be modelled as fast as an 8 MB one.
+    """
+    base = BASE_LATENCY.get(level, 55 + 12 * max(0, level - 5))
+    ref = REFERENCE_BYTES.get(level, 32 * MB << max(0, (level - 5) * 2))
+    delta = int(round(2 * math.log2(size_bytes / ref)))
+    return max(1, max(base // 2, base + delta))
+
+
+def _pick_line_size(line: int | None) -> int:
+    if line is not None and line > 0 and not (line & (line - 1)):
+        return line
+    if line is not None:
+        obs.count("topology.ingest.line_defaulted")
+    return DEFAULT_LINE_SIZE
+
+
+def _pick_ways(lines: int, ways: int | None) -> int:
+    # ways == 0 is the kernel's encoding of a fully-associative cache.
+    if ways == 0:
+        return lines
+    if ways is not None and ways > 0 and lines % ways == 0:
+        return ways
+    if ways is not None:
+        obs.count("topology.ingest.ways_adjusted")
+    for candidate in (16, 12, 8, 4, 2, 1):
+        if lines % candidate == 0:
+            return candidate
+    return 1
+
+
+def _cache_spec(cache: RawCache, latency: int) -> CacheSpec:
+    line = _pick_line_size(cache.line_size)
+    size = cache.size_bytes
+    if size % line:
+        # Real machines report sizes like 107520K that are still
+        # line-aligned; anything that is not gets rounded down so the
+        # geometry invariants hold.  The loss is < one line.
+        size = max(line, size - size % line)
+        obs.count("topology.ingest.size_adjusted")
+    return CacheSpec(
+        level=f"L{cache.level}",
+        size_bytes=size,
+        associativity=_pick_ways(size // line, cache.ways),
+        line_size=line,
+        latency=latency,
+    )
+
+
+def _sibling_groups(raw: RawTopology) -> dict[int, frozenset[int]]:
+    """cpu -> its full SMT sibling group, transitively closed.
+
+    Kernel sibling files are usually consistent, but a dump edited by
+    hand (or taken mid-hotplug) may say ``{a,b}`` on a and ``{b,c}`` on
+    b; union-find makes the groups well defined either way.
+    """
+    parent: dict[int, int] = {cpu: cpu for cpu in raw.cpus}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    online = set(raw.cpus)
+    for cpu, siblings in raw.core_siblings.items():
+        if cpu not in online:
+            continue
+        for sib in siblings & online:
+            parent[find(sib)] = find(cpu)
+    groups: dict[int, set[int]] = {}
+    for cpu in raw.cpus:
+        groups.setdefault(find(cpu), set()).add(cpu)
+    return {cpu: frozenset(groups[find(cpu)]) for cpu in raw.cpus}
+
+
+def _collapse_caches(
+    raw: RawTopology, cpu_map: dict[int, int]
+) -> list[tuple[int, frozenset[int], RawCache]]:
+    """Project caches through the SMT folding and collapse duplicates.
+
+    Returns ``(level, logical_cpu_set, raw_cache)`` entries with one
+    entry per (level, set).  When a split L1 leaves both a Data and a
+    Unified instance on the same set, the Data one wins (the paper's
+    model is a data-cache hierarchy) and the collapse is counted.
+    """
+    chosen: dict[tuple[int, frozenset[int]], RawCache] = {}
+    for cache in raw.caches:
+        mapped = frozenset(cpu_map[c] for c in cache.shared_cpus if c in cpu_map)
+        if not mapped:
+            continue
+        key = (cache.level, mapped)
+        existing = chosen.get(key)
+        if existing is None:
+            chosen[key] = cache
+        elif existing.type != cache.type:
+            obs.count("topology.ingest.type_collapsed")
+            if cache.type == "Data":
+                chosen[key] = cache
+        elif existing.size_bytes != cache.size_bytes:
+            raise TopologyError(
+                f"{raw.source}: conflicting sizes for L{cache.level} over "
+                f"cpus {sorted(mapped)}: {existing.size_bytes} vs {cache.size_bytes}"
+            )
+    return [(level, cpus, cache) for (level, cpus), cache in sorted(
+        chosen.items(), key=lambda kv: (kv[0][0], min(kv[0][1]))
+    )]
+
+
+def _check_laminar(
+    source: str, entries: list[tuple[int, frozenset[int], RawCache]]
+) -> None:
+    """Reject sharing maps that do not form a tree.
+
+    Every pair of cache cpu-sets must be disjoint or nested; two caches
+    at the *same* level must be disjoint outright (same-level nesting
+    would mean a cpu behind two different caches of one level).
+    """
+    for i, (level_a, set_a, cache_a) in enumerate(entries):
+        for level_b, set_b, cache_b in entries[i + 1 :]:
+            common = set_a & set_b
+            if not common:
+                continue
+            if level_a == level_b:
+                raise TopologyError(
+                    f"{source}: non-tree sharing map: {cache_a.describe()} and "
+                    f"{cache_b.describe()} are both L{level_a} but overlap on "
+                    f"cpus {sorted(common)}"
+                )
+            if not (set_a <= set_b or set_b <= set_a):
+                raise TopologyError(
+                    f"{source}: non-tree sharing map: {cache_a.describe()} and "
+                    f"{cache_b.describe()} overlap on cpus {sorted(common)} "
+                    f"without nesting"
+                )
+            if level_a < level_b and not set_a <= set_b:
+                raise TopologyError(
+                    f"{source}: inverted sharing map: L{level_a} "
+                    f"{sorted(set_a)} is wider than enclosing L{level_b} "
+                    f"{sorted(set_b)}"
+                )
+
+
+def _sanitize_name(text: str) -> str:
+    text = re.sub(r"[^A-Za-z0-9_.:-]+", "-", text).strip("-")
+    return text or "ingested"
+
+
+def normalize(raw: RawTopology, options: NormalizeOptions | None = None) -> Machine:
+    """Build a mappable :class:`Machine` from a raw dump."""
+    options = options or NormalizeOptions()
+    with obs.span("topology.ingest.normalize", source=raw.source,
+                  smt=options.smt_policy):
+        raw.validate()
+        siblings = _sibling_groups(raw)
+
+        if options.smt_policy == "merge":
+            # One logical core per sibling group, represented by its
+            # smallest hardware-thread id.
+            cpu_map = {cpu: min(group) for cpu, group in siblings.items()}
+            folded = len(raw.cpus) - len(set(cpu_map.values()))
+            if folded:
+                obs.count("topology.ingest.smt_folded", folded)
+        else:
+            cpu_map = {cpu: cpu for cpu in raw.cpus}
+
+        logical = sorted(set(cpu_map.values()))
+        entries = _collapse_caches(raw, cpu_map)
+        _check_laminar(raw.source, entries)
+
+        clock = options.clock_ghz or raw.clock_ghz
+        if clock is None:
+            clock = DEFAULT_CLOCK_GHZ
+            obs.count("topology.ingest.clock_defaulted")
+
+        machine = _build_machine(raw, options, logical, entries, clock)
+        obs.count("topology.ingest.machines")
+        return machine
+
+
+def _build_machine(
+    raw: RawTopology,
+    options: NormalizeOptions,
+    logical: list[int],
+    entries: list[tuple[int, frozenset[int], RawCache]],
+    clock: float,
+) -> Machine:
+    # Containment forest over the laminar family: each cache's parent is
+    # the smallest strictly-enclosing cache (ties broken by level, so a
+    # same-set L3 encloses a same-set L2).
+    order = {id(e): (len(e[1]), e[0]) for e in entries}
+    parents: dict[int, tuple | None] = {}
+    for entry in entries:
+        best = None
+        for other in entries:
+            if other is entry:
+                continue
+            if entry[1] <= other[1] and order[id(other)] > order[id(entry)]:
+                if best is None or order[id(other)] < order[id(best)]:
+                    best = other
+        parents[id(entry)] = best
+
+    children: dict[int | None, list] = {}
+    for entry in entries:
+        parent = parents[id(entry)]
+        children.setdefault(None if parent is None else id(parent), []).append(entry)
+
+    # Each logical core hangs off the smallest cache containing it.
+    core_parent: dict[int, tuple | None] = {}
+    for core in logical:
+        best = None
+        for entry in entries:
+            if core in entry[1] and (best is None or order[id(entry)] < order[id(best)]):
+                best = entry
+        core_parent[core] = best
+
+    core_numbers: dict[int, int] = {}
+
+    def build(entry) -> TopologyNode:
+        level, cpus, cache = entry
+        kids: list[tuple[int, object]] = []
+        for child in children.get(id(entry), ()):
+            kids.append((min(child[1]), child))
+        for core in logical:
+            if core_parent[core] is entry:
+                kids.append((core, core))
+        kids.sort(key=lambda item: item[0])
+        built: list[TopologyNode] = []
+        latency = default_latency(level, cache.size_bytes)
+        for _, kid in kids:
+            if isinstance(kid, int):
+                core_numbers[kid] = len(core_numbers)
+                built.append(TopologyNode.core(core_numbers[kid]))
+            else:
+                node = build(kid)
+                # Latency must grow strictly up the tree even when the
+                # per-level defaults collide (unusual size ratios).
+                deepest = max(
+                    (n.spec.latency for n in node.walk() if n.kind == "cache"),
+                    default=0,
+                )
+                latency = max(latency, deepest + 1)
+                built.append(node)
+        return TopologyNode.cache(_cache_spec(cache, latency), built)
+
+    tops: list[tuple[int, object]] = [
+        (min(entry[1]), entry) for entry in children.get(None, ())
+    ]
+    tops.extend((core, core) for core in logical if core_parent[core] is None)
+    tops.sort(key=lambda item: item[0])
+    roots: list[TopologyNode] = []
+    for _, top in tops:
+        if isinstance(top, int):
+            core_numbers[top] = len(core_numbers)
+            roots.append(TopologyNode.core(core_numbers[top]))
+        else:
+            roots.append(build(top))
+
+    if len(roots) == 1 and roots[0].kind == "cache":
+        root = roots[0]
+    else:
+        root = TopologyNode.memory(roots)
+
+    max_cache_latency = max(
+        (n.spec.latency for n in root.walk() if n.kind == "cache"), default=0
+    )
+    memory_latency = options.memory_latency
+    if memory_latency is None:
+        memory_latency = max(1, int(round(options.memory_latency_ns * clock)))
+    if memory_latency <= max_cache_latency:
+        memory_latency = max_cache_latency + 1
+        obs.count("topology.ingest.memory_latency_raised")
+
+    name = options.name or _sanitize_name(raw.source.split(":", 1)[-1].rsplit("/", 1)[-1])
+    return Machine(
+        name=name,
+        clock_ghz=clock,
+        memory_latency=memory_latency,
+        root=root,
+        sockets=max(1, len(raw.packages)),
+    )

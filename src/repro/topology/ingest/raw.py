@@ -1,0 +1,165 @@
+"""Raw, source-shaped topology descriptions.
+
+Both loaders (:mod:`repro.topology.ingest.sysfs` and
+:mod:`repro.topology.ingest.lscpu`) parse their input into the same
+intermediate form — :class:`RawTopology` — which still speaks in
+*hardware thread ids* and per-instance sharing sets, exactly as the
+kernel reports them.  The normalizer
+(:mod:`repro.topology.ingest.normalize`) is the only place that turns
+this into the mapper's :class:`~repro.topology.tree.Machine`.
+
+The split keeps each loader dumb and testable: a loader's job is only
+to read files faithfully (holey cpu numbering, offline cpus, split
+L1i/L1d, missing attributes), never to decide topology policy.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+
+#: Cache ``type`` values sysfs can report; anything else is rejected.
+CACHE_TYPES = ("Data", "Instruction", "Unified")
+
+
+def parse_cpu_list(text: str, what: str = "cpu list") -> frozenset[int]:
+    """Parse a kernel cpu-list string (``"0-3,8,10-11"``) into a set.
+
+    The empty string is an empty set (sysfs uses it for "no cpus").
+    """
+    cpus: set[int] = set()
+    text = text.strip()
+    if not text:
+        return frozenset()
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        m = re.fullmatch(r"(\d+)(?:-(\d+))?", chunk)
+        if not m:
+            raise TopologyError(f"malformed {what} {text!r}: bad range {chunk!r}")
+        lo = int(m.group(1))
+        hi = int(m.group(2)) if m.group(2) is not None else lo
+        if hi < lo:
+            raise TopologyError(f"malformed {what} {text!r}: range {chunk!r} is reversed")
+        cpus.update(range(lo, hi + 1))
+    return frozenset(cpus)
+
+
+def parse_cpu_mask(text: str, what: str = "cpu mask") -> frozenset[int]:
+    """Parse a kernel hex cpumask (``"ff"``, ``"3,00000000"``) into a set."""
+    text = text.strip().replace(",", "")
+    if not text:
+        return frozenset()
+    try:
+        value = int(text, 16)
+    except ValueError:
+        raise TopologyError(f"malformed {what} {text!r}") from None
+    return frozenset(i for i in range(value.bit_length()) if value >> i & 1)
+
+
+def parse_size(text: str, what: str = "cache size") -> int:
+    """Parse a size string (``"32K"``, ``"6144K"``, ``"1M"``, ``"48 KiB"``)."""
+    m = re.fullmatch(
+        r"\s*(\d+(?:\.\d+)?)\s*([KMG]i?B?)?\s*", text, flags=re.IGNORECASE
+    )
+    if not m:
+        raise TopologyError(f"malformed {what} {text!r}")
+    value = float(m.group(1))
+    unit = (m.group(2) or "").upper().rstrip("B").rstrip("I")
+    factor = {"": 1, "K": 1024, "M": 1024**2, "G": 1024**3}[unit]
+    size = int(value * factor)
+    if size <= 0:
+        raise TopologyError(f"non-positive {what} {text!r}")
+    return size
+
+
+@dataclass(frozen=True)
+class RawCache:
+    """One physical cache instance as the source reported it.
+
+    ``shared_cpus`` holds *hardware thread* ids.  ``line_size`` and
+    ``ways`` are ``None`` when the dump lacks them (the normalizer
+    substitutes defaults); ``ways == 0`` is the kernel's encoding of a
+    fully-associative cache.
+    """
+
+    level: int
+    type: str
+    size_bytes: int
+    shared_cpus: frozenset[int]
+    line_size: int | None = None
+    ways: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.level < 1:
+            raise TopologyError(f"cache level must be >= 1, got {self.level}")
+        if self.type not in CACHE_TYPES:
+            raise TopologyError(
+                f"unknown cache type {self.type!r}; known: {CACHE_TYPES}"
+            )
+        if self.size_bytes <= 0:
+            raise TopologyError(f"L{self.level}: non-positive size {self.size_bytes}")
+        if not self.shared_cpus:
+            raise TopologyError(f"L{self.level}: cache shared by no cpus")
+
+    def describe(self) -> str:
+        cpus = ",".join(str(c) for c in sorted(self.shared_cpus))
+        return f"L{self.level} {self.type} {self.size_bytes}B cpus[{cpus}]"
+
+
+@dataclass
+class RawTopology:
+    """What a loader saw: hardware threads, sibling sets, cache instances.
+
+    * ``cpus`` — online hardware-thread ids, possibly holey (``0-5,8-13``);
+    * ``offline`` — ids that exist in the dump but are offline;
+    * ``packages`` — physical package id -> online cpus in it;
+    * ``core_siblings`` — cpu -> SMT sibling set (always contains the
+      cpu itself; singleton when there is no SMT);
+    * ``caches`` — deduplicated cache instances (Instruction caches are
+      already dropped by the loaders, with a counter);
+    * ``clock_ghz`` — when the source states one (lscpu model names do).
+    """
+
+    source: str
+    cpus: tuple[int, ...]
+    offline: tuple[int, ...] = ()
+    packages: dict[int, frozenset[int]] = field(default_factory=dict)
+    core_siblings: dict[int, frozenset[int]] = field(default_factory=dict)
+    caches: tuple[RawCache, ...] = ()
+    clock_ghz: float | None = None
+
+    def validate(self) -> None:
+        """Source-independent sanity checks, before any normalization."""
+        if not self.cpus:
+            raise TopologyError(f"{self.source}: no online cpus")
+        online = set(self.cpus)
+        if len(self.cpus) != len(online):
+            raise TopologyError(f"{self.source}: duplicate cpu ids")
+        if online & set(self.offline):
+            raise TopologyError(f"{self.source}: cpus both online and offline")
+        for cpu, siblings in self.core_siblings.items():
+            if cpu not in siblings:
+                raise TopologyError(
+                    f"{self.source}: cpu{cpu} missing from its own sibling set"
+                )
+        for cache in self.caches:
+            stray = cache.shared_cpus - online
+            if stray:
+                raise TopologyError(
+                    f"{self.source}: {cache.describe()} names offline/unknown "
+                    f"cpus {sorted(stray)}"
+                )
+
+    def levels(self) -> tuple[int, ...]:
+        return tuple(sorted({c.level for c in self.caches}))
+
+    def level_bytes(self) -> dict[int, int]:
+        """Total capacity per level (Data+Unified), for cross-validation."""
+        totals: dict[int, int] = {}
+        for cache in self.caches:
+            totals[cache.level] = totals.get(cache.level, 0) + cache.size_bytes
+        return totals

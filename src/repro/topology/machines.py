@@ -133,14 +133,23 @@ _REGISTRY = {
 }
 
 
+_REGISTRY_FOLDED = {name.lower(): builder for name, builder in _REGISTRY.items()}
+
+
+def builtin_names() -> tuple[str, ...]:
+    """The builtin machine names, in registry order."""
+    return tuple(_REGISTRY)
+
+
 def machine_by_name(name: str) -> Machine:
-    """Look up a machine builder by name."""
-    try:
-        return _REGISTRY[name]()
-    except KeyError:
-        raise TopologyError(
-            f"unknown machine {name!r}; known: {sorted(_REGISTRY)}"
-        ) from None
+    """Look up a machine builder by name (case-insensitive)."""
+    builder = _REGISTRY_FOLDED.get(name.strip().lower())
+    if builder is not None:
+        return builder()
+    from repro.errors import UnknownMachineError
+    from repro.topology.resolve import known_machine_names
+
+    raise UnknownMachineError(name, known_machine_names())
 
 
 def commercial_machines() -> tuple[Machine, Machine, Machine]:

@@ -32,6 +32,55 @@ _CACHE = re.compile(
 
 _UNIT = {"": 1, "K": 1024, "M": 1024 * 1024, "G": 1024 * 1024 * 1024}
 
+#: Expected token shapes of a cache clause, in order, for diagnosis.
+_CACHE_SHAPE = (
+    (r"\w+", "cache level name"),
+    (r":", "':'"),
+    (r"\d+(?:\.\d+)?[KMG]?", "size"),
+    (r"/", "'/'"),
+    (r"\d+", "associativity"),
+    (r"/", "'/'"),
+    (r"\d+", "line size"),
+    (r"@", "'@'"),
+    (r"\d+", "latency"),
+)
+
+
+def _normalize(clause: str) -> str:
+    """Strip whitespace around separator tokens and collapse the rest.
+
+    Lets humans write ``L1 : 32K / 8 / 64 @ 4  per 2`` — the grammar is
+    about tokens, not spacing.
+    """
+    return " ".join(re.sub(r"\s*([:/@=])\s*", r"\1", clause).split())
+
+
+def _offending_token(clause: str) -> tuple[str, int]:
+    """The first token that breaks the clause grammar, and its offset."""
+    tokens = [(m.group(), m.start()) for m in re.finditer(r"[:/@=]|[^\s:/@=]+", clause)]
+    if not tokens:
+        return "(empty clause)", 0
+    if any(tok == "=" for tok, _ in tokens):
+        key = tokens[0]
+        if not re.fullmatch(r"cores|clock|mem|name", key[0]):
+            return key
+        eq = next(t for t in tokens if t[0] == "=")
+        after = [t for t in tokens if t[1] > eq[1]]
+        return after[0] if after else ("(missing value)", len(clause))
+    for (token, offset), (pattern, _what) in zip(tokens, _CACHE_SHAPE):
+        if not re.fullmatch(pattern, token):
+            return token, offset
+    if len(tokens) < len(_CACHE_SHAPE):
+        return "(truncated clause)", len(clause)
+    extra = tokens[len(_CACHE_SHAPE):]
+    if extra and extra[0][0] != "per":
+        return extra[0]
+    if len(extra) >= 2 and not re.fullmatch(r"\d+", extra[1][0]):
+        return extra[1]
+    if len(extra) > 2:
+        return extra[2]
+    return tokens[0]
+
 
 def parse_topology(spec: str) -> Machine:
     """Parse a topology spec string into a :class:`Machine`."""
@@ -41,10 +90,18 @@ def parse_topology(spec: str) -> Machine:
     name = "custom"
     levels: list[tuple[CacheSpec, int]] = []
 
-    clauses = [c.strip() for chunk in spec.splitlines() for c in chunk.split(";")]
-    for clause in clauses:
-        if not clause:
-            continue
+    clauses: list[tuple[str, int, int]] = []  # (clause, line, column)
+    for line_no, line in enumerate(spec.splitlines(), start=1):
+        column = 0
+        for chunk in line.split(";"):
+            stripped = chunk.strip()
+            if stripped:
+                clauses.append(
+                    (stripped, line_no, column + chunk.index(stripped[0]) + 1)
+                )
+            column += len(chunk) + 1
+    for raw_clause, line_no, column in clauses:
+        clause = _normalize(raw_clause)
         setting = _SETTING.match(clause)
         if setting:
             key, value = setting.groups()
@@ -70,7 +127,12 @@ def parse_topology(spec: str) -> Machine:
             per = int(cache["per"]) if cache["per"] else 1
             levels.append((spec_obj, per))
             continue
-        raise TopologyError(f"cannot parse topology clause {clause!r}")
+        token, offset = _offending_token(clause)
+        raise TopologyError(
+            f"cannot parse topology clause {raw_clause!r} "
+            f"(line {line_no}, column {column}): unexpected token {token!r} "
+            f"at offset {offset}"
+        )
 
     if cores is None:
         raise TopologyError("topology spec must set cores=<n>")

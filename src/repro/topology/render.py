@@ -1,0 +1,54 @@
+"""ASCII rendering of cache hierarchy trees (``repro topo show``)."""
+
+from __future__ import annotations
+
+from repro.topology.tree import Machine, TopologyNode
+
+
+def _label(node: TopologyNode) -> str:
+    if node.kind == "core":
+        return f"core {node.core_id}"
+    if node.kind == "memory":
+        return "memory"
+    spec = node.spec
+    if spec.size_bytes % (1024 * 1024) == 0:
+        size = f"{spec.size_bytes // (1024 * 1024)}MB"
+    elif spec.size_bytes % 1024 == 0:
+        size = f"{spec.size_bytes // 1024}KB"
+    else:
+        size = f"{spec.size_bytes}B"
+    cores = node.cores_below()
+    shared = "private" if len(cores) == 1 else f"cores {cores[0]}-{cores[-1]}"
+    return (
+        f"{spec.level} {size} {spec.associativity}-way "
+        f"{spec.line_size}B/line {spec.latency}cy ({shared})"
+    )
+
+
+def render_tree(machine: Machine, max_cores_listed: int = 16) -> str:
+    """The machine as an indented tree, one node per line.
+
+    Runs of sibling core leaves longer than ``max_cores_listed`` are
+    elided to a single ``core a..b`` line so a 256-core EPYC stays
+    readable.
+    """
+    lines = [
+        f"{machine.name}: {machine.num_cores} cores, {machine.sockets} socket(s), "
+        f"{machine.clock_ghz}GHz, memory {machine.memory_latency}cy"
+    ]
+
+    def walk(node: TopologyNode, prefix: str, is_last: bool) -> None:
+        branch = "`-- " if is_last else "|-- "
+        lines.append(prefix + branch + _label(node))
+        child_prefix = prefix + ("    " if is_last else "|   ")
+        children = node.children
+        core_children = [c for c in children if c.kind == "core"]
+        if len(core_children) == len(children) and len(children) > max_cores_listed:
+            first, last = children[0].core_id, children[-1].core_id
+            lines.append(child_prefix + f"`-- core {first}..{last} ({len(children)} cores)")
+            return
+        for index, child in enumerate(children):
+            walk(child, child_prefix, index == len(children) - 1)
+
+    walk(machine.root, "", True)
+    return "\n".join(lines)

@@ -20,7 +20,7 @@ class TestMain:
             "fig02_motivation", "fig13_main", "fig14_cross_machine",
             "fig15_scheduling", "fig16_blocksize", "fig17_cores",
             "fig18_deep_hierarchies", "fig19_small_caches",
-            "fig20_levels_optimal", "ablation_alpha_beta",
+            "fig20_levels_optimal", "zoo_sweep", "ablation_alpha_beta",
             "ablation_compile_time", "ablation_dynamic", "ablation_clustering",
         ):
             module = getattr(run_all, module_name)
@@ -33,7 +33,7 @@ class TestMain:
         self._patch(monkeypatch)
         assert run_all.main([]) == 0
         out = capsys.readouterr().out
-        assert out.count("Fake figure") >= 14
+        assert out.count("Fake figure") >= 15
 
     def test_quick_flag(self, monkeypatch, capsys):
         self._patch(monkeypatch)
@@ -59,7 +59,7 @@ class TestParallelPrewarm:
             )
             return FigureResult("Real figure", ("scheme", "cycles"), rows)
 
-        monkeypatch.setattr(run_all, "_steps", lambda apps: [("Real", step)])
+        monkeypatch.setattr(run_all, "_steps", lambda *a, **k: [("Real", step)])
 
     def _invoke(self, argv, capsys):
         from repro.experiments import harness
@@ -150,7 +150,7 @@ class TestParallelPrewarm:
             "fig02_motivation", "fig13_main", "fig14_cross_machine",
             "fig15_scheduling", "fig16_blocksize", "fig17_cores",
             "fig18_deep_hierarchies", "fig19_small_caches",
-            "fig20_levels_optimal", "ablation_alpha_beta",
+            "fig20_levels_optimal", "zoo_sweep", "ablation_alpha_beta",
             "ablation_compile_time", "ablation_dynamic", "ablation_clustering",
         ):
             module = getattr(run_all, module_name)
@@ -158,3 +158,32 @@ class TestParallelPrewarm:
         import repro.experiments.fig13_main as f13
 
         monkeypatch.setattr(f13, "miss_reductions", lambda *a, **k: fake_result())
+
+
+class TestMachineFlag:
+    def test_unknown_machine_exits_2(self, capsys):
+        assert run_all.main(["--machine", "pdp11", "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown machine" in err
+        assert "harpertown" in err
+
+    def test_known_zoo_machine_accepted(self, monkeypatch, capsys):
+        from repro.experiments import zoo_sweep
+
+        captured = {}
+
+        def fake_run(apps=None, machines=None):
+            captured["machines"] = machines
+            return fake_result()
+
+        monkeypatch.setattr(zoo_sweep, "run", fake_run)
+        monkeypatch.setattr(
+            run_all, "_steps",
+            lambda apps, machines=None: [
+                ("Machine zoo", lambda: zoo_sweep.run(None, machines))
+            ],
+        )
+        assert run_all.main(
+            ["--machine", "zoo:unicore", "--no-cache", "--jobs", "1"]
+        ) == 0
+        assert captured["machines"] == ["zoo:unicore"]

@@ -1,0 +1,36 @@
+"""Tests for the machine-zoo experiment step."""
+
+import pytest
+
+from repro.errors import UnknownMachineError
+from repro.experiments import zoo_sweep
+from repro.topology.ingest.zoo import zoo_dir
+
+pytestmark = pytest.mark.skipif(zoo_dir() is None, reason="no fixture corpus")
+
+
+class TestMachineSelection:
+    def test_default_is_whole_zoo(self):
+        machines = zoo_sweep._machines(None)
+        assert len(machines) >= 6
+        assert sorted(m.name for m in machines) == [m.name for m in machines]
+
+    def test_explicit_specs(self):
+        machines = zoo_sweep._machines(["zoo:unicore", "harpertown"])
+        assert [m.name for m in machines] == ["unicore", "harpertown"]
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(UnknownMachineError):
+            zoo_sweep._machines(["zoo:cray-1"])
+
+
+class TestRun:
+    def test_single_machine_row(self):
+        result = zoo_sweep.run(apps=("galgel",), machines=["zoo:unicore"])
+        assert len(result.rows) == 1
+        name, cores, shape, caches, speedup = result.rows[0]
+        assert name == "unicore"
+        assert cores == 1
+        assert shape == "uniform"
+        # One core: TA cannot beat Base, the ratio must be exactly 1.
+        assert speedup == "1.000"

@@ -33,9 +33,13 @@ class TestClusterOneLevel:
         assert len(clusters) == 2
         assert sum(c.size for c in clusters) == 20
 
-    def test_split_indivisible_rejected(self):
-        with pytest.raises(MappingError):
-            cluster_one_level([group(0b1, size=1)], 2, 0.10)
+    def test_split_indivisible_pads_idle_clusters(self):
+        # A single unsplittable iteration still yields k clusters: the
+        # surplus ones are empty (their cores idle) instead of the whole
+        # mapping failing on a degenerate-but-legal nest.
+        clusters = cluster_one_level([group(0b1, size=1)], 2, 0.10)
+        assert len(clusters) == 2
+        assert sorted(c.size for c in clusters) == [0, 1]
 
     def test_invalid_k(self):
         with pytest.raises(MappingError):

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import main
@@ -84,12 +86,86 @@ class TestErrors:
         assert main(["map", "/nonexistent.loop"]) == 1
         assert "error:" in capsys.readouterr().err
 
-    def test_unknown_machine(self, program_file, capsys):
-        assert main(["map", program_file, "--machine", "epyc"]) == 1
-        assert "error:" in capsys.readouterr().err
+    def test_unknown_machine_exits_2_with_menu(self, program_file, capsys):
+        assert main(["map", program_file, "--machine", "epyc"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown machine" in err
+        assert "harpertown" in err
+        assert "zoo:" in err
+
+    def test_machine_name_case_insensitive(self, program_file, capsys):
+        assert main(["map", program_file, "--machine", "HARPERTOWN"]) == 0
+        assert "core" in capsys.readouterr().out
 
     def test_bad_source(self, tmp_path, capsys):
         path = tmp_path / "bad.loop"
         path.write_text("for for for")
         assert main(["map", str(path)]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "topology", "fixtures")
+UNICORE_TAR = os.path.join(FIXTURES, "unicore.tar.gz")
+
+
+class TestTopo:
+    def test_list_mixes_builtin_and_zoo(self, capsys):
+        assert main(["topo", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "harpertown" in out
+        assert "zoo:biglittle" in out
+
+    def test_show_builtin(self, capsys):
+        assert main(["topo", "show", "harpertown"]) == 0
+        out = capsys.readouterr().out
+        assert "digest" in out and "L2" in out
+
+    def test_show_zoo_json(self, capsys):
+        import json
+
+        assert main(["topo", "show", "zoo:unicore", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "unicore"
+        assert payload["digest"]
+
+    def test_ingest_fixture_tar(self, capsys):
+        assert main(["topo", "ingest", UNICORE_TAR]) == 0
+        out = capsys.readouterr().out
+        assert "digest" in out and "core" in out
+
+    def test_ingest_writes_json_out(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "machine.json"
+        assert main(["topo", "ingest", UNICORE_TAR, "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert payload["digest"]
+
+    def test_validate_ok(self, capsys):
+        assert main(["topo", "validate", "zoo:unicore"]) == 0
+        assert capsys.readouterr().out.startswith("OK:")
+
+    def test_validate_bad_dump(self, tmp_path, capsys):
+        (tmp_path / "empty").mkdir()
+        assert main(["topo", "validate", str(tmp_path / "empty")]) == 1
+        assert "INVALID:" in capsys.readouterr().err
+
+    def test_diff_identical(self, capsys):
+        assert main(["topo", "diff", "zoo:unicore", "zoo:unicore"]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_different(self, capsys):
+        assert main(["topo", "diff", "harpertown", "dunnington"]) == 1
+        out = capsys.readouterr().out
+        assert "---" in out and "+++" in out
+
+    def test_map_with_zoo_machine(self, program_file, capsys):
+        assert main(["map", program_file, "--machine", "zoo:harpertown2s"]) == 0
+        assert "core" in capsys.readouterr().out
+
+    def test_map_with_sysfs_dump(self, program_file, capsys):
+        assert main(
+            ["map", program_file, "--machine", f"sysfs:{UNICORE_TAR}"]
+        ) == 0
+        assert "core" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Tests for the lscpu -J loader and sysfs cross-validation."""
+
+import json
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.ingest import ingest_lscpu
+from repro.topology.ingest.lscpu import cross_validate, parse_lscpu_text
+from repro.topology.ingest.raw import RawCache, RawTopology
+
+
+def lscpu_doc(fields):
+    return json.dumps(
+        {"lscpu": [{"field": f"{key}:", "data": value} for key, value in fields.items()]}
+    )
+
+
+BASIC = {
+    "CPU(s)": "8",
+    "On-line CPU(s) list": "0-7",
+    "Thread(s) per core": "1",
+    "Core(s) per socket": "4",
+    "Socket(s)": "2",
+    "Model name": "Test CPU @ 2.90GHz",
+    "L1d cache": "256 KiB (8 instances)",
+    "L1i cache": "256 KiB (8 instances)",
+    "L2 cache": "2 MiB (8 instances)",
+    "L3 cache": "16 MiB (2 instances)",
+}
+
+
+class TestParse:
+    def test_basic(self):
+        raw = parse_lscpu_text(lscpu_doc(BASIC))
+        assert raw.cpus == tuple(range(8))
+        assert len(raw.packages) == 2
+        assert raw.clock_ghz == 2.9
+        # L1i dropped; 8 L1d + 8 L2 + 2 L3.
+        assert len(raw.caches) == 18
+        l3 = [c for c in raw.caches if c.level == 3]
+        assert {frozenset(c.shared_cpus) for c in l3} == {
+            frozenset(range(0, 4)), frozenset(range(4, 8))
+        }
+        # Per-instance size: 16 MiB total over 2 instances.
+        assert all(c.size_bytes == 8 * 1024 * 1024 for c in l3)
+
+    def test_smt_siblings(self):
+        fields = dict(BASIC, **{"Thread(s) per core": "2", "Core(s) per socket": "2"})
+        raw = parse_lscpu_text(lscpu_doc(fields))
+        assert raw.core_siblings[0] == frozenset({0, 1})
+
+    def test_nested_children(self):
+        document = json.dumps({"lscpu": [
+            {"field": "CPU(s):", "data": "1"},
+            {"field": "Caches:", "data": None, "children": [
+                {"field": "L1d cache:", "data": "32 KiB (1 instance)"},
+            ]},
+        ]})
+        raw = parse_lscpu_text(document)
+        assert raw.cpus == (0,)
+        assert len(raw.caches) == 1
+
+    def test_not_json(self):
+        with pytest.raises(TopologyError, match="not valid JSON"):
+            parse_lscpu_text("Architecture: x86_64")
+
+    def test_missing_lscpu_key(self):
+        with pytest.raises(TopologyError, match="lscpu"):
+            parse_lscpu_text("{}")
+
+    def test_no_cpus(self):
+        with pytest.raises(TopologyError):
+            parse_lscpu_text(lscpu_doc({"Architecture": "x86_64"}))
+
+    def test_clock_from_mhz_field(self):
+        fields = dict(BASIC, **{"Model name": "No speed here", "CPU max MHz": "3500.0000"})
+        assert parse_lscpu_text(lscpu_doc(fields)).clock_ghz == 3.5
+
+
+class TestEndToEnd:
+    def test_machine(self, tmp_path):
+        path = tmp_path / "lscpu.json"
+        path.write_text(lscpu_doc(BASIC))
+        machine = ingest_lscpu(str(path))
+        assert machine.num_cores == 8
+        assert machine.sockets == 2
+        assert machine.cache_levels() == ("L1", "L2", "L3")
+
+
+class TestCrossValidate:
+    def _sysfs_like(self):
+        caches = []
+        for cpu in range(8):
+            caches.append(RawCache(1, "Data", 32 * 1024, frozenset({cpu})))
+            caches.append(RawCache(2, "Unified", 256 * 1024, frozenset({cpu})))
+        caches.append(RawCache(3, "Unified", 8 * 1024 * 1024, frozenset(range(0, 4))))
+        caches.append(RawCache(3, "Unified", 8 * 1024 * 1024, frozenset(range(4, 8))))
+        return RawTopology(
+            source="sysfs:test",
+            cpus=tuple(range(8)),
+            packages={0: frozenset(range(0, 4)), 1: frozenset(range(4, 8))},
+            core_siblings={c: frozenset({c}) for c in range(8)},
+            caches=tuple(caches),
+        )
+
+    def test_agreement(self):
+        issues = cross_validate(self._sysfs_like(), parse_lscpu_text(lscpu_doc(BASIC)))
+        assert issues == []
+
+    def test_cpu_count_mismatch_is_fatal(self):
+        fields = dict(BASIC, **{"CPU(s)": "4", "On-line CPU(s) list": "0-3"})
+        with pytest.raises(TopologyError, match="cross-validation"):
+            cross_validate(self._sysfs_like(), parse_lscpu_text(lscpu_doc(fields)))
+
+    def test_capacity_mismatch_reported(self):
+        fields = dict(BASIC, **{"L3 cache": "64 MiB (2 instances)"})
+        issues = cross_validate(self._sysfs_like(), parse_lscpu_text(lscpu_doc(fields)))
+        assert any("L3" in issue for issue in issues)
+
+    def test_level_only_on_one_side(self):
+        fields = dict(BASIC)
+        del fields["L2 cache"]
+        issues = cross_validate(self._sysfs_like(), parse_lscpu_text(lscpu_doc(fields)))
+        assert any("L2" in issue for issue in issues)

@@ -1,0 +1,243 @@
+"""Tests for the normalizer: SMT policy, laminar validation, defaults."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.ingest.normalize import (
+    NormalizeOptions,
+    default_latency,
+    normalize,
+)
+from repro.topology.ingest.raw import RawCache, RawTopology
+
+KB = 1024
+MB = 1024 * KB
+
+
+def raw_two_core(caches=None, **kw):
+    base = dict(
+        source="sysfs:test",
+        cpus=(0, 1),
+        core_siblings={0: frozenset({0}), 1: frozenset({1})},
+        caches=caches or (
+            RawCache(1, "Data", 32 * KB, frozenset({0})),
+            RawCache(1, "Data", 32 * KB, frozenset({1})),
+            RawCache(2, "Unified", 1 * MB, frozenset({0, 1})),
+        ),
+    )
+    base.update(kw)
+    return RawTopology(**base)
+
+
+def raw_smt4():
+    """4 hw threads, siblings (0,2) and (1,3), per-pair L1/L2."""
+    pairs = {0: frozenset({0, 2}), 1: frozenset({1, 3}),
+             2: frozenset({0, 2}), 3: frozenset({1, 3})}
+    caches = []
+    for group in (frozenset({0, 2}), frozenset({1, 3})):
+        caches.append(RawCache(1, "Data", 32 * KB, group))
+        caches.append(RawCache(2, "Unified", 512 * KB, group))
+    caches.append(RawCache(3, "Unified", 8 * MB, frozenset(range(4))))
+    return RawTopology(
+        source="sysfs:smt4",
+        cpus=(0, 1, 2, 3),
+        core_siblings=pairs,
+        caches=tuple(caches),
+    )
+
+
+class TestOptions:
+    def test_bad_policy(self):
+        with pytest.raises(TopologyError, match="smt policy"):
+            NormalizeOptions(smt_policy="fold")
+
+    def test_bad_memory_latency(self):
+        with pytest.raises(TopologyError):
+            NormalizeOptions(memory_latency=0)
+
+
+class TestDefaultLatency:
+    def test_reference_sizes_hit_base(self):
+        assert default_latency(1, 32 * KB) == 4
+        assert default_latency(2, 512 * KB) == 12
+        assert default_latency(3, 8 * MB) == 30
+
+    def test_bigger_is_slower(self):
+        assert default_latency(3, 32 * MB) == 34
+        assert default_latency(3, 105 * MB) > default_latency(3, 8 * MB)
+
+    def test_smaller_is_faster_but_floored(self):
+        assert default_latency(2, 256 * KB) == 10
+        # Floor: half the base, never less.
+        assert default_latency(3, 64 * KB) == 16
+        assert default_latency(3, 32 * KB) == 15
+
+
+class TestSmtPolicy:
+    def test_merge_folds_siblings(self):
+        machine = normalize(raw_smt4(), NormalizeOptions(smt_policy="merge"))
+        assert machine.num_cores == 2
+        assert machine.cache_levels() == ("L1", "L2", "L3")
+
+    def test_threads_keeps_every_hw_thread(self):
+        machine = normalize(raw_smt4(), NormalizeOptions(smt_policy="threads"))
+        assert machine.num_cores == 4
+        # Sibling threads share their L1: clustering at the first level is 2.
+        assert machine.clustering_degrees()[0] == 2
+
+    def test_inconsistent_siblings_closed_transitively(self):
+        raw = raw_two_core(core_siblings={
+            0: frozenset({0, 1}), 1: frozenset({1})
+        })
+        machine = normalize(raw, NormalizeOptions(smt_policy="merge"))
+        assert machine.num_cores == 1
+
+
+class TestLaminar:
+    def test_same_level_overlap_rejected(self):
+        raw = raw_two_core(caches=(
+            RawCache(1, "Data", 32 * KB, frozenset({0})),
+            RawCache(1, "Data", 32 * KB, frozenset({0, 1})),
+        ))
+        with pytest.raises(TopologyError, match="non-tree sharing map"):
+            normalize(raw)
+
+    def test_non_nested_overlap_rejected(self):
+        raw = RawTopology(
+            source="sysfs:bad",
+            cpus=(0, 1, 2),
+            core_siblings={c: frozenset({c}) for c in range(3)},
+            caches=(
+                RawCache(2, "Unified", 1 * MB, frozenset({0, 1})),
+                RawCache(3, "Unified", 8 * MB, frozenset({1, 2})),
+            ),
+        )
+        with pytest.raises(TopologyError, match="non-tree sharing map"):
+            normalize(raw)
+
+    def test_inverted_nesting_rejected(self):
+        raw = raw_two_core(caches=(
+            RawCache(1, "Data", 32 * KB, frozenset({0, 1})),
+            RawCache(2, "Unified", 1 * MB, frozenset({0})),
+        ))
+        with pytest.raises(TopologyError, match="sharing map"):
+            normalize(raw)
+
+
+class TestGeometryRepair:
+    def test_fully_associative_ways_zero(self):
+        raw = raw_two_core(caches=(
+            RawCache(1, "Data", 32 * KB, frozenset({0}), line_size=64, ways=0),
+            RawCache(1, "Data", 32 * KB, frozenset({1}), line_size=64, ways=0),
+            RawCache(2, "Unified", 1 * MB, frozenset({0, 1})),
+        ))
+        machine = normalize(raw)
+        l1 = machine.cache_path(0)[0].spec
+        assert l1.associativity == l1.size_bytes // l1.line_size
+
+    def test_bad_line_size_defaulted(self):
+        raw = raw_two_core(caches=(
+            RawCache(1, "Data", 32 * KB, frozenset({0}), line_size=48),
+            RawCache(1, "Data", 32 * KB, frozenset({1}), line_size=48),
+            RawCache(2, "Unified", 1 * MB, frozenset({0, 1})),
+        ))
+        machine = normalize(raw)
+        assert machine.cache_path(0)[0].spec.line_size == 64
+
+    def test_unaligned_size_rounded_down(self):
+        raw = raw_two_core(caches=(
+            RawCache(1, "Data", 32 * KB + 17, frozenset({0})),
+            RawCache(1, "Data", 32 * KB + 17, frozenset({1})),
+            RawCache(2, "Unified", 1 * MB, frozenset({0, 1})),
+        ))
+        machine = normalize(raw)
+        assert machine.cache_path(0)[0].spec.size_bytes == 32 * KB
+
+    def test_indivisible_ways_adjusted(self):
+        raw = raw_two_core(caches=(
+            RawCache(1, "Data", 32 * KB, frozenset({0}), line_size=64, ways=7),
+            RawCache(1, "Data", 32 * KB, frozenset({1}), line_size=64, ways=7),
+            RawCache(2, "Unified", 1 * MB, frozenset({0, 1})),
+        ))
+        machine = normalize(raw)
+        spec = machine.cache_path(0)[0].spec
+        assert (spec.size_bytes // spec.line_size) % spec.associativity == 0
+
+
+class TestCollapse:
+    def test_data_wins_over_unified(self):
+        raw = raw_two_core(caches=(
+            RawCache(1, "Data", 32 * KB, frozenset({0})),
+            RawCache(1, "Unified", 48 * KB, frozenset({0})),
+            RawCache(1, "Data", 32 * KB, frozenset({1})),
+            RawCache(1, "Unified", 48 * KB, frozenset({1})),
+            RawCache(2, "Unified", 1 * MB, frozenset({0, 1})),
+        ))
+        machine = normalize(raw)
+        assert machine.cache_path(0)[0].spec.size_bytes == 32 * KB
+
+
+class TestMachineShape:
+    def test_single_top_cache_is_root(self):
+        machine = normalize(raw_two_core())
+        assert machine.root.kind == "cache"
+        assert machine.root.spec.level == "L2"
+
+    def test_private_llcs_get_memory_root(self):
+        raw = raw_two_core(caches=(
+            RawCache(1, "Data", 32 * KB, frozenset({0})),
+            RawCache(1, "Data", 32 * KB, frozenset({1})),
+            RawCache(2, "Unified", 1 * MB, frozenset({0})),
+            RawCache(2, "Unified", 1 * MB, frozenset({1})),
+        ))
+        machine = normalize(raw)
+        assert machine.root.kind == "memory"
+        assert len(machine.root.children) == 2
+
+    def test_latency_strictly_monotone(self):
+        machine = normalize(raw_smt4())
+        for core in machine.core_ids():
+            path = machine.cache_path(core)
+            latencies = [n.spec.latency for n in path]
+            assert latencies == sorted(latencies)
+            assert len(set(latencies)) == len(latencies)
+        assert machine.memory_latency > max(
+            n.spec.latency for n in machine.cache_nodes()
+        )
+
+    def test_memory_latency_from_ns_and_clock(self):
+        machine = normalize(
+            raw_two_core(clock_ghz=3.0),
+            NormalizeOptions(memory_latency_ns=100.0),
+        )
+        assert machine.memory_latency == 300
+
+    def test_memory_latency_override(self):
+        machine = normalize(raw_two_core(), NormalizeOptions(memory_latency=77))
+        assert machine.memory_latency == 77
+
+    def test_holey_numbering_renumbered(self):
+        raw = RawTopology(
+            source="sysfs:holey",
+            cpus=(0, 4, 9),
+            core_siblings={c: frozenset({c}) for c in (0, 4, 9)},
+            caches=(
+                RawCache(2, "Unified", 1 * MB, frozenset({0, 4, 9})),
+            ),
+        )
+        machine = normalize(raw)
+        assert machine.core_ids() == (0, 1, 2)
+
+    def test_name_from_source(self):
+        machine = normalize(raw_two_core(source="sysfs:/dumps/my box.tar.gz"))
+        assert machine.name == "my-box.tar.gz"
+
+    def test_name_override(self):
+        machine = normalize(raw_two_core(), NormalizeOptions(name="lab42"))
+        assert machine.name == "lab42"
+
+    def test_sockets_from_packages(self):
+        raw = raw_two_core(packages={
+            0: frozenset({0}), 1: frozenset({1})
+        })
+        assert normalize(raw).sockets == 2

@@ -1,0 +1,131 @@
+"""Unit tests for the raw ingestion primitives."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.ingest.raw import (
+    RawCache,
+    RawTopology,
+    parse_cpu_list,
+    parse_cpu_mask,
+    parse_size,
+)
+
+
+class TestParseCpuList:
+    def test_singletons_and_ranges(self):
+        assert parse_cpu_list("0-3,8,10-11") == frozenset({0, 1, 2, 3, 8, 10, 11})
+
+    def test_single(self):
+        assert parse_cpu_list("0") == frozenset({0})
+
+    def test_empty_is_empty_set(self):
+        assert parse_cpu_list("") == frozenset()
+        assert parse_cpu_list("\n") == frozenset()
+
+    def test_whitespace_tolerated(self):
+        assert parse_cpu_list(" 0 , 2-3 \n") == frozenset({0, 2, 3})
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(TopologyError):
+            parse_cpu_list("5-2")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TopologyError):
+            parse_cpu_list("0-3,x")
+
+
+class TestParseCpuMask:
+    def test_simple(self):
+        assert parse_cpu_mask("ff") == frozenset(range(8))
+
+    def test_comma_grouped(self):
+        assert parse_cpu_mask("1,00000001") == frozenset({0, 32})
+
+    def test_empty(self):
+        assert parse_cpu_mask("") == frozenset()
+
+    def test_garbage(self):
+        with pytest.raises(TopologyError):
+            parse_cpu_mask("zz")
+
+
+class TestParseSize:
+    def test_kernel_style(self):
+        assert parse_size("32K") == 32 * 1024
+        assert parse_size("6144K") == 6144 * 1024
+        assert parse_size("1M") == 1024 * 1024
+
+    def test_lscpu_style(self):
+        assert parse_size("48 KiB") == 48 * 1024
+        assert parse_size("105 MiB") == 105 * 1024 * 1024
+        assert parse_size("1.5 MiB") == 1536 * 1024
+
+    def test_bare_bytes(self):
+        assert parse_size("512") == 512
+
+    def test_non_power_of_two_ok(self):
+        # Real hardware: 107520K L3s exist.
+        assert parse_size("107520K") == 107520 * 1024
+
+    def test_garbage(self):
+        with pytest.raises(TopologyError):
+            parse_size("lots")
+
+
+class TestRawCache:
+    def test_describe(self):
+        cache = RawCache(2, "Unified", 1024, frozenset({0, 1}))
+        assert "L2" in cache.describe() and "0,1" in cache.describe()
+
+    def test_bad_level(self):
+        with pytest.raises(TopologyError):
+            RawCache(0, "Data", 1024, frozenset({0}))
+
+    def test_bad_type(self):
+        with pytest.raises(TopologyError):
+            RawCache(1, "Victim", 1024, frozenset({0}))
+
+    def test_empty_sharers(self):
+        with pytest.raises(TopologyError):
+            RawCache(1, "Data", 1024, frozenset())
+
+
+class TestRawTopologyValidate:
+    def _raw(self, **kw):
+        base = dict(
+            source="test",
+            cpus=(0, 1),
+            core_siblings={0: frozenset({0}), 1: frozenset({1})},
+            caches=(RawCache(1, "Data", 1024, frozenset({0})),),
+        )
+        base.update(kw)
+        return RawTopology(**base)
+
+    def test_valid(self):
+        self._raw().validate()
+
+    def test_no_cpus(self):
+        with pytest.raises(TopologyError):
+            self._raw(cpus=(), core_siblings={}, caches=()).validate()
+
+    def test_online_offline_overlap(self):
+        with pytest.raises(TopologyError):
+            self._raw(offline=(1,)).validate()
+
+    def test_sibling_self_membership(self):
+        with pytest.raises(TopologyError):
+            self._raw(core_siblings={0: frozenset({1}), 1: frozenset({1})}).validate()
+
+    def test_stray_cache_cpu(self):
+        with pytest.raises(TopologyError):
+            self._raw(caches=(RawCache(1, "Data", 1024, frozenset({7})),)).validate()
+
+    def test_level_bytes(self):
+        raw = self._raw(caches=(
+            RawCache(1, "Data", 1024, frozenset({0})),
+            RawCache(1, "Data", 1024, frozenset({1})),
+            RawCache(2, "Unified", 4096, frozenset({0, 1})),
+        ))
+        assert raw.level_bytes() == {1: 2048, 2: 4096}
+        assert raw.levels() == (1, 2)

@@ -1,0 +1,153 @@
+"""Tests for the sysfs loader: directories, tars, and real-world gaps."""
+
+import os
+import tarfile
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.ingest import ingest_sysfs
+from repro.topology.ingest.sysfs import load_sysfs
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def write_dump(root, files):
+    for rel, value in files.items():
+        path = root / "sys" / "devices" / "system" / "cpu" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(f"{value}\n")
+    return str(root)
+
+
+def two_core_files():
+    files = {}
+    for cpu in (0, 1):
+        files[f"cpu{cpu}/topology/physical_package_id"] = 0
+        files[f"cpu{cpu}/topology/core_cpus_list"] = str(cpu)
+        files[f"cpu{cpu}/cache/index0/level"] = 1
+        files[f"cpu{cpu}/cache/index0/type"] = "Data"
+        files[f"cpu{cpu}/cache/index0/size"] = "32K"
+        files[f"cpu{cpu}/cache/index0/shared_cpu_list"] = str(cpu)
+        files[f"cpu{cpu}/cache/index0/coherency_line_size"] = 64
+        files[f"cpu{cpu}/cache/index1/level"] = 2
+        files[f"cpu{cpu}/cache/index1/type"] = "Unified"
+        files[f"cpu{cpu}/cache/index1/size"] = "1M"
+        files[f"cpu{cpu}/cache/index1/shared_cpu_list"] = "0-1"
+    return files
+
+
+class TestDirectoryLoading:
+    def test_basic(self, tmp_path):
+        raw = load_sysfs(write_dump(tmp_path, two_core_files()))
+        assert raw.cpus == (0, 1)
+        assert raw.offline == ()
+        levels = raw.levels()
+        assert levels == (1, 2)
+        # Two private L1s plus one shared L2, deduplicated.
+        assert len(raw.caches) == 3
+
+    def test_rooted_anywhere(self, tmp_path):
+        # Pointing at the dump root, at sys/, or at the cpu dir all work.
+        root = write_dump(tmp_path, two_core_files())
+        for sub in ("", "sys", "sys/devices/system/cpu"):
+            raw = load_sysfs(os.path.join(root, sub) if sub else root)
+            assert raw.cpus == (0, 1)
+
+    def test_offline_cpu_skipped(self, tmp_path):
+        files = two_core_files()
+        files["cpu1/online"] = 0
+        raw = load_sysfs(write_dump(tmp_path, files))
+        assert raw.cpus == (0,)
+        assert raw.offline == (1,)
+        # The shared L2's sharer list is clipped to online cpus.
+        l2 = [c for c in raw.caches if c.level == 2][0]
+        assert l2.shared_cpus == frozenset({0})
+
+    def test_instruction_cache_dropped(self, tmp_path):
+        files = two_core_files()
+        files["cpu0/cache/index2/level"] = 1
+        files["cpu0/cache/index2/type"] = "Instruction"
+        files["cpu0/cache/index2/size"] = "32K"
+        files["cpu0/cache/index2/shared_cpu_list"] = "0"
+        raw = load_sysfs(write_dump(tmp_path, files))
+        assert all(c.type != "Instruction" for c in raw.caches)
+
+    def test_hex_mask_fallback(self, tmp_path):
+        files = two_core_files()
+        for cpu in (0, 1):
+            del files[f"cpu{cpu}/cache/index1/shared_cpu_list"]
+            files[f"cpu{cpu}/cache/index1/shared_cpu_map"] = "3"
+        raw = load_sysfs(write_dump(tmp_path, files))
+        l2 = [c for c in raw.caches if c.level == 2][0]
+        assert l2.shared_cpus == frozenset({0, 1})
+
+    def test_conflicting_sizes_rejected(self, tmp_path):
+        files = two_core_files()
+        files["cpu1/cache/index1/size"] = "2M"
+        with pytest.raises(TopologyError, match="conflicting sizes"):
+            load_sysfs(write_dump(tmp_path, files))
+
+    def test_no_cpus_rejected(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(TopologyError, match="no cpu"):
+            load_sysfs(str(tmp_path / "empty"))
+
+    def test_all_offline_rejected(self, tmp_path):
+        files = two_core_files()
+        files["cpu0/online"] = 0
+        files["cpu1/online"] = 0
+        with pytest.raises(TopologyError, match="no online cpus"):
+            load_sysfs(write_dump(tmp_path, files))
+
+    def test_malformed_level_names_file(self, tmp_path):
+        files = two_core_files()
+        files["cpu0/cache/index0/level"] = "one"
+        with pytest.raises(TopologyError, match="index0/level"):
+            load_sysfs(write_dump(tmp_path, files))
+
+    def test_clock_from_cpufreq(self, tmp_path):
+        files = two_core_files()
+        files["cpu0/cpufreq/cpuinfo_max_freq"] = 2_600_000
+        raw = load_sysfs(write_dump(tmp_path, files))
+        assert raw.clock_ghz == 2.6
+
+
+class TestTarLoading:
+    def test_fixture_tar_matches_extracted_dir(self, tmp_path):
+        tar_path = os.path.join(FIXTURES, "nehalem-ep.tar.gz")
+        raw_tar = load_sysfs(tar_path)
+        with tarfile.open(tar_path) as tar:
+            tar.extractall(tmp_path)
+        raw_dir = load_sysfs(str(tmp_path))
+        assert raw_tar.cpus == raw_dir.cpus
+        assert raw_tar.packages == raw_dir.packages
+        assert sorted(c.describe() for c in raw_tar.caches) == sorted(
+            c.describe() for c in raw_dir.caches
+        )
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TopologyError):
+            load_sysfs(str(tmp_path / "nope.tar.gz"))
+
+    def test_not_a_dump(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("hi\n")
+        with pytest.raises(TopologyError, match="neither a directory"):
+            load_sysfs(str(path))
+
+
+class TestEndToEnd:
+    def test_dir_dump_to_machine(self, tmp_path):
+        machine = ingest_sysfs(write_dump(tmp_path, two_core_files()))
+        assert machine.num_cores == 2
+        assert machine.cache_levels() == ("L1", "L2")
+        # Single LLC covering everything: the L2 is the root.
+        assert machine.root.kind == "cache"
+
+    def test_live_sys_if_available(self):
+        if not os.path.isdir("/sys/devices/system/cpu/cpu0"):
+            pytest.skip("no live sysfs")
+        machine = ingest_sysfs("/sys")
+        assert machine.num_cores >= 1
+        assert machine.core_ids() == tuple(range(machine.num_cores))

@@ -66,3 +66,46 @@ class TestErrors:
     def test_wrong_level_order(self):
         with pytest.raises(TopologyError):
             parse_topology("cores=4; mem=50; L2:4K/4/32@8 per 4; L1:1K/2/32@2 per 1")
+
+
+class TestWhitespaceTolerance:
+    def test_spaces_around_every_token(self):
+        machine = parse_topology(
+            "cores = 8 ; clock = 2.9 ; mem = 174 ; "
+            "L1 : 32K / 8 / 64 @ 4 per 1 ; L2 : 8M / 16 / 64 @ 35 per 4"
+        )
+        assert machine.num_cores == 8
+        assert machine.cache_levels() == ("L1", "L2")
+
+    def test_tabs_and_blank_clauses(self):
+        machine = parse_topology("cores=2;\t; mem=50;\nL1:1K/2/32@2 ;")
+        assert machine.num_cores == 2
+
+    def test_whitespace_variants_are_identical(self):
+        tight = parse_topology("cores=2; mem=50; L1:1K/2/32@2 per 2")
+        loose = parse_topology("cores = 2 ; mem = 50 ; L1 : 1K / 2 / 32 @ 2 per 2")
+        assert tight.describe() == loose.describe()
+
+
+class TestErrorDiagnostics:
+    def test_bad_token_named_with_position(self):
+        with pytest.raises(TopologyError) as info:
+            parse_topology("cores=2; mem=50; L1:1K/2/32@fast per 2")
+        message = str(info.value)
+        assert "'fast'" in message
+        assert "offset" in message
+        assert "line 1" in message
+
+    def test_column_points_at_clause(self):
+        with pytest.raises(TopologyError) as info:
+            parse_topology("cores=2; mem=50; L1=1K")
+        message = str(info.value)
+        assert "'L1=1K'" in message or "L1" in message
+        assert "column" in message
+
+    def test_multiline_reports_right_line(self):
+        with pytest.raises(TopologyError) as info:
+            parse_topology("cores=2\nmem=50\nL1:1K/2/oops@2")
+        message = str(info.value)
+        assert "line 3" in message
+        assert "'oops'" in message

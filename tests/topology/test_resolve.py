@@ -1,0 +1,82 @@
+"""Tests for the unified machine-spec resolver."""
+
+import pytest
+
+from repro.errors import TopologyError, UnknownMachineError
+from repro.topology.ingest.zoo import zoo_dir, zoo_names
+from repro.topology.machines import builtin_names, machine_by_name
+from repro.topology.resolve import known_machine_names, resolve_machine
+
+needs_corpus = pytest.mark.skipif(zoo_dir() is None, reason="no fixture corpus")
+
+
+class TestBuiltins:
+    def test_exact(self):
+        assert resolve_machine("harpertown").name == "harpertown"
+
+    def test_case_insensitive(self):
+        assert resolve_machine("HarperTown").name == "harpertown"
+        assert machine_by_name("DUNNINGTON").name == "dunnington"
+
+    def test_unknown_raises_with_menu(self):
+        with pytest.raises(UnknownMachineError) as info:
+            resolve_machine("pdp11")
+        assert info.value.spec == "pdp11"
+        assert "harpertown" in info.value.known
+        assert "harpertown" in str(info.value)
+
+    def test_empty_spec(self):
+        with pytest.raises(UnknownMachineError):
+            resolve_machine("  ")
+
+
+class TestMenu:
+    def test_builtins_first(self):
+        names = known_machine_names()
+        n_builtin = len(builtin_names())
+        assert names[:n_builtin] == list(builtin_names())
+        assert all(n.startswith("zoo:") for n in names[n_builtin:])
+
+    @needs_corpus
+    def test_zoo_entries_in_menu(self):
+        names = known_machine_names()
+        for zoo_name in zoo_names():
+            assert f"zoo:{zoo_name}" in names
+
+
+@needs_corpus
+class TestZooScheme:
+    def test_resolve(self):
+        machine = resolve_machine("zoo:unicore")
+        assert machine.num_cores == 1
+
+    def test_scheme_and_name_case_insensitive(self):
+        assert resolve_machine("ZOO:UniCore").name == "unicore"
+
+    def test_unknown_zoo_name(self):
+        with pytest.raises(UnknownMachineError) as info:
+            resolve_machine("zoo:cray-1")
+        assert "zoo:unicore" in info.value.known
+
+
+@needs_corpus
+class TestPathSchemes:
+    def _fixture(self, name):
+        import os
+
+        return os.path.join(zoo_dir(), name)
+
+    def test_sysfs_tar(self):
+        machine = resolve_machine("sysfs:" + self._fixture("nehalem-ep.tar.gz"))
+        assert machine.num_cores == 8
+
+    def test_smt_policy_threads(self):
+        path = self._fixture("smt2server.tar.gz")
+        merged = resolve_machine("sysfs:" + path)
+        threaded = resolve_machine("sysfs:" + path, smt_policy="threads")
+        assert merged.num_cores == 8
+        assert threaded.num_cores == 16
+
+    def test_sysfs_missing_path_is_topology_error(self):
+        with pytest.raises(TopologyError):
+            resolve_machine("sysfs:/no/such/dump")
