@@ -31,11 +31,11 @@ import sys
 from pathlib import Path
 
 #: Baseline files the gate knows how to read.
-SUITES = ("kernels", "sim", "pipeline", "remap", "service", "ingest")
+SUITES = ("kernels", "sim", "pipeline", "remap", "service", "ingest", "tagging")
 
 #: Suites whose metrics never fail the build regardless of baseline
 #: magnitude: millisecond-scale latency numbers are runner-noise-bound.
-INFORMATIONAL_SUITES = ("ingest",)
+INFORMATIONAL_SUITES = ("ingest", "tagging")
 
 
 # -- metric extraction ---------------------------------------------------
@@ -75,6 +75,12 @@ def metrics_ingest(report: dict) -> dict[str, float]:
     return _entries_metrics(report, lambda e: e["fixture"])
 
 
+def metrics_tagging(report: dict) -> dict[str, float]:
+    """Budget ratio (budget_ms / measured_ms) per irregular kernel: >1
+    is under budget; a drop means trace-based tagging got slower."""
+    return _entries_metrics(report, lambda e: e["kernel"])
+
+
 def metrics_service(report: dict) -> dict[str, float]:
     """Shard-over-single throughput ratio — the one scalar the service
     load harness is designed to demonstrate."""
@@ -101,6 +107,7 @@ EXTRACTORS = {
     "remap": metrics_remap,
     "service": metrics_service,
     "ingest": metrics_ingest,
+    "tagging": metrics_tagging,
 }
 
 

@@ -27,6 +27,25 @@ def _core_tags(plan: ExecutablePlan, partition: DataBlockPartition) -> list[int]
     """Bitset of blocks each core touches."""
     nest = plan.nest
     nest.validate_access_bounds()
+    if not nest.is_affine():
+        # Indirect accesses: evaluate each reference concretely per point.
+        concrete = [
+            (
+                offset_of,
+                partition.blocks_of_array(name).start,
+                partition.elements_per_block(name),
+            )
+            for name, offset_of, _ in nest.offset_evaluators()
+        ]
+        tags = []
+        for core_rounds in plan.rounds:
+            tag = 0
+            for rnd in core_rounds:
+                for point in rnd:
+                    for offset_of, first, per_block in concrete:
+                        tag |= 1 << (first + offset_of(point) // per_block)
+            tags.append(tag)
+        return tags
     resolved = []
     for access in nest.accesses:
         constant, coeffs = access.offset_form()

@@ -29,7 +29,7 @@ _SETATTR = object.__setattr__
 class IterationGroup:
     """All iterations of a nest sharing one data-block tag."""
 
-    __slots__ = ("tag", "iterations", "write_tag", "read_tag", "ident")
+    __slots__ = ("tag", "iterations", "write_tag", "read_tag", "ident", "origin")
 
     # Idents come from an itertools counter, not a hand-incremented class
     # attribute: ``next()`` on it is a single C call, hence atomic under
@@ -49,6 +49,7 @@ class IterationGroup:
         iterations: Sequence[tuple[int, ...]],
         write_tag: int = 0,
         read_tag: int = 0,
+        origin: int | None = None,
     ):
         iterations = tuple(sorted(iterations))
         if not iterations:
@@ -57,7 +58,12 @@ class IterationGroup:
         _SETATTR(self, "iterations", iterations)
         _SETATTR(self, "write_tag", write_tag)
         _SETATTR(self, "read_tag", read_tag)
-        _SETATTR(self, "ident", next(IterationGroup._ident_counter))
+        ident = next(IterationGroup._ident_counter)
+        _SETATTR(self, "ident", ident)
+        # Lineage for load-balancing splits: parts keep their source
+        # group's ident here, so the scheduler can translate dependence
+        # edges (which reference pre-split idents) onto the parts.
+        _SETATTR(self, "origin", ident if origin is None else origin)
 
     @classmethod
     def reset_idents(cls, start: int = 0) -> None:
@@ -92,8 +98,8 @@ class IterationGroup:
                 f"cannot split group of {self.size} iterations at {first_size}"
             )
         return (
-            IterationGroup(self.tag, self.iterations[:first_size], self.write_tag, self.read_tag),
-            IterationGroup(self.tag, self.iterations[first_size:], self.write_tag, self.read_tag),
+            IterationGroup(self.tag, self.iterations[:first_size], self.write_tag, self.read_tag, origin=self.origin),
+            IterationGroup(self.tag, self.iterations[first_size:], self.write_tag, self.read_tag, origin=self.origin),
         )
 
     def enumerator_source(

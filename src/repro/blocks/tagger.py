@@ -14,6 +14,12 @@ NumPy is available, falling back to the scalar reference below for
 non-rectangular spaces or tags beyond the lane budget.  The scalar code
 is the oracle — the differential tests in ``tests/kernels/`` pin the two
 backends to bit-identical :class:`~repro.blocks.groups.GroupSet`\\ s.
+
+Both of the above assume affine references.  :func:`tag_iterations` is
+the access-analysis seam (:mod:`repro.blocks.analysis`): nests with
+indirect references (``A[idx[i]]``) dispatch to the trace-based tagging
+fallback instead, which derives the same ``GroupSet`` shape from a
+recorded execution.
 """
 
 from __future__ import annotations
@@ -57,7 +63,27 @@ def tag_iterations(
     reports when moving from 2KB to 256-byte blocks).  ``backend``
     selects the kernel implementation (see :mod:`repro.kernels`); every
     backend produces the identical ``GroupSet``.
+
+    This is the access-analysis seam's entry point: affine nests take the
+    static path below, nests with indirect references dispatch to the
+    trace-based fallback (:mod:`repro.blocks.analysis`).  Either way the
+    resulting ``GroupSet`` feeds the downstream stages unchanged.
     """
+    from repro.blocks.analysis import AffineAnalysis, select_analysis
+
+    analysis = select_analysis(nest)
+    if not isinstance(analysis, AffineAnalysis):
+        return analysis.tag(nest, partition, max_groups=max_groups, backend=backend)
+    return _tag_affine(nest, partition, max_groups, backend)
+
+
+def _tag_affine(
+    nest: LoopNest,
+    partition: DataBlockPartition,
+    max_groups: int | None,
+    backend: str,
+) -> GroupSet:
+    """The static (affine) implementation behind :class:`AffineAnalysis`."""
     if not nest.accesses:
         raise BlockingError(f"nest {nest.name!r} has no array accesses to tag")
     nest.validate_access_bounds()

@@ -5,7 +5,7 @@ Usage::
     python -m repro map SOURCE.loop --machine dunnington [--schedule]
     python -m repro simulate SOURCE.loop --machine dunnington --scheme ta
     python -m repro machines
-    python -m repro workloads
+    python -m repro workloads [list|show NAME|table] [--suite irregular]
     python -m repro experiments --quick --jobs 4
     python -m repro cache info
     python -m repro serve --port 8321 --workers 4
@@ -28,7 +28,7 @@ import sys
 from contextlib import contextmanager
 
 from repro import obs
-from repro.errors import ReproError, UnknownMachineError
+from repro.errors import ReproError, UnknownMachineError, UnknownWorkloadError
 from repro.blocks.tags import render
 from repro.lang import compile_source
 from repro.mapping import TopologyAwareMapper, base_plan, base_plus_plan, local_plan
@@ -92,10 +92,49 @@ def cmd_machines(_args) -> int:
     return 0
 
 
-def cmd_workloads(_args) -> int:
+def cmd_workloads_table(args) -> int:
     from repro.workloads import application_table
 
-    print(application_table())
+    print(application_table(getattr(args, "suite", None)))
+    return 0
+
+
+def cmd_workloads_list(args) -> int:
+    from repro.workloads import all_workloads, suites
+
+    suite = getattr(args, "suite", None)
+    selected = all_workloads(suite)
+    if not selected:
+        print(f"error: no workloads in suite {suite!r}; suites: "
+              f"{', '.join(suites())}", file=sys.stderr)
+        return 2
+    rows = [(w.name, w.suite, w.kind, w.description) for w in selected]
+    print(format_table(["name", "suite", "origin", "description"], rows))
+    return 0
+
+
+def cmd_workloads_show(args) -> int:
+    from repro.workloads import workload
+
+    w = workload(args.name)  # UnknownWorkloadError -> usage error in main()
+    nest = w.nest()
+    analysis = "affine" if nest.is_affine() else "trace (indirect subscripts)"
+    print(f"{w.name}: {w.description}")
+    print(f"  suite        {w.suite}")
+    print(f"  origin       {w.kind}")
+    print(f"  data         {w.data_bytes() / 1024:.0f}KB "
+          f"({w.num_blocks} blocks of {w.block_size()}B)")
+    print(f"  iterations   {nest.iteration_count()}")
+    print(f"  references   {len(nest.accesses)}")
+    print(f"  analysis     {analysis}")
+    if w.index_data:
+        arrays = ", ".join(
+            f"{name}[{len(values)}]" for name, values in w.index_data
+        )
+        print(f"  index data   {arrays}")
+    if args.source:
+        print()
+        print(w.source.strip())
     return 0
 
 
@@ -216,6 +255,10 @@ def cmd_experiments(args) -> int:
         argv += ["--jobs", str(args.jobs)]
     if args.only:
         argv += ["--only", args.only]
+    for name in args.workloads or ():
+        argv += ["--workload", name]
+    for spec in args.machines or ():
+        argv += ["--machine", spec]
     if args.no_cache:
         argv.append("--no-cache")
     if args.cache_dir:
@@ -642,7 +685,37 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("machines", help="list the built-in machines").set_defaults(func=cmd_machines)
-    sub.add_parser("workloads", help="list the evaluation workloads").set_defaults(func=cmd_workloads)
+    workloads_parser = sub.add_parser(
+        "workloads", help="list, show and tabulate the evaluation workloads"
+    )
+    # Bare `repro workloads` keeps printing the Table 2 rendering.
+    workloads_parser.set_defaults(func=cmd_workloads_table, suite=None)
+    workloads_sub = workloads_parser.add_subparsers(dest="workloads_command")
+
+    def suite_option(p):
+        p.add_argument("--suite", default=None,
+                       help="restrict to one suite (e.g. irregular; "
+                            "see 'repro workloads list')")
+
+    wl_list = workloads_sub.add_parser(
+        "list", help="one line per workload (name, suite, description)"
+    )
+    suite_option(wl_list)
+    wl_list.set_defaults(func=cmd_workloads_list)
+
+    wl_show = workloads_sub.add_parser(
+        "show", help="full detail for one workload"
+    )
+    wl_show.add_argument("name", help="workload name (see 'list')")
+    wl_show.add_argument("--source", action="store_true",
+                         help="also print the kernel source")
+    wl_show.set_defaults(func=cmd_workloads_show)
+
+    wl_table = workloads_sub.add_parser(
+        "table", help="the Table 2 rendering (data sizes, iterations)"
+    )
+    suite_option(wl_table)
+    wl_table.set_defaults(func=cmd_workloads_table)
 
     def common(p, tracing=True):
         p.add_argument("source", help="affine loop program file")
@@ -701,6 +774,15 @@ def build_parser() -> argparse.ArgumentParser:
                             help="worker processes (default: CPU count)")
     exp_parser.add_argument("--only", default=None, metavar="SUBSTR",
                             help="run only matching steps (e.g. fig13)")
+    exp_parser.add_argument("--workload", action="append", default=None,
+                            metavar="NAME", dest="workloads",
+                            help="restrict the figures to workload NAME "
+                                 "(repeatable; see 'repro workloads list')")
+    exp_parser.add_argument("--machine", action="append", default=None,
+                            metavar="SPEC", dest="machines",
+                            help="restrict the machine-zoo sweeps to SPEC "
+                                 "(repeatable; builtin name, zoo:<name>, "
+                                 "sysfs:<path>, or lscpu:<path>)")
     exp_parser.add_argument("--no-cache", action="store_true",
                             help="skip the persistent result cache")
     exp_parser.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -949,6 +1031,12 @@ def main(argv: list[str] | None = None) -> int:
         # A usage error, like argparse's own: print the menu, exit 2.
         print(f"error: unknown machine {error.spec!r}", file=sys.stderr)
         print("known machines:", file=sys.stderr)
+        for name in error.known:
+            print(f"  {name}", file=sys.stderr)
+        return 2
+    except UnknownWorkloadError as error:
+        print(f"error: unknown workload {error.name!r}", file=sys.stderr)
+        print("known workloads:", file=sys.stderr)
         for name in error.known:
             print(f"  {name}", file=sys.stderr)
         return 2

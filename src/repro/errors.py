@@ -119,5 +119,21 @@ class WorkloadError(ReproError):
     """An unknown workload was requested or a workload failed to build."""
 
 
+class UnknownWorkloadError(WorkloadError):
+    """A workload name did not resolve to any registry entry.
+
+    ``known`` lists every registered name, so CLIs can print the menu and
+    exit with a usage error — the workload twin of
+    :class:`UnknownMachineError`.
+    """
+
+    def __init__(self, name: str, known: list[str]):
+        self.name = name
+        self.known = list(known)
+        super().__init__(
+            f"unknown workload {name!r}; known: {', '.join(self.known)}"
+        )
+
+
 class ExperimentError(ReproError):
     """An experiment harness was misconfigured."""

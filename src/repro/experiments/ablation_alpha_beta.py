@@ -13,7 +13,7 @@ from collections.abc import Sequence
 
 from repro.experiments.harness import FigureResult, geometric_mean, run_scheme, sim_machine
 from repro.topology.machines import dunnington
-from repro.workloads import all_workloads
+from repro.workloads import paper_workloads
 
 WEIGHTS = ((1.0, 0.0), (0.75, 0.25), (0.5, 0.5), (0.25, 0.75), (0.0, 1.0))
 
@@ -23,7 +23,7 @@ DEFAULT_APPS = ("equake", "cg", "freqmine", "namd", "galgel", "bodytrack")
 
 def run(apps: Sequence[str] | None = None) -> FigureResult:
     names = tuple(apps) if apps is not None else DEFAULT_APPS
-    selected = [w for w in all_workloads() if w.name in names]
+    selected = [w for w in paper_workloads() if w.name in names]
     machine = sim_machine(dunnington())
     rows = []
     for alpha, beta in WEIGHTS:

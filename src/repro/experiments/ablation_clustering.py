@@ -21,14 +21,14 @@ from repro.experiments.harness import (
 from repro.mapping import TopologyAwareMapper
 from repro.runtime import execute_plan
 from repro.topology.machines import dunnington
-from repro.workloads import all_workloads
+from repro.workloads import paper_workloads
 
 DEFAULT_APPS = ("galgel", "equake", "facesim", "namd", "h264", "applu")
 
 
 def run(apps: Sequence[str] | None = None) -> FigureResult:
     names = tuple(apps) if apps is not None else DEFAULT_APPS
-    selected = [w for w in all_workloads() if w.name in names]
+    selected = [w for w in paper_workloads() if w.name in names]
     machine = sim_machine(dunnington())
     rows = []
     ratios = {"greedy": [], "kl": []}

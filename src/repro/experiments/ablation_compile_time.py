@@ -16,11 +16,11 @@ from repro.experiments.harness import BALANCE_THRESHOLD, FigureResult, sim_machi
 from repro.lang import compile_source
 from repro.mapping import TopologyAwareMapper
 from repro.topology.machines import dunnington
-from repro.workloads import all_workloads
+from repro.workloads import paper_workloads
 
 
 def run(apps: Sequence[str] | None = None) -> FigureResult:
-    selected = [w for w in all_workloads() if apps is None or w.name in apps]
+    selected = [w for w in paper_workloads() if apps is None or w.name in apps]
     machine = sim_machine(dunnington())
     rows = []
     for app in selected:

@@ -14,7 +14,7 @@ from collections.abc import Sequence
 from repro.experiments.harness import FigureResult, geometric_mean, run_scheme, sim_machine
 from repro.sim.dynamic import simulate_dynamic
 from repro.topology.machines import dunnington
-from repro.workloads import all_workloads
+from repro.workloads import paper_workloads
 
 CHUNKS = (32, 128, 512)
 DEFAULT_APPS = ("galgel", "equake", "facesim", "namd", "h264", "applu")
@@ -22,7 +22,7 @@ DEFAULT_APPS = ("galgel", "equake", "facesim", "namd", "h264", "applu")
 
 def run(apps: Sequence[str] | None = None) -> FigureResult:
     names = tuple(apps) if apps is not None else DEFAULT_APPS
-    selected = [w for w in all_workloads() if w.name in names]
+    selected = [w for w in paper_workloads() if w.name in names]
     machine = sim_machine(dunnington())
     rows = []
     ta_ratios = []

@@ -18,13 +18,13 @@ from repro.experiments.harness import (
     sim_machine,
 )
 from repro.topology.machines import commercial_machines
-from repro.workloads import all_workloads
+from repro.workloads import paper_workloads
 
 SCHEMES = ("base", "base+", "ta")
 
 
 def run(apps: Sequence[str] | None = None) -> FigureResult:
-    selected = [w for w in all_workloads() if apps is None or w.name in apps]
+    selected = [w for w in paper_workloads() if apps is None or w.name in apps]
     machines = [sim_machine(m) for m in commercial_machines()]
     rows = []
     ratios: dict[tuple[str, str], list[float]] = {}
@@ -61,7 +61,7 @@ def miss_reductions(apps: Sequence[str] | None = None) -> FigureResult:
     """The Dunnington cache-miss reduction companion numbers."""
     from repro.topology.machines import dunnington
 
-    selected = [w for w in all_workloads() if apps is None or w.name in apps]
+    selected = [w for w in paper_workloads() if apps is None or w.name in apps]
     machine = sim_machine(dunnington())
     levels = ("L1", "L2", "L3")
     sums: dict[tuple[str, str], int] = {}

@@ -20,14 +20,14 @@ from repro.experiments.harness import (
 )
 from repro.experiments.versions import version_machine
 from repro.topology.machines import commercial_machines
-from repro.workloads import all_workloads
+from repro.workloads import paper_workloads
 
 NATIVE_THREADS = {"harpertown": 8, "nehalem": 8, "dunnington": 12}
 PATTERNS = ("harpertown", "nehalem", "dunnington")
 
 
 def run(apps: Sequence[str] | None = None) -> FigureResult:
-    selected = [w for w in all_workloads() if apps is None or w.name in apps]
+    selected = [w for w in paper_workloads() if apps is None or w.name in apps]
     rows = []
     for target in commercial_machines():
         target_sim = sim_machine(target)

@@ -12,13 +12,13 @@ from collections.abc import Sequence
 
 from repro.experiments.harness import FigureResult, geometric_mean, run_scheme, sim_machine
 from repro.topology.machines import dunnington
-from repro.workloads import all_workloads
+from repro.workloads import paper_workloads
 
 SCHEMES = ("ta", "local", "ta+s")
 
 
 def run(apps: Sequence[str] | None = None) -> FigureResult:
-    selected = [w for w in all_workloads() if apps is None or w.name in apps]
+    selected = [w for w in paper_workloads() if apps is None or w.name in apps]
     machine = sim_machine(dunnington())
     rows = []
     ratios: dict[str, list[float]] = {s: [] for s in SCHEMES}

@@ -21,13 +21,13 @@ from repro.experiments.harness import (
 )
 from repro.mapping import TopologyAwareMapper
 from repro.topology.machines import dunnington
-from repro.workloads import all_workloads
+from repro.workloads import paper_workloads
 
 FACTORS = (4.0, 2.0, 1.0, 0.5)
 
 
 def run(apps: Sequence[str] | None = None) -> FigureResult:
-    selected = [w for w in all_workloads() if apps is None or w.name in apps]
+    selected = [w for w in paper_workloads() if apps is None or w.name in apps]
     machine = sim_machine(dunnington())
     rows = []
     for factor in FACTORS:

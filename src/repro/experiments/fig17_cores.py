@@ -18,13 +18,13 @@ from collections.abc import Sequence
 
 from repro.experiments.harness import FigureResult, geometric_mean, run_scheme, sim_machine
 from repro.topology.machines import dunnington_scaled
-from repro.workloads import all_workloads
+from repro.workloads import paper_workloads
 
 CORE_COUNTS = (12, 18, 24)
 
 
 def run(apps: Sequence[str] | None = None) -> FigureResult:
-    selected = [w for w in all_workloads() if apps is None or w.name in apps]
+    selected = [w for w in paper_workloads() if apps is None or w.name in apps]
     rows = []
     for cores in CORE_COUNTS:
         machine = sim_machine(dunnington_scaled(cores))

@@ -17,11 +17,11 @@ from collections.abc import Sequence
 
 from repro.experiments.harness import FigureResult, geometric_mean, run_scheme, sim_machine
 from repro.topology.machines import arch_i, arch_ii, dunnington
-from repro.workloads import all_workloads
+from repro.workloads import paper_workloads
 
 
 def run(apps: Sequence[str] | None = None) -> FigureResult:
-    selected = [w for w in all_workloads() if apps is None or w.name in apps]
+    selected = [w for w in paper_workloads() if apps is None or w.name in apps]
     rows = []
     for machine_builder, label in (
         (dunnington, "Default (Dunnington)"),

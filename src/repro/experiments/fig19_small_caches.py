@@ -24,13 +24,13 @@ from repro.experiments.harness import (
     run_scheme,
 )
 from repro.topology.machines import dunnington
-from repro.workloads import all_workloads
+from repro.workloads import paper_workloads
 
 SCHEMES = ("base+", "ta", "ta+s")
 
 
 def run(apps: Sequence[str] | None = None) -> FigureResult:
-    selected = [w for w in all_workloads() if apps is None or w.name in apps]
+    selected = [w for w in paper_workloads() if apps is None or w.name in apps]
     full = dunnington().with_scaled_caches(2.0 / SIM_SCALE_DENOM)
     halved = dunnington().with_scaled_caches(1.0 / SIM_SCALE_DENOM)
     rows = []

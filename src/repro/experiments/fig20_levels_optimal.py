@@ -26,7 +26,7 @@ from repro.mapping.optimal import anneal_assignment, sharing_cost
 from repro.mapping.schedule import dependence_only_schedule
 from repro.runtime import execute_plan
 from repro.topology.machines import arch_i
-from repro.workloads import all_workloads
+from repro.workloads import paper_workloads
 
 
 def _optimal_cycles(app, machine) -> int:
@@ -48,7 +48,7 @@ def _optimal_cycles(app, machine) -> int:
 
 
 def run(apps: Sequence[str] | None = None) -> FigureResult:
-    selected = [w for w in all_workloads() if apps is None or w.name in apps]
+    selected = [w for w in paper_workloads() if apps is None or w.name in apps]
     full = sim_machine(arch_i())
     two = full.truncated(2)
     three = full.truncated(3)

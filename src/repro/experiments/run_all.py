@@ -70,6 +70,7 @@ def _steps(apps, machines=None):
         ("Figure 19", lambda: fig19_small_caches.run(apps)),
         ("Figure 20", lambda: fig20_levels_optimal.run(apps)),
         ("Machine zoo", lambda: zoo_sweep.run(zoo_apps, machines)),
+        ("Machine zoo (irregular)", lambda: zoo_sweep.run_irregular(machines)),
         ("Ablation a/b", lambda: ablation_alpha_beta.run()),
         ("Ablation compile time", lambda: ablation_compile_time.run(apps)),
         ("Ablation dynamic", lambda: ablation_dynamic.run(apps)),
@@ -105,6 +106,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--quick", action="store_true",
                         help="6-app subset instead of all workloads")
+    parser.add_argument("--workload", action="append", default=None,
+                        metavar="NAME", dest="workloads",
+                        help="restrict the figures to workload NAME "
+                             "(repeatable; see 'repro workloads list')")
     parser.add_argument("--charts", action="store_true",
                         help="append an ASCII bar chart to each figure")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -175,6 +180,20 @@ def _prewarm(steps, jobs: int) -> None:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv if argv is not None else sys.argv[1:])
     apps = QUICK_APPS if args.quick else None
+    if args.workloads:
+        # Validate names up front: an unknown workload is a usage error
+        # (exit 2 with the menu), matching the machine-spec behavior.
+        from repro.errors import UnknownWorkloadError
+        from repro.workloads import workload
+
+        try:
+            for name in args.workloads:
+                workload(name)
+        except UnknownWorkloadError as error:
+            print(f"error: unknown workload {error.name!r}; known workloads: "
+                  f"{', '.join(error.known)}", file=sys.stderr)
+            return 2
+        apps = tuple(args.workloads)
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
 
     if args.machines:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments.harness import FigureResult
 from repro.topology.machines import commercial_machines
-from repro.workloads import all_workloads
+from repro.workloads import paper_workloads
 
 
 def table1() -> FigureResult:
@@ -37,7 +37,7 @@ def table1() -> FigureResult:
 def table2() -> FigureResult:
     """Table 2: the applications (our scaled kernels)."""
     rows = []
-    for w in all_workloads():
+    for w in paper_workloads():
         nest = w.nest()
         rows.append(
             (

@@ -26,7 +26,7 @@ from repro.experiments.harness import (
 )
 from repro.topology.resolve import resolve_machine
 from repro.topology.tree import Machine
-from repro.workloads import all_workloads
+from repro.workloads import all_workloads, irregular_workloads
 
 #: Apps exercised per zoo machine (a spread of sharing patterns; the
 #: full per-app matrix lives in the paper figures).
@@ -78,5 +78,49 @@ def run(
     )
 
 
+def run_irregular(machines: Sequence[str] | None = None) -> FigureResult:
+    """The irregular suite across the zoo: TA over Base per workload.
+
+    The transpose of :func:`run`: one row per *workload*, geomean over
+    the zoo machines.  These kernels have data-dependent subscripts, so
+    every run here exercises the trace-based tagging fallback end to end
+    (tag from a recorded trace → cluster → distribute → schedule → sim).
+    Parity is the honest floor, not a failure: an irregular kernel whose
+    sharing has no block structure gives the mapper nothing to place
+    (spmv_banded's per-element jitter), while bank- or patch-clustered
+    sharing rewards placement the same way the affine mirrors do.
+    """
+    resolved = _machines(machines)
+    rows = []
+    for app in irregular_workloads():
+        speedups = []
+        for machine in resolved:
+            scaled = sim_machine(machine)
+            base = run_scheme(app, "base", scaled,
+                              balance_threshold=BALANCE_THRESHOLD).cycles
+            ta = run_scheme(app, "ta", scaled,
+                            balance_threshold=BALANCE_THRESHOLD).cycles
+            speedups.append(base / ta if ta else 1.0)
+        nest = app.nest()
+        rows.append((
+            app.name,
+            nest.iteration_count(),
+            len(nest.accesses),
+            f"{min(speedups):.3f}" if speedups else "n/a",
+            f"{max(speedups):.3f}" if speedups else "n/a",
+            f"{geometric_mean(speedups):.3f}" if speedups else "n/a",
+        ))
+    return FigureResult(
+        figure="Machine zoo, irregular suite: TA over Base per workload",
+        headers=("workload", "iterations", "refs", "min", "max",
+                 "TA speedup (geo)"),
+        rows=tuple(rows),
+        notes="trace-tagged kernels (indirect subscripts); geomean over "
+        f"{len(resolved)} zoo machines."
+        if rows else "no fixture corpus found; run scripts/gen_zoo_fixtures.py",
+    )
+
+
 if __name__ == "__main__":
     print(run().table())
+    print(run_irregular().table())

@@ -5,7 +5,9 @@ This is the middle-end view of a program that the paper's pass consumes:
 * :class:`~repro.ir.arrays.Array` — a declared array and its data space
   ``D`` (Section 3.2);
 * :class:`~repro.ir.accesses.ArrayAccess` — an affine reference ``R``
-  mapping iterations to array elements;
+  mapping iterations to array elements — and its non-affine sibling
+  :class:`~repro.ir.accesses.IndirectAccess` (``A[idx[i]]``), both under
+  the :class:`~repro.ir.accesses.Access` interface;
 * :class:`~repro.ir.loops.LoopNest` — a perfect/imperfect nest flattened to
   its iteration space ``K`` (an :class:`~repro.poly.intset.IntSet`) plus the
   accesses executed by each iteration;
@@ -16,7 +18,13 @@ This is the middle-end view of a program that the paper's pass consumes:
 """
 
 from repro.ir.arrays import Array
-from repro.ir.accesses import ArrayAccess
+from repro.ir.accesses import (
+    Access,
+    AffineAccess,
+    ArrayAccess,
+    IndirectAccess,
+    IndirectExpr,
+)
 from repro.ir.loops import LoopNest, Program
 from repro.ir.dependences import (
     DependencePair,
@@ -26,8 +34,12 @@ from repro.ir.dependences import (
 )
 
 __all__ = [
+    "Access",
+    "AffineAccess",
     "Array",
     "ArrayAccess",
+    "IndirectAccess",
+    "IndirectExpr",
     "LoopNest",
     "Program",
     "DependencePair",

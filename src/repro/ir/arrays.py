@@ -13,11 +13,24 @@ from repro.poly.intset import IntSet
 
 
 class Array:
-    """A declared array: name, extents, element size in bytes."""
+    """A declared array: name, extents, element size in bytes.
 
-    __slots__ = ("name", "extents", "element_size", "_strides")
+    ``data`` optionally records the array's (integer) contents, element by
+    element in row-major order.  It exists for *index arrays* — arrays whose
+    values subscript other arrays (``A[idx[i]]``) — where the mapper must
+    evaluate the reference concretely because no affine form exists.
+    Ordinary data arrays leave it ``None``.
+    """
 
-    def __init__(self, name: str, extents: tuple[int, ...] | list[int], element_size: int = 8):
+    __slots__ = ("name", "extents", "element_size", "data", "_strides")
+
+    def __init__(
+        self,
+        name: str,
+        extents: tuple[int, ...] | list[int],
+        element_size: int = 8,
+        data: tuple[int, ...] | list[int] | None = None,
+    ):
         extents = tuple(extents)
         if not extents:
             raise IRError(f"array {name!r} must have at least one dimension")
@@ -32,6 +45,16 @@ class Array:
         for k in range(len(extents) - 2, -1, -1):
             strides[k] = strides[k + 1] * extents[k + 1]
         object.__setattr__(self, "_strides", tuple(strides))
+        if data is not None:
+            data = tuple(data)
+            size = self.size_elements
+            if len(data) != size:
+                raise IRError(
+                    f"array {name!r} has {size} elements, data supplies {len(data)}"
+                )
+            if any(not isinstance(v, int) for v in data):
+                raise IRError(f"array {name!r} data must be integers")
+        object.__setattr__(self, "data", data)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Array is immutable")
@@ -94,11 +117,13 @@ class Array:
             self.name == other.name
             and self.extents == other.extents
             and self.element_size == other.element_size
+            and self.data == other.data
         )
 
     def __hash__(self) -> int:
-        return hash((self.name, self.extents, self.element_size))
+        return hash((self.name, self.extents, self.element_size, self.data))
 
     def __repr__(self) -> str:
         dims = "".join(f"[{e}]" for e in self.extents)
-        return f"Array({self.name}{dims}, {self.element_size}B)"
+        tail = ", indexed" if self.data is not None else ""
+        return f"Array({self.name}{dims}, {self.element_size}B{tail})"

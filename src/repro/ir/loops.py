@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections.abc import Iterator, Sequence
 
 from repro.errors import IRError
-from repro.ir.accesses import ArrayAccess
+from repro.ir.accesses import Access, IndirectAccess, IndirectExpr
 from repro.ir.arrays import Array
 from repro.poly.intset import IntSet
 
@@ -26,7 +26,7 @@ class LoopNest:
         self,
         name: str,
         space: IntSet,
-        accesses: Sequence[ArrayAccess],
+        accesses: Sequence[Access],
         parallel: bool = True,
     ):
         accesses = tuple(accesses)
@@ -57,16 +57,56 @@ class LoopNest:
         return self.space.count()
 
     def arrays(self) -> tuple[Array, ...]:
-        """Distinct arrays referenced by this nest, in first-use order."""
+        """Distinct arrays referenced by this nest, in first-use order.
+
+        Index arrays read through indirect subscripts count as referenced
+        even when no standalone access names them.
+        """
         seen: dict[str, Array] = {}
         for access in self.accesses:
             seen.setdefault(access.array.name, access.array)
+            if isinstance(access, IndirectAccess):
+                for index_array in access.index_arrays():
+                    seen.setdefault(index_array.name, index_array)
         return tuple(seen.values())
 
-    def reads(self) -> tuple[ArrayAccess, ...]:
+    def is_affine(self) -> bool:
+        """True when every access has an affine closed form.
+
+        The access-analysis seam dispatches on this: affine nests keep the
+        paper's static path, others fall back to trace-based tagging.
+        """
+        return all(a.is_affine for a in self.accesses)
+
+    def offset_evaluators(self):
+        """``(array name, iteration -> flat element offset, is_write)`` per access.
+
+        Affine accesses use their closed offset form, indirect accesses
+        their concrete evaluator; both are the unchecked fast path —
+        validate with :meth:`validate_access_bounds` first.
+        """
+        evaluators = []
+        for access in self.accesses:
+            if access.is_affine:
+                constant, coeffs = access.offset_form()
+
+                def offset(point, constant=constant, coeffs=coeffs):
+                    total = constant
+                    for coeff, coord in zip(coeffs, point):
+                        total += coeff * coord
+                    return total
+
+                evaluators.append((access.array.name, offset, access.is_write))
+            else:
+                evaluators.append(
+                    (access.array.name, access.offset_evaluator(), access.is_write)
+                )
+        return evaluators
+
+    def reads(self) -> tuple[Access, ...]:
         return tuple(a for a in self.accesses if not a.is_write)
 
-    def writes(self) -> tuple[ArrayAccess, ...]:
+    def writes(self) -> tuple[Access, ...]:
         return tuple(a for a in self.accesses if a.is_write)
 
     def validate_access_bounds(self) -> None:
@@ -79,14 +119,42 @@ class LoopNest:
         never unsafely silent.
         """
         box = self.space.bounding_box()
+
+        def affine_span(subscript) -> tuple[int, int]:
+            lo = hi = subscript.constant
+            for k, dim in enumerate(self.dims):
+                coeff = subscript.coeff(dim)
+                lo += min(coeff * box[k][0], coeff * box[k][1])
+                hi += max(coeff * box[k][0], coeff * box[k][1])
+            return lo, hi
+
         for access in self.accesses:
             for dim_index, subscript in enumerate(access.subscripts):
-                lo = hi = subscript.constant
-                for k, dim in enumerate(self.dims):
-                    coeff = subscript.coeff(dim)
-                    lo += min(coeff * box[k][0], coeff * box[k][1])
-                    hi += max(coeff * box[k][0], coeff * box[k][1])
                 extent = access.array.extents[dim_index]
+                if isinstance(subscript, IndirectExpr):
+                    index_array = subscript.array
+                    for inner_dim, inner in enumerate(subscript.subscripts):
+                        lo, hi = affine_span(inner)
+                        inner_extent = index_array.extents[inner_dim]
+                        if lo < 0 or hi >= inner_extent:
+                            raise IRError(
+                                f"nest {self.name!r}: index reference {subscript} "
+                                f"dimension {inner_dim} spans [{lo}, {hi}] outside "
+                                f"[0, {inner_extent - 1}]"
+                            )
+                    # Any stored index value may be selected, so all of
+                    # them must land inside the target dimension (sound;
+                    # at worst conservative for unreachable entries).
+                    lo, hi = min(index_array.data), max(index_array.data)
+                    if lo < 0 or hi >= extent:
+                        raise IRError(
+                            f"nest {self.name!r}: index array {index_array.name!r} "
+                            f"holds values spanning [{lo}, {hi}], outside "
+                            f"[0, {extent - 1}] of {access.array.name!r} "
+                            f"dimension {dim_index}"
+                        )
+                    continue
+                lo, hi = affine_span(subscript)
                 if lo < 0 or hi >= extent:
                     raise IRError(
                         f"nest {self.name!r}: reference {access!r} dimension "
@@ -123,15 +191,19 @@ class Program:
             array_map[array.name] = array
         for nest in nests:
             for access in nest.accesses:
-                declared = array_map.get(access.array.name)
-                if declared is None:
-                    raise IRError(
-                        f"nest {nest.name!r} references undeclared array {access.array.name!r}"
-                    )
-                if declared != access.array:
-                    raise IRError(
-                        f"nest {nest.name!r} disagrees with declaration of {access.array.name!r}"
-                    )
+                referenced = [access.array]
+                if isinstance(access, IndirectAccess):
+                    referenced.extend(access.index_arrays())
+                for array in referenced:
+                    declared = array_map.get(array.name)
+                    if declared is None:
+                        raise IRError(
+                            f"nest {nest.name!r} references undeclared array {array.name!r}"
+                        )
+                    if declared != array:
+                        raise IRError(
+                            f"nest {nest.name!r} disagrees with declaration of {array.name!r}"
+                        )
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "arrays", dict(array_map))
         object.__setattr__(self, "nests", tuple(nests))

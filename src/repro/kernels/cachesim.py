@@ -262,6 +262,8 @@ def build_traces_numpy(plan: "ExecutablePlan", layout: "MemoryLayout", line_shif
 
     nest = plan.nest
     nest.validate_access_bounds()
+    if not nest.is_affine():
+        return _build_traces_numpy_indirect(plan, layout, line_shift)
     resolved_base = []
     resolved_coeffs = []
     for access in nest.accesses:
@@ -290,6 +292,81 @@ def build_traces_numpy(plan: "ExecutablePlan", layout: "MemoryLayout", line_shif
                 count=num_points * depth,
             ).reshape(num_points, depth)
             addresses = points @ coeff_mat.T + base_vec  # (points, refs)
+            parts.append((addresses >> line_shift).ravel())
+            offs.append(offs[-1] + num_points * num_refs)
+        streams.append(
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+        offsets.append(offs)
+    return streams, offsets
+
+
+def _build_traces_numpy_indirect(
+    plan: "ExecutablePlan", layout: "MemoryLayout", line_shift: int
+):
+    """Gather variant of :func:`build_traces_numpy` for indirect nests.
+
+    Affine references keep the linear form; indirect subscripts become a
+    vectorized index-array gather (``data[inner_offsets]``).  Issue order
+    (point-major, access-minor) and line values match the scalar builder.
+    """
+    import numpy as np
+
+    nest = plan.nest
+    column_fns = []
+    for access in nest.accesses:
+        elem = access.array.element_size
+        base = layout.bases[access.array.name]
+        if access.is_affine:
+            constant, coeffs = access.offset_form()
+            coeff_vec = np.array(coeffs, dtype=np.int64)
+            base_addr = base + constant * elem
+
+            def column(points, coeff_vec=coeff_vec, base_addr=base_addr, elem=elem):
+                return points @ coeff_vec * elem + base_addr
+
+        else:
+            strides = access.array._strides
+            dims = []
+            for (kind, constant, coeffs, data), stride in zip(
+                access.subscript_forms(), strides
+            ):
+                data_vec = (
+                    np.asarray(data, dtype=np.int64) if kind == "indirect" else None
+                )
+                dims.append(
+                    (np.array(coeffs, dtype=np.int64), constant, data_vec, stride)
+                )
+
+            def column(points, dims=dims, base=base, elem=elem):
+                total = np.zeros(len(points), dtype=np.int64)
+                for coeff_vec, constant, data_vec, stride in dims:
+                    values = points @ coeff_vec + constant
+                    if data_vec is not None:
+                        values = data_vec[values]
+                    total += values * stride
+                return base + total * elem
+
+        column_fns.append(column)
+
+    num_refs = len(column_fns)
+    depth = len(nest.dims)
+    streams: list = []
+    offsets: list[list[int]] = []
+    for core_rounds in plan.rounds:
+        offs = [0]
+        parts = []
+        for rnd in core_rounds:
+            num_points = len(rnd)
+            if num_points == 0 or num_refs == 0:
+                offs.append(offs[-1])
+                continue
+            points = np.fromiter(
+                chain.from_iterable(rnd),
+                dtype=np.int64,
+                count=num_points * depth,
+            ).reshape(num_points, depth)
+            addresses = np.stack([fn(points) for fn in column_fns], axis=1)
             parts.append((addresses >> line_shift).ravel())
             offs.append(offs[-1] + num_points * num_refs)
         streams.append(

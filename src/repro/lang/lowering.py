@@ -9,8 +9,12 @@ The lowering pass
 * flattens each top-level ``for`` into one :class:`~repro.ir.loops.LoopNest`
   whose iteration space conjoins all level bounds;
 * turns every textual array reference into an
-  :class:`~repro.ir.accesses.ArrayAccess` (compound assignments contribute
-  both a read and a write of the target).
+  :class:`~repro.ir.accesses.ArrayAccess` — or an
+  :class:`~repro.ir.accesses.IndirectAccess` when a subscript is a nested
+  reference ``idx[i]`` into an index array whose contents arrive via
+  ``index_data`` — with compound assignments contributing both a read and
+  a write of the target, and nested index references contributing their
+  own (affine) reads.
 
 Supported shape: perfect nests — statements may appear only at the
 innermost level.  This covers the paper's target programs (its examples,
@@ -19,11 +23,13 @@ Figures 4 and 5, are perfect nests) and keeps iteration tagging exact.
 
 from __future__ import annotations
 
-from repro.errors import SemanticError
-from repro.ir.accesses import ArrayAccess
+from collections.abc import Mapping, Sequence
+
+from repro.errors import IRError, SemanticError
+from repro.ir.accesses import Access, ArrayAccess, IndirectAccess, IndirectExpr
 from repro.ir.arrays import Array
 from repro.ir.loops import LoopNest, Program
-from repro.lang.ast_nodes import Assign, ForLoop
+from repro.lang.ast_nodes import ArrayRef, Assign, ForLoop
 from repro.lang.parser import parse
 from repro.lang.semantic import SemanticInfo, analyze, to_affine
 from repro.poly.affine import AffineExpr
@@ -32,19 +38,43 @@ from repro.poly.intset import IntSet
 
 
 def compile_source(
-    source: str, name: str = "program", element_size: int = 8
+    source: str,
+    name: str = "program",
+    element_size: int = 8,
+    index_data: Mapping[str, Sequence[int]] | None = None,
 ) -> Program:
-    """Full pipeline: source text -> :class:`~repro.ir.loops.Program`."""
+    """Full pipeline: source text -> :class:`~repro.ir.loops.Program`.
+
+    ``index_data`` supplies concrete row-major contents for arrays used as
+    *index arrays* in indirect subscripts (``A[idx[i]]``); without it such
+    references cannot be lowered.
+    """
     info = analyze(parse(source))
-    return lower_program(info, name=name, element_size=element_size)
+    return lower_program(
+        info, name=name, element_size=element_size, index_data=index_data
+    )
 
 
 def lower_program(
-    info: SemanticInfo, name: str = "program", element_size: int = 8
+    info: SemanticInfo,
+    name: str = "program",
+    element_size: int = 8,
+    index_data: Mapping[str, Sequence[int]] | None = None,
 ) -> Program:
     """Lower a validated AST into the IR."""
+    index_data = dict(index_data or {})
+    unknown = sorted(set(index_data) - set(info.array_extents))
+    if unknown:
+        raise SemanticError(
+            f"index data supplied for undeclared arrays: {', '.join(unknown)}"
+        )
     arrays = {
-        arr_name: Array(arr_name, extents, element_size)
+        arr_name: Array(
+            arr_name,
+            extents,
+            element_size,
+            data=tuple(index_data[arr_name]) if arr_name in index_data else None,
+        )
         for arr_name, extents in info.array_extents.items()
     }
     nests = []
@@ -68,7 +98,7 @@ def _lower_nest(
     _walk_nest(loop, info, dims, constraints, substitution, assigns)
 
     space = IntSet(tuple(dims), constraints)
-    accesses: list[ArrayAccess] = []
+    accesses: list[Access] = []
     for stmt in assigns:
         accesses.extend(_lower_assign(stmt, info, arrays, tuple(dims), substitution))
     return LoopNest(nest_name, space, accesses, parallel=loop.parallel)
@@ -126,26 +156,36 @@ def _lower_assign(
     arrays: dict[str, Array],
     dims: tuple[str, ...],
     substitution: dict[str, AffineExpr],
-) -> list[ArrayAccess]:
+) -> list[Access]:
     variables = set(substitution)
-    accesses: list[ArrayAccess] = []
+    accesses: list[Access] = []
 
-    def subscripts_of(ref) -> list[AffineExpr]:
-        return [
-            to_affine(sub, info.params, variables).substitute(substitution)
-            for sub in ref.subscripts
-        ]
+    def affine_of(sub) -> AffineExpr:
+        return to_affine(sub, info.params, variables).substitute(substitution)
 
-    target_subs = subscripts_of(stmt.target)
-    target_array = arrays[stmt.target.array]
-    accesses.append(ArrayAccess(target_array, dims, target_subs, is_write=True))
+    def lower_ref(ref: ArrayRef, is_write: bool) -> Access:
+        subscripts: list[AffineExpr | IndirectExpr] = []
+        indirect = False
+        for sub in ref.subscripts:
+            if isinstance(sub, ArrayRef):
+                indirect = True
+                inner = [affine_of(s) for s in sub.subscripts]
+                try:
+                    subscripts.append(IndirectExpr(arrays[sub.array], inner))
+                except IRError as error:
+                    raise SemanticError(str(error), sub.line) from error
+            else:
+                subscripts.append(affine_of(sub))
+        if indirect:
+            return IndirectAccess(arrays[ref.array], dims, subscripts, is_write=is_write)
+        return ArrayAccess(arrays[ref.array], dims, subscripts, is_write=is_write)
+
+    accesses.append(lower_ref(stmt.target, True))
     if stmt.op in ("+=", "-="):
-        accesses.append(ArrayAccess(target_array, dims, target_subs, is_write=False))
+        accesses.append(lower_ref(stmt.target, False))
 
     from repro.lang.semantic import _collect_refs
 
     for ref in _collect_refs(stmt)[1:]:
-        accesses.append(
-            ArrayAccess(arrays[ref.array], dims, subscripts_of(ref), is_write=False)
-        )
+        accesses.append(lower_ref(ref, False))
     return accesses

@@ -8,8 +8,9 @@ Responsibilities:
   param folding);
 * check every loop nest: loop variables are unique within a nest, bounds
   are affine in *outer* loop variables and params, subscripts are affine in
-  loop variables and params, referenced arrays are declared with the right
-  rank;
+  loop variables and params — or a one-level indirect reference
+  ``idx[affine...]`` (``A[idx[i]]``), whose inner subscripts must be
+  affine — and referenced arrays are declared with the right rank;
 * provide :func:`to_affine`, the expression -> :class:`AffineExpr`
   converter used here and by lowering.
 """
@@ -188,7 +189,31 @@ def _check_assign(
                 ref.line,
             )
         for sub in ref.subscripts:
+            if isinstance(sub, ArrayRef):
+                # Indirect subscript A[idx[i]]: exactly one level of
+                # nesting, and the inner subscripts must be affine.  The
+                # nested ref itself is re-visited by _collect_refs, which
+                # checks its declaration and rank.
+                for inner in sub.subscripts:
+                    if isinstance(inner, ArrayRef) or _contains_ref(inner):
+                        raise SemanticError(
+                            "indirect subscripts nest at most one level: "
+                            f"{sub.array!r} is itself subscripted by an "
+                            "array reference",
+                            sub.line,
+                        )
+                continue
             to_affine(sub, params, variables)
+
+
+def _contains_ref(expr: Expr) -> bool:
+    if isinstance(expr, ArrayRef):
+        return True
+    if isinstance(expr, BinOp):
+        return _contains_ref(expr.left) or _contains_ref(expr.right)
+    if isinstance(expr, UnaryOp):
+        return _contains_ref(expr.operand)
+    return False
 
 
 def _collect_refs(stmt: Assign) -> list[ArrayRef]:
@@ -205,5 +230,9 @@ def _collect_refs(stmt: Assign) -> list[ArrayRef]:
         elif isinstance(expr, UnaryOp):
             walk(expr.operand)
 
+    # The target's own subscripts may hold nested index references
+    # (indirect writes like H[bin[i]]); those index reads are accesses too.
+    for sub in stmt.target.subscripts:
+        walk(sub)
     walk(stmt.value)
     return refs

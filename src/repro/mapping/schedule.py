@@ -146,6 +146,30 @@ def _schedule_groups(
     ]
     sets = machine.first_shared_level_groups()
     preds = graph.preds if graph is not None else {}
+    # Load balancing may have split graph-node groups into same-origin
+    # parts with fresh idents.  Translate the graph onto the parts: an
+    # edge from origin p gates on *every* part of p, and parts of one
+    # origin chain in lexicographic order (a split partitions the lex
+    # order, so the chain preserves the group's internal dependences).
+    # Without splits this reduces exactly to ``preds``.
+    requirement_of: dict[int, tuple[int, ...]] = {}
+    if graph is not None:
+        parts_of: dict[int, list[IterationGroup]] = {}
+        for groups in assignments:
+            for g in groups:
+                parts_of.setdefault(g.origin, []).append(g)
+        for parts in parts_of.values():
+            parts.sort(key=lambda g: g.iterations[0])
+        for groups in assignments:
+            for g in groups:
+                req: list[int] = []
+                for p in preds.get(g.origin, ()):
+                    req.extend(part.ident for part in parts_of.get(p, ()))
+                own = parts_of[g.origin]
+                position = own.index(g)
+                if position > 0:
+                    req.append(own[position - 1].ident)
+                requirement_of[g.ident] = tuple(req)
     tag_cache = _TagCache([g for groups in assignments for g in groups], backend)
 
     prev_sched: set[int] = set()
@@ -154,7 +178,7 @@ def _schedule_groups(
     def eligible(state: ScheduledCore, current_round: set[int]) -> list[IterationGroup]:
         out = []
         for group in state.remaining:
-            requirement = preds.get(group.ident, ())
+            requirement = requirement_of.get(group.ident, ())
             if all(p in prev_sched for p in requirement):
                 out.append(group)
         return out

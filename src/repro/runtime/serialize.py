@@ -24,7 +24,7 @@ import hashlib
 import json
 
 from repro.errors import IRError, SimulationError
-from repro.ir.accesses import ArrayAccess
+from repro.ir.accesses import ArrayAccess, IndirectAccess, IndirectExpr
 from repro.ir.arrays import Array
 from repro.ir.loops import LoopNest, Program
 from repro.mapping.distribute import ExecutablePlan
@@ -219,6 +219,30 @@ def _expr_from_dict(raw: dict) -> AffineExpr:
     )
 
 
+def _subscript_to_dict(subscript) -> dict:
+    # Indirect subscripts get an explicit "kind" tag; affine ones keep
+    # the historical untagged form so affine programs serialize (and
+    # digest) byte-identically to the pre-indirect format.
+    if isinstance(subscript, IndirectExpr):
+        return {
+            "kind": "indirect",
+            "array": subscript.array.name,
+            "subscripts": [_expr_to_dict(s) for s in subscript.subscripts],
+        }
+    return _expr_to_dict(subscript)
+
+
+def _access_to_dict(access) -> dict:
+    out = {
+        "array": access.array.name,
+        "is_write": access.is_write,
+        "subscripts": [_subscript_to_dict(s) for s in access.subscripts],
+    }
+    if isinstance(access, IndirectAccess):
+        out["kind"] = "indirect"
+    return out
+
+
 def _nest_to_dict(nest: LoopNest) -> dict:
     return {
         "name": nest.name,
@@ -228,14 +252,7 @@ def _nest_to_dict(nest: LoopNest) -> dict:
             {"kind": con.kind, **_expr_to_dict(con.expr)}
             for con in nest.space.constraints
         ],
-        "accesses": [
-            {
-                "array": access.array.name,
-                "is_write": access.is_write,
-                "subscripts": [_expr_to_dict(s) for s in access.subscripts],
-            }
-            for access in nest.accesses
-        ],
+        "accesses": [_access_to_dict(access) for access in nest.accesses],
     }
 
 
@@ -251,6 +268,10 @@ def program_to_dict(program: Program) -> dict:
                 "name": array.name,
                 "extents": list(array.extents),
                 "element_size": array.element_size,
+                # Index-array contents are part of the program for
+                # indirect accesses; omitted entirely when absent so the
+                # affine wire format is unchanged.
+                **({"data": list(array.data)} if array.data is not None else {}),
             }
             for array in program.arrays.values()
         ],
@@ -283,6 +304,11 @@ def program_from_dict(payload: dict) -> Program:
                 str(raw["name"]),
                 tuple(int(e) for e in raw["extents"]),
                 int(raw.get("element_size", 8)),
+                data=(
+                    tuple(int(v) for v in raw["data"])
+                    if raw.get("data") is not None
+                    else None
+                ),
             )
             for raw in payload["arrays"]
         }
@@ -299,11 +325,33 @@ def program_from_dict(payload: dict) -> Program:
                 name = raw_access["array"]
                 if name not in arrays:
                     raise IRError(f"access references undeclared array {name!r}")
+                subscripts = []
+                for raw_sub in raw_access["subscripts"]:
+                    if raw_sub.get("kind") == "indirect":
+                        index_name = raw_sub["array"]
+                        if index_name not in arrays:
+                            raise IRError(
+                                f"indirect subscript references undeclared "
+                                f"array {index_name!r}"
+                            )
+                        subscripts.append(
+                            IndirectExpr(
+                                arrays[index_name],
+                                [_expr_from_dict(s) for s in raw_sub["subscripts"]],
+                            )
+                        )
+                    else:
+                        subscripts.append(_expr_from_dict(raw_sub))
+                cls = (
+                    IndirectAccess
+                    if raw_access.get("kind") == "indirect"
+                    else ArrayAccess
+                )
                 accesses.append(
-                    ArrayAccess(
+                    cls(
                         arrays[name],
                         dims,
-                        [_expr_from_dict(s) for s in raw_access["subscripts"]],
+                        subscripts,
                         is_write=bool(raw_access.get("is_write", False)),
                     )
                 )

@@ -44,12 +44,29 @@ class MemoryLayout:
         return self.bases[array.name] + element_offset * array.element_size
 
 
+def record_access_offsets(nest: LoopNest):
+    """Deterministic per-iteration access trace of a nest.
+
+    Yields ``(iteration, offsets)`` in execution order, where
+    ``offsets[r]`` is the flat element offset touched by the nest's
+    ``r``-th access.  This is the recorded execution the trace-based
+    tagging fallback instruments: it is a pure function of the nest (and
+    its index-array data), so replaying it is bit-reproducible.
+    Validate bounds before calling — the evaluators are unchecked.
+    """
+    evaluators = [offset for _, offset, _ in nest.offset_evaluators()]
+    for point in nest.iterations():
+        yield point, tuple(offset(point) for offset in evaluators)
+
+
 def build_traces(
     plan: ExecutablePlan, layout: MemoryLayout, line_shift: int
 ) -> list[list[list[int]]]:
     """``traces[core][round]`` = flat list of line numbers in issue order."""
     nest = plan.nest
     nest.validate_access_bounds()
+    if not nest.is_affine():
+        return _build_traces_concrete(plan, layout, line_shift)
     # Pre-resolve each access to a byte-address linear form so the hot
     # loop is pure integer arithmetic.
     resolved = []
@@ -71,6 +88,36 @@ def build_traces(
                     for c, x in zip(coeffs, point):
                         addr += c * x
                     append(addr >> line_shift)
+            core_trace.append(lines)
+        traces.append(core_trace)
+    return traces
+
+
+def _build_traces_concrete(
+    plan: ExecutablePlan, layout: MemoryLayout, line_shift: int
+) -> list[list[list[int]]]:
+    """Trace construction for nests with indirect accesses.
+
+    Same issue order and line numbering as the affine path, but each
+    access is evaluated concretely (index-array lookups included) instead
+    of through a closed linear form.
+    """
+    nest = plan.nest
+    resolved = []
+    for (name, offset_of, _), access in zip(nest.offset_evaluators(), nest.accesses):
+        elem = access.array.element_size
+        base = layout.bases[name]
+        resolved.append((base, elem, offset_of))
+
+    traces: list[list[list[int]]] = []
+    for core_rounds in plan.rounds:
+        core_trace: list[list[int]] = []
+        for rnd in core_rounds:
+            lines: list[int] = []
+            append = lines.append
+            for point in rnd:
+                for base, elem, offset_of in resolved:
+                    append((base + offset_of(point) * elem) >> line_shift)
             core_trace.append(lines)
         traces.append(core_trace)
     return traces

@@ -25,6 +25,11 @@ def dimension_stride(nest: LoopNest, dim: str) -> int:
     by ``sum_k coeff_k(dim) * array_stride_k`` elements; zero means
     temporal reuse in that reference.
     """
+    if not nest.is_affine():
+        raise TransformError(
+            f"nest {nest.name!r} has indirect references; stride-model "
+            "permutation needs affine subscripts"
+        )
     total = 0
     for access in nest.accesses:
         move = 0

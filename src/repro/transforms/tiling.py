@@ -62,6 +62,11 @@ def tile_footprint_bytes(nest: LoopNest, tile_sizes: Sequence[int]) -> int:
     Distinct references to the same array overlap, so this over-estimates
     — which only biases toward smaller, safer tiles.
     """
+    if not nest.is_affine():
+        raise TransformError(
+            f"nest {nest.name!r} has indirect references; the tile "
+            "footprint model needs affine subscripts"
+        )
     if len(tile_sizes) != len(nest.dims):
         raise TransformError(
             f"need {len(nest.dims)} tile sizes, got {len(tile_sizes)}"

@@ -1,4 +1,4 @@
-"""The twelve applications of the paper's evaluation (Table 2), as kernels.
+"""The evaluation workloads: the paper's Table 2 plus the irregular suite.
 
 The paper evaluates on applu, galgel, equake (SpecOMP), cg, sp (NAS),
 bodytrack, facesim, freqmine (Parsec), namd, povray (Spec2006), and two
@@ -11,16 +11,34 @@ scaled to the simulated machines so that the data-to-cache-capacity
 ratios sit in the regime the paper studies (working sets exceeding the
 aggregate last-level capacity).
 
+Beyond Table 2, the ``irregular`` suite adds kernels with data-dependent
+subscripts (SpMV, mesh edge update, histogram, CSR sweep) that exercise
+the trace-based tagging fallback; see ``docs/WORKLOADS.md``.
+
 See :data:`repro.workloads.registry.WORKLOADS` for the full table and
 :func:`repro.workloads.registry.workload` to fetch one by name.
 """
 
 from repro.workloads.registry import (
+    IRREGULAR_SUITE,
     WORKLOADS,
     Workload,
     all_workloads,
     application_table,
+    irregular_workloads,
+    paper_workloads,
+    suites,
     workload,
 )
 
-__all__ = ["WORKLOADS", "Workload", "all_workloads", "application_table", "workload"]
+__all__ = [
+    "IRREGULAR_SUITE",
+    "WORKLOADS",
+    "Workload",
+    "all_workloads",
+    "application_table",
+    "irregular_workloads",
+    "paper_workloads",
+    "suites",
+    "workload",
+]

@@ -1,4 +1,4 @@
-"""Workload registry — our Table 2.
+"""Workload registry — our Table 2, plus the irregular suite.
 
 Each :class:`Workload` couples one application's kernel source with its
 metadata (suite, sequential/parallel origin, description) and lazily
@@ -6,17 +6,31 @@ compiles it through the full frontend.  The paper's Table 2 lists the
 application, its suite, whether it arrived sequential or parallel, and
 its data set size; :func:`application_table` renders the same columns for
 our kernels.
+
+Two workload populations live here:
+
+* the twelve **paper applications** (:func:`paper_workloads`) — affine
+  kernels mirroring Table 2; the figure experiments run exactly these;
+* the **irregular suite** (suite ``"irregular"``) — kernels with
+  data-dependent subscripts through recorded index arrays.  Affine
+  analysis declines them, so they map through the trace-based tagging
+  fallback (:mod:`repro.blocks.analysis`).  Their index arrays are part
+  of the workload (``index_data``) and are deterministic, so mapping
+  them is as reproducible as the affine twelve.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 
-from repro.errors import WorkloadError
+from repro.errors import UnknownWorkloadError, WorkloadError
 from repro.ir.loops import LoopNest, Program
 from repro.lang import compile_source
 from repro.workloads import kernels
+
+#: Suite name of the trace-tagged kernels (everything else is affine).
+IRREGULAR_SUITE = "irregular"
 
 
 @dataclass(frozen=True)
@@ -29,12 +43,21 @@ class Workload:
     description: str
     source: str
     num_blocks: int
+    #: Recorded index-array contents, as hashable (name, values) pairs;
+    #: empty for affine kernels.
+    index_data: tuple[tuple[str, tuple[int, ...]], ...] = field(default=())
 
     def program(self) -> Program:
-        return _compile(self.name, self.source)
+        return _compile(self.name, self.source, self.index_data)
 
     def nest(self) -> LoopNest:
-        return self.program().nests[0]
+        program = self.program()
+        if len(program.nests) != 1:
+            raise WorkloadError(
+                f"workload {self.name!r} compiles to {len(program.nests)} "
+                "nests; pick one explicitly via .program().nest(name)"
+            )
+        return program.nests[0]
 
     def data_bytes(self) -> int:
         return self.program().total_data_bytes()
@@ -46,7 +69,13 @@ class Workload:
 
 
 @lru_cache(maxsize=None)
-def _compile(name: str, source: str) -> Program:
+def _compile(
+    name: str, source: str, index_data: tuple[tuple[str, tuple[int, ...]], ...]
+) -> Program:
+    if index_data:
+        return compile_source(
+            source, name=name, index_data={k: list(v) for k, v in index_data}
+        )
     return compile_source(source, name=name)
 
 
@@ -64,11 +93,26 @@ def _build() -> dict[str, Workload]:
         ("povray", "Spec2006", "sequential", "ray tracing, diagonal/mirrored buffer gathers", kernels.povray),
         ("mesa", "local", "sequential", "3-D graphics, texture swizzle", kernels.mesa),
         ("h264", "local", "sequential", "video encoding, motion-search window", kernels.h264),
+        ("spmv_banded", IRREGULAR_SUITE, "parallel", "sparse matrix-vector, banded random sparsity (gather)", kernels.spmv_banded),
+        ("spmv_random", IRREGULAR_SUITE, "parallel", "sparse matrix-vector, block-random sparsity (BSR gather)", kernels.spmv_random),
+        ("mesh_edge", IRREGULAR_SUITE, "sequential", "unstructured-mesh edge flux, patchwise edge list (scatter)", kernels.mesh_edge),
+        ("histogram", IRREGULAR_SUITE, "sequential", "histogram accumulation into banked data-dependent bins", kernels.histogram),
+        ("csr_sweep", IRREGULAR_SUITE, "sequential", "CSR neighborhood sweep over a community graph (2-D index)", kernels.csr_sweep),
     ]
     table: dict[str, Workload] = {}
     for name, suite, kind, description, builder in entries:
-        source, num_blocks = builder()
-        table[name] = Workload(name, suite, kind, description, source, num_blocks)
+        built = builder()
+        if len(built) == 3:
+            source, num_blocks, index_data = built
+            frozen = tuple(
+                (arr, tuple(values)) for arr, values in sorted(index_data.items())
+            )
+        else:
+            source, num_blocks = built
+            frozen = ()
+        table[name] = Workload(
+            name, suite, kind, description, source, num_blocks, frozen
+        )
     return table
 
 
@@ -79,21 +123,40 @@ def workload(name: str) -> Workload:
     try:
         return WORKLOADS[name]
     except KeyError:
-        raise WorkloadError(
-            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
-        ) from None
+        raise UnknownWorkloadError(name, sorted(WORKLOADS)) from None
 
 
-def all_workloads() -> list[Workload]:
-    return list(WORKLOADS.values())
+def all_workloads(suite: str | None = None) -> list[Workload]:
+    """Every registered workload, optionally filtered by suite name."""
+    if suite is None:
+        return list(WORKLOADS.values())
+    return [w for w in WORKLOADS.values() if w.suite == suite]
 
 
-def application_table() -> str:
+def paper_workloads() -> list[Workload]:
+    """The twelve affine Table 2 applications the figures run."""
+    return [w for w in WORKLOADS.values() if w.suite != IRREGULAR_SUITE]
+
+
+def irregular_workloads() -> list[Workload]:
+    """The trace-tagged irregular suite."""
+    return all_workloads(IRREGULAR_SUITE)
+
+
+def suites() -> list[str]:
+    """Distinct suite names, in registry order."""
+    seen: dict[str, None] = {}
+    for w in WORKLOADS.values():
+        seen.setdefault(w.suite, None)
+    return list(seen)
+
+
+def application_table(suite: str | None = None) -> str:
     """Render our Table 2 (name, suite, origin, data size, iterations)."""
     from repro.util.tables import format_table
 
     rows = []
-    for w in all_workloads():
+    for w in all_workloads(suite):
         nest = w.nest()
         rows.append(
             (

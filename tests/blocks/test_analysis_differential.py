@@ -1,0 +1,80 @@
+"""Differential tests for the access-analysis seam.
+
+The trace-based fallback must be a drop-in for the affine path: on the
+twelve paper kernels — all affine — :class:`TraceAnalysis` has to produce
+the *same* ``GroupSet`` as :class:`AffineAnalysis`, down to the
+``TagArtifact`` fingerprint.  That bit-identity is what lets one artifact
+fingerprint space (and one disk cache) serve both frontends, and it pins
+the fallback against drift: any divergence in bucketing, write/read tag
+accumulation, or group order fails here before it can corrupt a mapping.
+"""
+
+import pytest
+
+from repro.blocks.analysis import (
+    AffineAnalysis,
+    TraceAnalysis,
+    select_analysis,
+)
+from repro.blocks.datablocks import DataBlockPartition
+from repro.errors import BlockingError
+from repro.pipeline.artifacts import TagArtifact
+from repro.workloads import irregular_workloads, paper_workloads, workload
+
+PAPER = sorted(w.name for w in paper_workloads())
+IRREGULAR = sorted(w.name for w in irregular_workloads())
+
+
+def _partition(app):
+    program = app.program()
+    nest = app.nest()
+    arrays = [program.arrays[a.name] for a in nest.arrays()]
+    return nest, DataBlockPartition(arrays, app.block_size())
+
+
+class TestAffineTraceEquivalence:
+    @pytest.mark.parametrize("name", PAPER)
+    def test_trace_reproduces_affine_groups(self, name):
+        nest, partition = _partition(workload(name))
+        affine = AffineAnalysis().tag(nest, partition)
+        trace = TraceAnalysis().tag(nest, partition)
+        assert len(affine.groups) == len(trace.groups)
+        for a, t in zip(affine.groups, trace.groups):
+            assert a.tag == t.tag
+            assert a.iterations == t.iterations
+            assert a.write_tag == t.write_tag
+            assert a.read_tag == t.read_tag
+
+    @pytest.mark.parametrize("name", PAPER)
+    def test_trace_reproduces_affine_fingerprint(self, name):
+        # The acceptance bar: one TagArtifact fingerprint space.
+        nest, partition = _partition(workload(name))
+        affine = TagArtifact(AffineAnalysis().tag(nest, partition))
+        trace = TagArtifact(TraceAnalysis().tag(nest, partition))
+        assert affine.fingerprint() == trace.fingerprint()
+
+
+class TestSelection:
+    @pytest.mark.parametrize("name", PAPER)
+    def test_paper_kernels_take_static_path(self, name):
+        assert select_analysis(workload(name).nest()).name == "affine"
+
+    @pytest.mark.parametrize("name", IRREGULAR)
+    def test_irregular_kernels_take_trace_path(self, name):
+        assert select_analysis(workload(name).nest()).name == "trace"
+
+    @pytest.mark.parametrize("name", IRREGULAR)
+    def test_affine_declines_irregular(self, name):
+        assert not AffineAnalysis().analyzes(workload(name).nest())
+
+
+class TestTraceBudget:
+    def test_over_budget_nest_is_rejected(self):
+        app = workload("histogram")
+        nest, partition = _partition(app)
+        events = nest.iteration_count() * len(nest.accesses)
+        tight = TraceAnalysis(max_events=events - 1)
+        with pytest.raises(BlockingError, match="budget"):
+            tight.tag(nest, partition)
+        # The real budget admits every registry kernel.
+        assert events <= TraceAnalysis().max_events

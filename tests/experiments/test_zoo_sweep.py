@@ -34,3 +34,22 @@ class TestRun:
         assert shape == "uniform"
         # One core: TA cannot beat Base, the ratio must be exactly 1.
         assert speedup == "1.000"
+
+
+class TestRunIrregular:
+    def test_one_row_per_irregular_workload(self):
+        from repro.workloads import irregular_workloads
+
+        result = zoo_sweep.run_irregular(machines=["zoo:unicore"])
+        assert [row[0] for row in result.rows] == [
+            w.name for w in irregular_workloads()
+        ]
+        for _name, iterations, refs, low, high, geo in result.rows:
+            assert iterations > 0 and refs > 0
+            # One machine: min == geo == max.  (Unlike the affine sweep,
+            # the ratio is not pinned to 1.0 on one core — grouping
+            # reorders the iteration stream, which alone moves cache
+            # behavior on data-dependent subscripts.)
+            assert low == high == geo
+            assert float(geo) > 0.0
+        assert "trace-tagged" in result.notes

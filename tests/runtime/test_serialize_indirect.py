@@ -1,0 +1,150 @@
+"""Property tests: indirect-access serialization round-trips exactly.
+
+The wire format grew ``"kind": "indirect"`` subscripts and index-array
+``"data"`` for the trace-tagged suite; this file is the
+:class:`~repro.ir.accesses.IndirectAccess` counterpart of
+``test_serialize_program.py``.  Hypothesis drives randomized nests whose
+references gather through a recorded index array, asserting the round
+trip preserves the dict, the digest, the concrete per-iteration element
+offsets (the only semantics an indirect reference has), and the mapping
+the trace-tagging frontend produces.  A final class pins the affine wire
+format: programs without indirect references must not grow the new keys.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.accesses import ArrayAccess, IndirectAccess, IndirectExpr
+from repro.ir.arrays import Array
+from repro.ir.loops import LoopNest, Program
+from repro.mapping.distribute import TopologyAwareMapper
+from repro.poly.affine import AffineExpr
+from repro.poly.constraints import Constraint
+from repro.poly.intset import IntSet
+from repro.runtime.serialize import (
+    program_digest,
+    program_from_dict,
+    program_from_json,
+    program_to_dict,
+    program_to_json,
+)
+from tests.runtime.test_serialize_program import EXTENT, MACHINE, programs
+
+#: Index-array length; inner affine subscripts stay within [0, 40] (see
+#: the EXTENT comment in test_serialize_program), so 64 entries suffice.
+INDEX_LEN = 64
+
+
+@st.composite
+def inner_affine(draw, dims):
+    coeffs = {dim: draw(st.integers(min_value=0, max_value=2)) for dim in dims}
+    constant = draw(st.integers(min_value=0, max_value=4))
+    return AffineExpr(coeffs, constant)
+
+
+@st.composite
+def indirect_programs(draw):
+    depth = draw(st.integers(min_value=1, max_value=2))
+    dims = tuple(f"i{k}" for k in range(depth))
+    constraints = []
+    for index, dim in enumerate(dims):
+        lo = draw(st.integers(min_value=0, max_value=2))
+        extent = draw(st.integers(min_value=4 if index == 0 else 1, max_value=6))
+        constraints.append(Constraint(AffineExpr({dim: 1}, -lo)))
+        constraints.append(Constraint(AffineExpr({dim: -1}, lo + extent - 1)))
+    space = IntSet(dims, constraints)
+
+    idx = Array(
+        "idx",
+        (INDEX_LEN,),
+        data=draw(
+            st.lists(
+                st.integers(min_value=0, max_value=EXTENT - 1),
+                min_size=INDEX_LEN,
+                max_size=INDEX_LEN,
+            )
+        ),
+    )
+    data_arrays = [Array(name, (EXTENT,)) for name in ("A", "B")]
+
+    accesses = []
+    for index in range(draw(st.integers(min_value=1, max_value=3))):
+        array = draw(st.sampled_from(data_arrays))
+        is_write = index == 0
+        if index == 0 or draw(st.booleans()):
+            gather = IndirectExpr(idx, [draw(inner_affine(dims))])
+            accesses.append(IndirectAccess(array, dims, [gather], is_write))
+        else:
+            # Plain affine references ride along, mixing the two access
+            # classes within one nest.
+            accesses.append(
+                ArrayAccess(array, dims, [draw(inner_affine(dims))], is_write)
+            )
+    nest = LoopNest("gather", space, accesses, parallel=True)
+    return Program("prog", data_arrays + [idx], [nest], {})
+
+
+class TestIndirectRoundTrip:
+    @settings(max_examples=75, deadline=None)
+    @given(indirect_programs())
+    def test_dict_round_trip_is_exact(self, program):
+        payload = program_to_dict(program)
+        restored = program_from_dict(payload)
+        assert program_to_dict(restored) == payload
+        assert program_digest(restored) == program_digest(program)
+
+    @settings(max_examples=30, deadline=None)
+    @given(indirect_programs())
+    def test_json_round_trip_is_exact(self, program):
+        restored = program_from_json(program_to_json(program))
+        assert program_digest(restored) == program_digest(program)
+
+    @settings(max_examples=30, deadline=None)
+    @given(indirect_programs())
+    def test_index_data_and_offsets_survive(self, program):
+        """The semantics of an indirect reference are its concrete
+        per-iteration element offsets; they must survive the wire."""
+        restored = program_from_dict(program_to_dict(program))
+        assert restored.arrays["idx"].data == program.arrays["idx"].data
+        original_nest, rebuilt_nest = program.nests[0], restored.nests[0]
+        for original, rebuilt in zip(
+            original_nest.accesses, rebuilt_nest.accesses
+        ):
+            assert type(rebuilt) is type(original)
+            assert rebuilt.is_affine == original.is_affine
+            for point in original_nest.iterations():
+                assert rebuilt.element_offset(point) == original.element_offset(
+                    point
+                )
+
+    @settings(max_examples=15, deadline=None)
+    @given(indirect_programs())
+    def test_mapping_is_identical(self, program):
+        """A deserialized irregular program maps bit-identically — the
+        whole trace-tagging frontend runs off the restored IR."""
+        restored = program_from_dict(program_to_dict(program))
+        expected = (
+            TopologyAwareMapper(MACHINE).map_nest(program, program.nests[0]).plan()
+        )
+        actual = (
+            TopologyAwareMapper(MACHINE)
+            .map_nest(restored, restored.nests[0])
+            .plan()
+        )
+        assert actual.rounds == expected.rounds
+
+
+class TestAffineWireFormatUnchanged:
+    @settings(max_examples=50, deadline=None)
+    @given(programs())
+    def test_affine_payload_has_no_indirect_keys(self, program):
+        """Pre-seam clients parse these payloads; affine programs must
+        serialize without the new optional keys."""
+        payload = program_to_dict(program)
+        assert not any("data" in raw for raw in payload["arrays"])
+        for raw_nest in payload["nests"]:
+            for raw_access in raw_nest["accesses"]:
+                assert "kind" not in raw_access
+                assert not any(
+                    isinstance(s, dict) and s.get("kind") == "indirect"
+                    for s in raw_access["subscripts"]
+                )

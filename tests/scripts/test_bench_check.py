@@ -140,6 +140,27 @@ class TestGate:
         assert report["suites"]["service"]["status"] == "skipped"
         assert "config mismatch" in report["suites"]["service"]["reason"]
 
+    def test_tagging_suite_is_informational(self, tmp_path):
+        """A trace-tagging slowdown is reported but never fails the
+        build: budget ratios on shared runners are noise-bound."""
+        tagging = {
+            "suite": "tagging",
+            "config": {"repeats": 3, "budget_us_per_event": 10.0},
+            "entries": [
+                {"kernel": "spmv_random", "events": 163840, "speedup": 12.1},
+                {"kernel": "histogram", "events": 262144, "speedup": 8.8},
+            ],
+        }
+        base, cur = write_dirs(
+            tmp_path, {"tagging": tagging}, {"tagging": degrade(tagging, 0.5)}
+        )
+        report = bench_check.check(base, cur)
+        assert report["ok"]
+        assert report["failed"] == []
+        row = report["suites"]["tagging"]["metrics"]["histogram"]
+        assert row["status"] == "info-regression"
+        assert row["informational"]
+
     def test_service_same_config_compares_ratio(self, tmp_path):
         slower_shard = copy.deepcopy(SERVICE)
         slower_shard["runs"][1]["throughput_rps"] = 400.0  # 3x -> 1.14x

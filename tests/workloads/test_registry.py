@@ -1,68 +1,149 @@
-"""Unit tests for the workload registry (Table 2)."""
+"""Unit tests for the workload registry (Table 2 plus the irregular suite)."""
 
 import pytest
 
-from repro.errors import WorkloadError
-from repro.workloads import all_workloads, application_table, workload
+from repro.errors import UnknownWorkloadError, WorkloadError
+from repro.workloads import (
+    IRREGULAR_SUITE,
+    all_workloads,
+    application_table,
+    irregular_workloads,
+    paper_workloads,
+    suites,
+    workload,
+)
 
 PAPER_APPS = {
     "applu", "galgel", "equake", "cg", "sp", "bodytrack",
     "facesim", "freqmine", "namd", "povray", "mesa", "h264",
 }
 
+IRREGULAR_APPS = {
+    "spmv_banded", "spmv_random", "mesh_edge", "histogram", "csr_sweep",
+}
+
 
 class TestRegistry:
-    def test_twelve_applications(self):
-        assert {w.name for w in all_workloads()} == PAPER_APPS
+    def test_twelve_paper_applications(self):
+        assert {w.name for w in paper_workloads()} == PAPER_APPS
+
+    def test_irregular_suite(self):
+        assert {w.name for w in irregular_workloads()} == IRREGULAR_APPS
+        assert all(w.suite == IRREGULAR_SUITE for w in irregular_workloads())
+
+    def test_all_workloads_is_both_populations(self):
+        assert {w.name for w in all_workloads()} == PAPER_APPS | IRREGULAR_APPS
+
+    def test_all_workloads_suite_filter(self):
+        assert all_workloads(IRREGULAR_SUITE) == irregular_workloads()
+        assert {w.name for w in all_workloads("NAS")} == {"cg", "sp"}
+
+    def test_suites_listing(self):
+        names = suites()
+        assert names[-1] == IRREGULAR_SUITE  # registry order, irregular last
+        assert set(names) == {
+            "SpecOMP", "NAS", "Parsec", "Spec2006", "local", IRREGULAR_SUITE,
+        }
 
     def test_lookup(self):
         assert workload("galgel").suite == "SpecOMP"
 
-    def test_unknown(self):
-        with pytest.raises(WorkloadError):
+    def test_unknown_is_usage_error_with_menu(self):
+        with pytest.raises(UnknownWorkloadError) as excinfo:
             workload("linpack")
+        assert excinfo.value.name == "linpack"
+        assert set(excinfo.value.known) == PAPER_APPS | IRREGULAR_APPS
+        # still a WorkloadError for callers catching broadly
+        assert isinstance(excinfo.value, WorkloadError)
 
     def test_suites_match_paper(self):
-        suites = {w.name: w.suite for w in all_workloads()}
-        assert suites["cg"] == "NAS" and suites["sp"] == "NAS"
-        assert suites["bodytrack"] == "Parsec"
-        assert suites["namd"] == "Spec2006"
-        assert suites["mesa"] == "local" and suites["h264"] == "local"
+        by_name = {w.name: w.suite for w in paper_workloads()}
+        assert by_name["cg"] == "NAS" and by_name["sp"] == "NAS"
+        assert by_name["bodytrack"] == "Parsec"
+        assert by_name["namd"] == "Spec2006"
+        assert by_name["mesa"] == "local" and by_name["h264"] == "local"
 
     def test_four_sequential_origin(self):
         # Table 2: namd, povray, mesa, H.264 arrive sequential.
-        seq = {w.name for w in all_workloads() if w.kind == "sequential"}
+        seq = {w.name for w in paper_workloads() if w.kind == "sequential"}
         assert seq == {"namd", "povray", "mesa", "h264"}
 
 
 class TestKernels:
-    @pytest.mark.parametrize("name", sorted(PAPER_APPS))
+    @pytest.mark.parametrize("name", sorted(PAPER_APPS | IRREGULAR_APPS))
     def test_compiles(self, name):
         w = workload(name)
         nest = w.nest()
         assert nest.iteration_count() > 0
         assert nest.accesses
 
-    @pytest.mark.parametrize("name", sorted(PAPER_APPS))
+    @pytest.mark.parametrize("name", sorted(PAPER_APPS | IRREGULAR_APPS))
     def test_in_bounds(self, name):
         workload(name).nest().validate_access_bounds()
 
-    @pytest.mark.parametrize("name", sorted(PAPER_APPS))
+    @pytest.mark.parametrize("name", sorted(PAPER_APPS | IRREGULAR_APPS))
     def test_fully_parallel_as_declared(self, name):
+        # The irregular reductions carry `parallel for` too (commutative
+        # accumulation), so every registry nest is parallel.
         assert workload(name).nest().parallel
 
-    @pytest.mark.parametrize("name", sorted(PAPER_APPS))
+    @pytest.mark.parametrize("name", sorted(PAPER_APPS | IRREGULAR_APPS))
     def test_block_size_sane(self, name):
         w = workload(name)
         bs = w.block_size()
         assert bs % 64 == 0
         assert 16 <= w.data_bytes() // bs <= 256
 
+    @pytest.mark.parametrize("name", sorted(PAPER_APPS))
+    def test_paper_kernels_affine(self, name):
+        assert workload(name).nest().is_affine()
+
+    @pytest.mark.parametrize("name", sorted(IRREGULAR_APPS))
+    def test_irregular_kernels_not_affine(self, name):
+        w = workload(name)
+        assert not w.nest().is_affine()
+        assert w.index_data  # recorded index arrays travel with the workload
+
+    @pytest.mark.parametrize("name", sorted(IRREGULAR_APPS))
+    def test_index_data_deterministic(self, name):
+        # Two independent builds record identical index arrays.
+        import repro.workloads.kernels as kernels
+
+        builder = getattr(kernels, name)
+        _, _, first = builder()
+        _, _, second = builder()
+        assert first == second
+
     def test_program_cached(self):
         w = workload("applu")
         assert w.program() is w.program()
 
+    def test_nest_rejects_multi_nest_programs(self):
+        # Workload.nest() must not silently pick nests[0].
+        from dataclasses import replace
+
+        two = replace(
+            workload("applu"),
+            name="two_nests",
+            source="""
+array A[64];
+array B[64];
+parallel for (i = 0; i < 64; i++)
+  A[i] = B[i];
+parallel for (i = 0; i < 64; i++)
+  B[i] = A[i];
+""",
+        )
+        assert len(two.program().nests) == 2
+        with pytest.raises(WorkloadError, match="2 nests"):
+            two.nest()
+
     def test_table_renders(self):
         text = application_table()
-        for name in PAPER_APPS:
+        for name in PAPER_APPS | IRREGULAR_APPS:
             assert name in text
+
+    def test_table_suite_filter(self):
+        text = application_table(IRREGULAR_SUITE)
+        assert "spmv_banded" in text
+        assert "galgel" not in text
